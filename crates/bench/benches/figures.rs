@@ -1,0 +1,33 @@
+//! Criterion benches for the figure-regeneration pipeline: the cost of
+//! producing each table of the paper from scratch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use systolic_gossip::sg_bounds::pfun::{BoundMode, Period};
+use systolic_gossip::sg_bounds::{e_coefficient, e_separator, tables};
+use systolic_gossip::sg_graphs::separator::params_wbf_undirected;
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("fig4_table", |b| b.iter(|| black_box(tables::fig4())));
+    c.bench_function("fig5_table", |b| b.iter(|| black_box(tables::fig5())));
+    c.bench_function("fig6_table", |b| b.iter(|| black_box(tables::fig6())));
+    c.bench_function("fig8_table", |b| b.iter(|| black_box(tables::fig8())));
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    c.bench_function("e_general_s8", |b| {
+        b.iter(|| black_box(e_coefficient(BoundMode::HalfDuplex, Period::Systolic(8))))
+    });
+    c.bench_function("separator_optimizer_wbf_s4", |b| {
+        b.iter(|| {
+            black_box(e_separator(
+                params_wbf_undirected(2),
+                BoundMode::HalfDuplex,
+                Period::Systolic(4),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_figures, bench_solvers);
+criterion_main!(benches);

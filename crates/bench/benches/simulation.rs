@@ -1,0 +1,70 @@
+//! Criterion benches for the dissemination engine: sequential vs
+//! crossbeam-parallel rounds (the DESIGN.md simulation ablation), greedy
+//! protocol generation, and full gossip executions on the paper's
+//! networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use systolic_gossip::prelude::*;
+use systolic_gossip::sg_sim::parallel::systolic_gossip_time_parallel;
+
+fn bench_gossip_executions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip_execution");
+    for k in [8usize, 10] {
+        let sp = builders::hypercube_sweep(k);
+        let n = 1usize << k;
+        g.bench_with_input(BenchmarkId::new("hypercube_sweep", n), &sp, |b, sp| {
+            b.iter(|| black_box(systolic_gossip_time(sp, n, 4 * k)))
+        });
+    }
+    for dd in [8usize, 10] {
+        let net = Network::DeBruijn { d: 2, dd };
+        let graph = net.build();
+        let sp = builders::edge_coloring_periodic(&graph);
+        let n = graph.vertex_count();
+        g.bench_with_input(BenchmarkId::new("db_coloring", n), &sp, |b, sp| {
+            b.iter(|| black_box(systolic_gossip_time(sp, n, 200 * dd)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_ablation(c: &mut Criterion) {
+    let k = 11; // n = 2048
+    let sp = builders::hypercube_sweep(k);
+    let n = 1usize << k;
+    let mut g = c.benchmark_group("parallel_rounds");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| black_box(systolic_gossip_time(&sp, n, 4 * k)))
+    });
+    for threads in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("crossbeam", threads), &threads, |b, &t| {
+            b.iter(|| black_box(systolic_gossip_time_parallel(&sp, n, 4 * k, t)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy_generation");
+    g.sample_size(10);
+    let net = Network::WrappedButterfly { d: 2, dd: 5 };
+    let graph = net.build();
+    g.bench_function("wbf25_half_duplex", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(greedy_gossip(&graph, Mode::HalfDuplex, 10_000, &mut rng))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_gossip_executions, bench_parallel_ablation, bench_greedy
+}
+criterion_main!(benches);

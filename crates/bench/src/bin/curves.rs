@@ -1,0 +1,48 @@
+//! Completion-curve series: per-round knowledge statistics for the
+//! reference protocols — the executable "figure" contrasting protocol
+//! progress against the paper's lower bounds.
+//!
+//! ```bash
+//! cargo run -p sg-bench --release --bin curves
+//! ```
+
+use systolic_gossip::prelude::*;
+use systolic_gossip::sg_sim::trace::knowledge_curve;
+
+fn main() {
+    for net in [
+        Network::Hypercube { k: 6 },
+        Network::WrappedButterfly { d: 2, dd: 4 },
+        Network::DeBruijn { d: 2, dd: 6 },
+    ] {
+        let g = net.build();
+        let n = g.vertex_count();
+        let sp = net.reference_protocol().expect("reference protocol");
+        let report = bound_report(
+            &net,
+            sp.mode(),
+            Period::Systolic(sp.s()),
+        );
+        println!(
+            "\n{} — n = {}, s = {}, strongest lower bound {:.1} rounds",
+            net.name(),
+            n,
+            sp.s(),
+            report.best_rounds
+        );
+        println!("{:>6} {:>8} {:>8} {:>10}", "round", "min", "max", "mean");
+        let curve = knowledge_curve(&sp, n, 100_000);
+        // Print at most 25 evenly spaced samples plus the last.
+        let step = (curve.len() / 25).max(1);
+        for (i, s) in curve.iter().enumerate() {
+            if i % step == 0 || i + 1 == curve.len() {
+                println!("{:>6} {:>8} {:>8} {:>10.1}", s.round, s.min, s.max, s.mean);
+            }
+        }
+        let done = curve.last().expect("nonempty").round;
+        println!(
+            "completed at round {done}; bound/measured ratio {:.2}",
+            report.best_rounds / done as f64
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! The Section 7 extension: matrix-norm lower bounds on weighted-digraph
+//! diameters, compared against exact Dijkstra diameters.
+//!
+//! ```bash
+//! cargo run -p sg-bench --release --bin diameter_bounds
+//! ```
+
+use systolic_gossip::prelude::*;
+use systolic_gossip::sg_delay::weighted::weighted_diameter_bound;
+use systolic_gossip::sg_graphs::weighted::WeightedDigraph;
+
+fn main() {
+    println!(
+        "{:<22} {:>6} {:>8} {:>9} {:>10}",
+        "digraph", "n", "λ*", "bound", "true diam"
+    );
+    let cases: Vec<(String, WeightedDigraph)> = vec![
+        (
+            "DB->(2,8) unit".into(),
+            WeightedDigraph::unit_weights(&Network::DeBruijnDirected { d: 2, dd: 8 }.build()),
+        ),
+        (
+            "DB->(3,5) unit".into(),
+            WeightedDigraph::unit_weights(&Network::DeBruijnDirected { d: 3, dd: 5 }.build()),
+        ),
+        (
+            "K->(2,7) unit".into(),
+            WeightedDigraph::unit_weights(&Network::KautzDirected { d: 2, dd: 7 }.build()),
+        ),
+        ("DB->(2,7) weights 1/3".into(), {
+            let g = Network::DeBruijnDirected { d: 2, dd: 7 }.build();
+            WeightedDigraph::from_arcs(
+                g.vertex_count(),
+                g.arcs()
+                    .map(|a| (a.from as usize, a.to as usize, if a.to % 2 == 0 { 1 } else { 3 })),
+            )
+        }),
+        (
+            "WBF->(2,5) unit".into(),
+            WeightedDigraph::unit_weights(
+                &Network::WrappedButterflyDirected { d: 2, dd: 5 }.build(),
+            ),
+        ),
+    ];
+    for (name, wg) in cases {
+        let b = weighted_diameter_bound(&wg, BoundOpts::default());
+        let diam = wg.diameter();
+        match (b, diam) {
+            (Some(b), Some(d)) => {
+                assert!(b.rounds <= d as f64 + 1e-9, "{name}: UNSOUND");
+                println!(
+                    "{:<22} {:>6} {:>8.4} {:>9.2} {:>10}",
+                    name,
+                    wg.vertex_count(),
+                    b.lambda_star,
+                    b.rounds,
+                    d
+                );
+            }
+            _ => println!("{:<22} — no bound / not strongly connected", name),
+        }
+    }
+    println!("\nthe bound is nearly tight on the shift networks (λ* ≈ 1/d ⟹ bound ≈ log_d n = D).");
+}

@@ -1,0 +1,78 @@
+//! Runs the complete experiment suite and prints an EXPERIMENTS.md-ready
+//! report: every figure table, the paper-vs-computed deltas for every
+//! value the paper states, and the validation experiments.
+//!
+//! ```bash
+//! cargo run -p sg-bench --release --bin experiments
+//! ```
+
+use systolic_gossip::prelude::*;
+use systolic_gossip::sg_bounds::pfun::{BoundMode as BM, Period as P};
+use systolic_gossip::sg_bounds::{c_broadcast, e_coefficient, tables};
+use systolic_gossip::sg_graphs::separator::{params_de_bruijn, params_wbf_undirected};
+
+fn check(label: &str, got: f64, paper: f64) {
+    let delta = (got - paper).abs();
+    let ok = if delta < 1.2e-4 { "match" } else { "MISMATCH" };
+    println!("| {label} | {paper:.4} | {got:.4} | {ok} |");
+}
+
+fn main() {
+    println!("# Experiment report\n");
+    println!("## Paper-stated values vs computed\n");
+    println!("| quantity | paper | computed | status |");
+    println!("|---|---|---|---|");
+    for (s, v) in [(3, 2.8808), (4, 1.8133), (5, 1.6502), (6, 1.5363), (7, 1.5021), (8, 1.4721)] {
+        check(&format!("Fig.4 e({s})"), e_coefficient(BM::HalfDuplex, P::Systolic(s)), v);
+    }
+    check("Fig.4 e(∞)", e_coefficient(BM::HalfDuplex, P::NonSystolic), 1.4404);
+    check(
+        "Fig.5 WBF(2,D) s=4",
+        e_separator(params_wbf_undirected(2), BM::HalfDuplex, P::Systolic(4)).e,
+        2.0218,
+    );
+    check(
+        "Fig.5 DB(2,D) s=4",
+        e_separator(params_de_bruijn(2), BM::HalfDuplex, P::Systolic(4)).e,
+        1.8133,
+    );
+    check(
+        "Fig.6 WBF(2,D) s=∞",
+        e_separator(params_wbf_undirected(2), BM::HalfDuplex, P::NonSystolic).e,
+        1.9750,
+    );
+    check(
+        "Fig.6 DB(2,D) s=∞",
+        e_separator(params_de_bruijn(2), BM::HalfDuplex, P::NonSystolic).e,
+        1.5876,
+    );
+    check("c(2) of [22,2]", c_broadcast(2), 1.4404);
+    check("c(3) of [22,2]", c_broadcast(3), 1.1374);
+    check("c(4) of [22,2]", c_broadcast(4), 1.0562);
+
+    println!("\n## Full tables\n");
+    for t in [tables::fig4(), tables::fig5(), tables::fig6(), tables::fig8()] {
+        println!("```text\n{}```\n", t.render());
+    }
+
+    println!("## Protocol validation (measured gossip time vs bounds)\n");
+    println!("| workload | n | s | measured | Thm 4.1 | Cor 4.4 | sound |");
+    println!("|---|---|---|---|---|---|---|");
+    for (name, net, sp) in sg_bench::half_duplex_workloads()
+        .into_iter()
+        .chain(sg_bench::full_duplex_workloads())
+    {
+        let a = audit(&net, &sp, 1_000_000, BoundOpts::default());
+        println!(
+            "| {name} | {} | {} | {} | {} | {:.1} | {} |",
+            a.n,
+            a.s,
+            a.measured_rounds.map_or("—".into(), |t| t.to_string()),
+            a.matrix_bound
+                .as_ref()
+                .map_or("—".into(), |b| format!("{:.1}", b.rounds)),
+            a.closed_form_rounds,
+            if a.is_sound() { "yes" } else { "NO" }
+        );
+    }
+}

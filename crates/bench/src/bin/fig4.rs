@@ -1,0 +1,19 @@
+//! Regenerates Fig. 4: the general systolic lower-bound coefficients
+//! `e(s)` for the directed and half-duplex modes.
+//!
+//! ```bash
+//! cargo run -p sg-bench --release --bin fig4
+//! ```
+
+use systolic_gossip::sg_bounds::pfun::BoundMode;
+use systolic_gossip::sg_bounds::{lambda_star, tables};
+
+fn main() {
+    println!("{}", tables::fig4().render());
+    println!("fixpoints λ* of λ·√(p_⌈s/2⌉(λ))·√(p_⌊s/2⌋(λ)) = 1:");
+    for p in tables::standard_periods() {
+        let l = lambda_star(BoundMode::HalfDuplex, p);
+        println!("  {:>5}: λ* = {:.10}", p.label(), l);
+    }
+    println!("\npaper values (Fig. 4): 2.8808 1.8133 1.6502 1.5363 1.5021 1.4721 | ∞: 1.4404");
+}

@@ -1,0 +1,32 @@
+//! Regenerates Fig. 5: systolic half-duplex lower bounds for Butterfly,
+//! Wrapped Butterfly (directed and undirected), de Bruijn and Kautz
+//! networks.
+//!
+//! ```bash
+//! cargo run -p sg-bench --release --bin fig5            # d = 2,3, s = 3..8 (the paper's table)
+//! cargo run -p sg-bench --release --bin fig5 -- 4,5 3 14  # degrees 4,5, s = 3..14
+//! ```
+//!
+//! The paper remarks that for d = 4, 5 slight improvements over the
+//! general bound appear only for s > 8 — the second invocation shows it.
+
+use systolic_gossip::sg_bounds::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (ds, lo, hi): (Vec<usize>, usize, usize) = if args.len() >= 3 {
+        (
+            args[0]
+                .split(',')
+                .map(|t| t.parse().expect("degree list like 2,3"))
+                .collect(),
+            args[1].parse().expect("min period"),
+            args[2].parse().expect("max period"),
+        )
+    } else {
+        (vec![2, 3], 3, 8)
+    };
+    println!("{}", tables::fig5_custom(&ds, lo..=hi).render());
+    println!("'*' entries coincide with the general bound of Fig. 4, as in the paper.");
+    println!("paper spot values (d=2): WBF(2,D) s=4 → 2.0218; DB(2,D) s=4 → 1.8133 (∗).");
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 6: non-systolic half-duplex lower bounds for the
+//! specific networks, with the diameter comparison column.
+//!
+//! ```bash
+//! cargo run -p sg-bench --release --bin fig6
+//! ```
+
+use systolic_gossip::sg_bounds::tables;
+
+fn main() {
+    println!("{}", tables::fig6().render());
+    println!("paper spot values: WBF(2,D) → 1.9750; DB(2,D) → 1.5876; baseline 1.4404.");
+}

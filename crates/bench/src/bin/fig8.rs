@@ -1,0 +1,17 @@
+//! Regenerates Fig. 8: full-duplex lower bounds. The general row solves
+//! `λ + λ² + ⋯ + λ^{s−1} = 1` and coincides with the broadcasting
+//! constants `c(s−1)` of \[22, 2\]; the separator rows strengthen it for
+//! the undirected hypercube-like families.
+//!
+//! ```bash
+//! cargo run -p sg-bench --release --bin fig8
+//! ```
+
+use systolic_gossip::sg_bounds::{c_broadcast, tables};
+
+fn main() {
+    println!("{}", tables::fig8().render());
+    println!("broadcast constants check: c(2) = {:.4}, c(3) = {:.4}, c(4) = {:.4}",
+        c_broadcast(2), c_broadcast(3), c_broadcast(4));
+    println!("paper cites 1.4404 / 1.1374 / 1.0562 for these.");
+}

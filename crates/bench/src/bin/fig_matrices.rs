@@ -1,0 +1,45 @@
+//! Regenerates the matrix-construction figures: Fig. 1 (`Mx(λ)` with
+//! k = 2), Fig. 2 (the rank-1 block `B_{i,j}`), Fig. 3 (`Nx(λ)` and
+//! `Ox(λ)`), and Fig. 7 (the banded full-duplex `Mx(λ)` with s = 4).
+//!
+//! ```bash
+//! cargo run -p sg-bench --release --bin fig_matrices
+//! ```
+
+use systolic_gossip::sg_delay::fullduplex::full_duplex_mx;
+use systolic_gossip::sg_delay::local::LocalMatrices;
+use systolic_gossip::sg_protocol::local::BlockPattern;
+
+fn main() {
+    // The paper's Fig. 1 uses a k = 2 local pattern; take
+    // (l0, r0, l1, r1) = (2, 1, 1, 2), s = 6, h = 3 block repetitions.
+    let pattern = BlockPattern::from_blocks(vec![2, 1], vec![1, 2]);
+    let lm = LocalMatrices::new(pattern.clone(), 3);
+    let lambda = 0.6;
+
+    println!("Fig. 1 — Mx(λ) for k = 2, pattern l = {:?}, r = {:?}, λ = {lambda}", pattern.l, pattern.r);
+    println!("(rows: left activations, block-major, reverse round order;");
+    println!(" cols: right activations, block-major, forward round order)\n");
+    print!("{}", lm.mx(lambda).render(4));
+
+    println!("\nFig. 2 — the block B_{{i,j}} = λ^d_{{i,j}}·λ0_l (λ0_r)^T structure:");
+    println!("d_(0,0) = {}, d_(0,1) = {}, d_(1,2) = {}", lm.d(0, 0), lm.d(0, 1), lm.d(1, 2));
+    println!("every nonzero block above is λ^d · (1, λ, …)·(1, λ, …)^T — rank 1.\n");
+
+    println!("Fig. 3 — Nx(λ) (left) and Ox(λ) (right):");
+    println!("\nNx({lambda}):");
+    print!("{}", lm.nx(lambda).render(4));
+    println!("\nOx({lambda}):");
+    print!("{}", lm.ox(lambda).render(4));
+
+    println!("\nsemi-eigenvector e of Lemma 4.2: {:?}", lm.semi_eigenvector(lambda));
+    println!(
+        "semi-eigenvalues: Nx → λ·p_Σr = {:.6}, Ox → λ·p_Σl = {:.6}",
+        lm.nx_semi_eigenvalue(lambda),
+        lm.ox_semi_eigenvalue(lambda)
+    );
+
+    println!("\nFig. 7 — full-duplex Mx(λ) for s = 4 over 8 rounds, λ = {lambda}:");
+    print!("{}", full_duplex_mx(4, 8, lambda).render(4));
+    println!("\neach row carries λ, λ², λ³ on the superdiagonal band (delays 1..s−1).");
+}

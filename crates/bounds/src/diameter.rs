@@ -1,0 +1,68 @@
+//! Diameter coefficients: the trivial lower bound `t ≥ diam(G)` expressed
+//! in `log₂(n)` units, the comparison column of Fig. 6.
+//!
+//! For the hypercube-like families, `log₂ n = D·log₂ d + O(log D)`, so a
+//! diameter of `c·D` contributes a coefficient `c / log₂ d`.
+
+/// Diameter coefficient of `BF(d, D)`: `diam = 2D`.
+pub fn diam_coeff_butterfly(d: usize) -> f64 {
+    2.0 / (d as f64).log2()
+}
+
+/// Diameter coefficient of directed `WBF→(d, D)`: `diam = 2D − 1`.
+pub fn diam_coeff_wbf_directed(d: usize) -> f64 {
+    2.0 / (d as f64).log2()
+}
+
+/// Diameter coefficient of undirected `WBF(d, D)`: `diam = ⌊3D/2⌋`.
+pub fn diam_coeff_wbf_undirected(d: usize) -> f64 {
+    1.5 / (d as f64).log2()
+}
+
+/// Diameter coefficient of `DB(d, D)` (directed or undirected):
+/// `diam = D`.
+pub fn diam_coeff_de_bruijn(d: usize) -> f64 {
+    1.0 / (d as f64).log2()
+}
+
+/// Diameter coefficient of `K(d, D)`: `diam = D`.
+pub fn diam_coeff_kautz(d: usize) -> f64 {
+    1.0 / (d as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graphs::generators;
+    use sg_graphs::traversal::diameter;
+
+    #[test]
+    fn coefficients_for_degree_two() {
+        assert_eq!(diam_coeff_butterfly(2), 2.0);
+        assert_eq!(diam_coeff_wbf_undirected(2), 1.5);
+        assert_eq!(diam_coeff_de_bruijn(2), 1.0);
+    }
+
+    #[test]
+    fn measured_diameters_match_the_formulas() {
+        // BF(2, D): 2D.
+        for dd in 2..=4usize {
+            let g = generators::butterfly(2, dd);
+            assert_eq!(diameter(&g), Some(2 * dd as u32));
+        }
+        // WBF(2, 4): ⌊3·4/2⌋ = 6.
+        let g = generators::wrapped_butterfly(2, 4);
+        assert_eq!(diameter(&g), Some(6));
+        // DB→(2, D): D; K→(2, D): D.
+        assert_eq!(diameter(&generators::de_bruijn_directed(2, 4)), Some(4));
+        assert_eq!(diameter(&generators::kautz_directed(2, 4)), Some(4));
+    }
+
+    #[test]
+    fn higher_degree_shrinks_coefficients() {
+        for d in 2..6usize {
+            assert!(diam_coeff_de_bruijn(d) >= diam_coeff_de_bruijn(d + 1));
+            assert!(diam_coeff_butterfly(d) >= diam_coeff_butterfly(d + 1));
+        }
+    }
+}

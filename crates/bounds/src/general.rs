@@ -1,0 +1,141 @@
+//! The general (topology-independent) lower bounds: Corollary 4.4 and its
+//! full-duplex analogue.
+//!
+//! For any network of `n` processors and any `s`-systolic protocol, the
+//! gossip time is at least `e(s)·log₂(n) − O(log log n)` where
+//! `e(s) = 1/log₂(1/λ*)` and `λ*` is the unique root in `(0, 1)` of the
+//! mode's characteristic function at 1. Fig. 4 is this table for the
+//! directed/half-duplex modes; the general column of Fig. 8 is the
+//! full-duplex version.
+
+use crate::pfun::{f, BoundMode, Period};
+use sg_linalg::roots::bisect_increasing;
+
+/// The unique `λ* ∈ (0, 1)` with `f(mode, period, λ*) = 1`.
+pub fn lambda_star(mode: BoundMode, period: Period) -> f64 {
+    // f is strictly increasing with f(0) = 0; f(1⁻) > 1 for every s ≥ 3
+    // and both non-systolic limits. For s = 2 the half-duplex function is
+    // λ·√(p₁)·√(p₁) = λ, whose unit root sits at the boundary λ = 1
+    // (the bound degenerates, matching the special-cased s = 2 analysis).
+    let hi = 1.0 - 1e-12;
+    if f(mode, period, hi) <= 1.0 {
+        return hi;
+    }
+    bisect_increasing(|l| f(mode, period, l) - 1.0, 1e-12, hi)
+        .expect("f is increasing with a bracketed unit root")
+}
+
+/// The bound coefficient `e(s) = 1/log₂(1/λ*)`.
+pub fn e_coefficient(mode: BoundMode, period: Period) -> f64 {
+    let ls = lambda_star(mode, period);
+    1.0 / (1.0 / ls).log2()
+}
+
+/// Corollary 4.4's coefficient for the directed/half-duplex modes
+/// (the Fig. 4 row).
+pub fn e_general(s: usize) -> f64 {
+    e_coefficient(BoundMode::HalfDuplex, Period::Systolic(s))
+}
+
+/// The non-systolic half-duplex coefficient `1.4404…`
+/// (`1/log₂(φ)`, with φ the golden ratio) — the \[4, 17, 15, 26\] constant
+/// that Corollary 4.4 recovers up to `O(log log n)`.
+pub fn e_general_nonsystolic() -> f64 {
+    e_coefficient(BoundMode::HalfDuplex, Period::NonSystolic)
+}
+
+/// The full-duplex general coefficient (the leftmost column of Fig. 8),
+/// which coincides with the bounded-degree broadcasting constant
+/// `c(s−1)` of \[22, 2\] — see `crate::broadcast`.
+pub fn e_full_duplex(s: usize) -> f64 {
+    e_coefficient(BoundMode::FullDuplex, Period::Systolic(s))
+}
+
+/// The non-systolic full-duplex coefficient: `λ* = 1/2`, `e = 1`.
+pub fn e_full_duplex_nonsystolic() -> f64 {
+    e_coefficient(BoundMode::FullDuplex, Period::NonSystolic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_linalg::approx_eq;
+
+    /// The seven numbers printed in the paper (Section 1 and Fig. 4).
+    #[test]
+    fn fig4_values_match_paper_to_four_decimals() {
+        let expected = [
+            (3usize, 2.8808),
+            (4, 1.8133),
+            (5, 1.6502),
+            (6, 1.5363),
+            (7, 1.5021),
+            (8, 1.4721),
+        ];
+        for (s, want) in expected {
+            let got = e_general(s);
+            assert!(
+                (got - want).abs() < 1.2e-4,
+                "e({s}) = {got:.5}, paper says {want}"
+            );
+        }
+        assert!((e_general_nonsystolic() - 1.4404).abs() < 1.2e-4);
+    }
+
+    #[test]
+    fn e_decreases_with_s_to_limit() {
+        let limit = e_general_nonsystolic();
+        let mut prev = f64::INFINITY;
+        for s in 3..40 {
+            let e = e_general(s);
+            assert!(e < prev, "e(s) must strictly decrease");
+            assert!(e > limit - 1e-9, "e(s) must stay above the limit");
+            prev = e;
+        }
+        assert!(e_general(200) - limit < 1e-4);
+    }
+
+    #[test]
+    fn lambda_star_in_unit_interval_and_decreasing() {
+        let mut prev = 1.0;
+        for s in 3..20 {
+            let l = lambda_star(BoundMode::HalfDuplex, Period::Systolic(s));
+            assert!(l > 0.0 && l < 1.0);
+            assert!(l < prev);
+            prev = l;
+        }
+        // All λ* stay above the golden-ratio limit 0.618.
+        assert!(prev > 0.618);
+    }
+
+    #[test]
+    fn s2_degenerates() {
+        // For s = 2, f(λ) = λ: λ* → 1 and e(2) blows up, matching the
+        // separate s = 2 analysis (t ≥ n − 1 is *linear*, not log).
+        let e = e_general(2);
+        assert!(e > 1e6, "s = 2 coefficient must be effectively infinite");
+    }
+
+    #[test]
+    fn full_duplex_values() {
+        // s → ∞ full-duplex: λ* = 1/2 exactly, e = 1.
+        assert!(approx_eq(
+            lambda_star(BoundMode::FullDuplex, Period::NonSystolic),
+            0.5,
+            1e-10
+        ));
+        assert!(approx_eq(e_full_duplex_nonsystolic(), 1.0, 1e-9));
+        // s = 3 full-duplex: λ + λ² = 1 → the golden-ratio constant again.
+        assert!(approx_eq(e_full_duplex(3), 1.4404, 1.2e-4));
+        // s = 4: the tribonacci constant's 1.1374.
+        assert!(approx_eq(e_full_duplex(4), 1.1374, 1.2e-4));
+        // s = 5: the tetranacci 1.0562.
+        assert!(approx_eq(e_full_duplex(5), 1.0562, 1.2e-4));
+    }
+
+    #[test]
+    fn golden_ratio_lambda() {
+        let l = lambda_star(BoundMode::HalfDuplex, Period::NonSystolic);
+        assert!(approx_eq(l, 0.618_033_988_75, 1e-9));
+    }
+}

@@ -1,0 +1,164 @@
+//! The characteristic norm-bound functions of the paper.
+//!
+//! Everything in Figs. 4–8 is governed by a single scalar function per
+//! mode: the uniform upper bound on `‖M(λ)‖` proved in Lemma 4.3
+//! (half-duplex/directed) and Lemma 6.1 (full-duplex), together with
+//! their `s → ∞` limits used for non-systolic protocols.
+//!
+//! All functions are continuous and strictly increasing in `λ` on
+//! `(0, 1)`, which the solvers in [`crate::general`] rely on.
+
+use sg_linalg::poly::gossip_p_eval;
+
+/// Lemma 4.3's bound for period `s` (directed and half-duplex modes):
+/// `f(λ) = λ·√(p_{⌈s/2⌉}(λ))·√(p_{⌊s/2⌋}(λ))`.
+pub fn f_half_duplex(s: usize, lambda: f64) -> f64 {
+    debug_assert!(s >= 2);
+    lambda
+        * gossip_p_eval(s.div_ceil(2), lambda).sqrt()
+        * gossip_p_eval(s / 2, lambda).sqrt()
+}
+
+/// Lemma 6.1's bound for period `s` (full-duplex mode):
+/// `f(λ) = λ + λ² + ⋯ + λ^{s−1}`.
+pub fn f_full_duplex(s: usize, lambda: f64) -> f64 {
+    debug_assert!(s >= 2);
+    (1..s).map(|i| lambda.powi(i as i32)).sum()
+}
+
+/// The `s → ∞` limit of [`f_half_duplex`]:
+/// `λ·p_∞(λ) = λ/(1 − λ²)` — the non-systolic half-duplex function, whose
+/// unit root is the inverse golden ratio (Section 4).
+pub fn f_half_duplex_nonsystolic(lambda: f64) -> f64 {
+    debug_assert!(lambda < 1.0);
+    lambda / (1.0 - lambda * lambda)
+}
+
+/// The `s → ∞` limit of [`f_full_duplex`]: `λ/(1 − λ)`, unit root `1/2`.
+pub fn f_full_duplex_nonsystolic(lambda: f64) -> f64 {
+    debug_assert!(lambda < 1.0);
+    lambda / (1.0 - lambda)
+}
+
+/// A systolic period, or the non-systolic (`s → ∞`) limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Period {
+    /// Finite period `s ≥ 2`.
+    Systolic(usize),
+    /// Unrestricted protocols (the `s → ∞` corollary).
+    NonSystolic,
+}
+
+impl Period {
+    /// Formats as the column label used in the paper's tables.
+    pub fn label(self) -> String {
+        match self {
+            Period::Systolic(s) => format!("s={s}"),
+            Period::NonSystolic => "s=∞".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Period {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The two analytical regimes of the paper's bounds. The directed mode
+/// shares the half-duplex function (Sections 4 and 5 treat them together).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundMode {
+    /// Directed or half-duplex (Lemma 4.3).
+    HalfDuplex,
+    /// Full-duplex (Lemma 6.1).
+    FullDuplex,
+}
+
+/// The characteristic function for a mode and period, as a closure-free
+/// dispatch.
+pub fn f(mode: BoundMode, period: Period, lambda: f64) -> f64 {
+    match (mode, period) {
+        (BoundMode::HalfDuplex, Period::Systolic(s)) => f_half_duplex(s, lambda),
+        (BoundMode::HalfDuplex, Period::NonSystolic) => f_half_duplex_nonsystolic(lambda),
+        (BoundMode::FullDuplex, Period::Systolic(s)) => f_full_duplex(s, lambda),
+        (BoundMode::FullDuplex, Period::NonSystolic) => f_full_duplex_nonsystolic(lambda),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_linalg::approx_eq;
+
+    #[test]
+    fn increasing_in_lambda() {
+        for s in [2usize, 3, 4, 7, 12] {
+            for w in 1..19 {
+                let a = w as f64 / 20.0;
+                let b = (w + 1) as f64 / 20.0;
+                assert!(f_half_duplex(s, a) < f_half_duplex(s, b));
+                assert!(f_full_duplex(s, a) < f_full_duplex(s, b));
+            }
+        }
+    }
+
+    #[test]
+    fn finite_periods_converge_to_limits() {
+        let l = 0.55;
+        assert!(approx_eq(
+            f_half_duplex(400, l),
+            f_half_duplex_nonsystolic(l),
+            1e-9
+        ));
+        assert!(approx_eq(
+            f_full_duplex(400, l),
+            f_full_duplex_nonsystolic(l),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn monotone_in_s() {
+        // Larger periods allow faster dissemination: f grows with s.
+        let l = 0.6;
+        for s in 2..12 {
+            assert!(f_half_duplex(s, l) <= f_half_duplex(s + 1, l) + 1e-15);
+            assert!(f_full_duplex(s, l) < f_full_duplex(s + 1, l));
+        }
+    }
+
+    #[test]
+    fn known_unit_roots() {
+        // Half-duplex non-systolic: unit root at the inverse golden ratio.
+        assert!(approx_eq(
+            f_half_duplex_nonsystolic(0.618_033_988_75),
+            1.0,
+            1e-9
+        ));
+        // Full-duplex non-systolic: unit root at 1/2.
+        assert!(approx_eq(f_full_duplex_nonsystolic(0.5), 1.0, 1e-12));
+        // s = 3 half-duplex: λ√(1+λ²) = 1 at λ² = 1/φ.
+        let l3 = (1.0_f64 / 1.618_033_988_75).sqrt();
+        assert!(approx_eq(f_half_duplex(3, l3), 1.0, 1e-6));
+    }
+
+    #[test]
+    fn dispatch_consistency() {
+        let l = 0.44;
+        assert_eq!(
+            f(BoundMode::HalfDuplex, Period::Systolic(5), l),
+            f_half_duplex(5, l)
+        );
+        assert_eq!(
+            f(BoundMode::FullDuplex, Period::NonSystolic, l),
+            f_full_duplex_nonsystolic(l)
+        );
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Period::Systolic(4).label(), "s=4");
+        assert_eq!(Period::NonSystolic.label(), "s=∞");
+    }
+}

@@ -1,0 +1,357 @@
+//! The network zoo behind one enum: construction, labels, separators and
+//! structural metadata in a single place.
+
+use sg_graphs::digraph::Digraph;
+use sg_graphs::generators as gen;
+use sg_graphs::separator::{self, ConcreteSeparator, SeparatorParams};
+
+/// A named interconnection network with parameters — the unit the public
+/// API operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Network {
+    /// Path `P_n`.
+    Path {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// Cycle `C_n`.
+    Cycle {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// Complete graph `K_n`.
+    Complete {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// Complete `d`-ary tree of height `h`.
+    DaryTree {
+        /// Arity.
+        d: usize,
+        /// Height.
+        h: usize,
+    },
+    /// 2-D grid.
+    Grid2d {
+        /// Width.
+        w: usize,
+        /// Height.
+        h: usize,
+    },
+    /// 2-D torus.
+    Torus2d {
+        /// Width.
+        w: usize,
+        /// Height.
+        h: usize,
+    },
+    /// Hypercube `Q_k`.
+    Hypercube {
+        /// Dimension.
+        k: usize,
+    },
+    /// Butterfly `BF(d, D)` (undirected).
+    Butterfly {
+        /// Degree.
+        d: usize,
+        /// Dimension.
+        dd: usize,
+    },
+    /// Directed Wrapped Butterfly `WBF→(d, D)`.
+    WrappedButterflyDirected {
+        /// Degree.
+        d: usize,
+        /// Dimension.
+        dd: usize,
+    },
+    /// Undirected Wrapped Butterfly `WBF(d, D)`.
+    WrappedButterfly {
+        /// Degree.
+        d: usize,
+        /// Dimension.
+        dd: usize,
+    },
+    /// de Bruijn digraph `DB→(d, D)`.
+    DeBruijnDirected {
+        /// Degree.
+        d: usize,
+        /// Dimension.
+        dd: usize,
+    },
+    /// Undirected de Bruijn graph `DB(d, D)`.
+    DeBruijn {
+        /// Degree.
+        d: usize,
+        /// Dimension.
+        dd: usize,
+    },
+    /// Kautz digraph `K→(d, D)`.
+    KautzDirected {
+        /// Degree.
+        d: usize,
+        /// Dimension.
+        dd: usize,
+    },
+    /// Undirected Kautz graph `K(d, D)`.
+    Kautz {
+        /// Degree.
+        d: usize,
+        /// Dimension.
+        dd: usize,
+    },
+    /// Shuffle-exchange network on `2^D` vertices.
+    ShuffleExchange {
+        /// Dimension.
+        dd: usize,
+    },
+    /// Cube-connected cycles `CCC(k)`.
+    CubeConnectedCycles {
+        /// Dimension.
+        k: usize,
+    },
+    /// Knödel graph `W_{Δ,n}`.
+    Knodel {
+        /// Degree.
+        delta: usize,
+        /// Number of vertices (even).
+        n: usize,
+    },
+}
+
+impl Network {
+    /// Builds the digraph.
+    pub fn build(&self) -> Digraph {
+        match *self {
+            Network::Path { n } => gen::path(n),
+            Network::Cycle { n } => gen::cycle(n),
+            Network::Complete { n } => gen::complete(n),
+            Network::DaryTree { d, h } => gen::complete_dary_tree(d, h),
+            Network::Grid2d { w, h } => gen::grid2d(w, h),
+            Network::Torus2d { w, h } => gen::torus2d(w, h),
+            Network::Hypercube { k } => gen::hypercube(k),
+            Network::Butterfly { d, dd } => gen::butterfly(d, dd),
+            Network::WrappedButterflyDirected { d, dd } => gen::wrapped_butterfly_directed(d, dd),
+            Network::WrappedButterfly { d, dd } => gen::wrapped_butterfly(d, dd),
+            Network::DeBruijnDirected { d, dd } => gen::de_bruijn_directed(d, dd),
+            Network::DeBruijn { d, dd } => gen::de_bruijn(d, dd),
+            Network::KautzDirected { d, dd } => gen::kautz_directed(d, dd),
+            Network::Kautz { d, dd } => gen::kautz(d, dd),
+            Network::ShuffleExchange { dd } => gen::shuffle_exchange(dd),
+            Network::CubeConnectedCycles { k } => gen::cube_connected_cycles(k),
+            Network::Knodel { delta, n } => gen::knodel(delta, n),
+        }
+    }
+
+    /// Display name in the paper's notation.
+    pub fn name(&self) -> String {
+        match *self {
+            Network::Path { n } => format!("P_{n}"),
+            Network::Cycle { n } => format!("C_{n}"),
+            Network::Complete { n } => format!("K_{n}"),
+            Network::DaryTree { d, h } => format!("T({d},{h})"),
+            Network::Grid2d { w, h } => format!("Grid({w}x{h})"),
+            Network::Torus2d { w, h } => format!("Torus({w}x{h})"),
+            Network::Hypercube { k } => format!("Q_{k}"),
+            Network::Butterfly { d, dd } => format!("BF({d},{dd})"),
+            Network::WrappedButterflyDirected { d, dd } => format!("WBF->({d},{dd})"),
+            Network::WrappedButterfly { d, dd } => format!("WBF({d},{dd})"),
+            Network::DeBruijnDirected { d, dd } => format!("DB->({d},{dd})"),
+            Network::DeBruijn { d, dd } => format!("DB({d},{dd})"),
+            Network::KautzDirected { d, dd } => format!("K->({d},{dd})"),
+            Network::Kautz { d, dd } => format!("K({d},{dd})"),
+            Network::ShuffleExchange { dd } => format!("SE({dd})"),
+            Network::CubeConnectedCycles { k } => format!("CCC({k})"),
+            Network::Knodel { delta, n } => format!("W({delta},{n})"),
+        }
+    }
+
+    /// `true` for the inherently directed families.
+    pub fn is_directed(&self) -> bool {
+        matches!(
+            self,
+            Network::WrappedButterflyDirected { .. }
+                | Network::DeBruijnDirected { .. }
+                | Network::KautzDirected { .. }
+        )
+    }
+
+    /// The Lemma 3.1 separator parameters, for the families that have
+    /// them.
+    pub fn separator_params(&self) -> Option<SeparatorParams> {
+        match *self {
+            Network::Butterfly { d, .. } => Some(separator::params_butterfly(d)),
+            Network::WrappedButterflyDirected { d, .. } => {
+                Some(separator::params_wbf_directed(d))
+            }
+            Network::WrappedButterfly { d, .. } => Some(separator::params_wbf_undirected(d)),
+            Network::DeBruijnDirected { d, .. } | Network::DeBruijn { d, .. } => {
+                Some(separator::params_de_bruijn(d))
+            }
+            Network::KautzDirected { d, .. } | Network::Kautz { d, .. } => {
+                Some(separator::params_kautz(d))
+            }
+            _ => None,
+        }
+    }
+
+    /// The concrete separator vertex sets of Lemma 3.1's proof, where
+    /// available.
+    pub fn concrete_separator(&self) -> Option<ConcreteSeparator> {
+        match *self {
+            Network::Butterfly { d, dd } => Some(separator::concrete_butterfly(d, dd)),
+            Network::WrappedButterflyDirected { d, dd } => {
+                Some(separator::concrete_wbf_directed(d, dd))
+            }
+            Network::WrappedButterfly { d, dd } => {
+                Some(separator::concrete_wbf_undirected(d, dd))
+            }
+            Network::DeBruijnDirected { d, dd } => Some(separator::concrete_de_bruijn(d, dd)),
+            Network::DeBruijn { d, dd } => Some(separator::concrete_de_bruijn_undirected(d, dd)),
+            Network::KautzDirected { d, dd } => Some(separator::concrete_kautz(d, dd)),
+            Network::Kautz { d, dd } => Some(separator::concrete_kautz_undirected(d, dd)),
+            _ => None,
+        }
+    }
+
+    /// A deterministic reference systolic protocol for the network, where
+    /// one is known: the hand-built protocols for the classical families,
+    /// the structured shift protocol for wrapped butterflies, and the
+    /// universal edge-coloring periodic protocol for every other
+    /// *undirected* network. Directed de Bruijn / Kautz networks return
+    /// `None` (use `sg_sim::greedy_gossip` there).
+    pub fn reference_protocol(&self) -> Option<sg_protocol::protocol::SystolicProtocol> {
+        use sg_protocol::builders as b;
+        let sp = match *self {
+            Network::Path { n } => b::path_rrll(n),
+            Network::Cycle { n } if n % 2 == 0 => b::cycle_rrll(n),
+            Network::Complete { n } if n % 2 == 0 => b::complete_round_robin(n),
+            Network::Grid2d { w, h } => b::grid_traffic_light(w, h),
+            Network::Hypercube { k } if k >= 1 => b::hypercube_sweep(k),
+            Network::Knodel { delta, n } => b::knodel_sweep(delta, n),
+            Network::WrappedButterflyDirected { d, dd } => b::wbf_shift_protocol(d, dd),
+            Network::WrappedButterfly { d, dd } => {
+                // The directed shift protocol is valid half-duplex on the
+                // undirected wrapped butterfly.
+                sg_protocol::protocol::SystolicProtocol::new(
+                    b::wbf_shift_protocol(d, dd).period().to_vec(),
+                    sg_protocol::mode::Mode::HalfDuplex,
+                )
+            }
+            Network::DeBruijnDirected { .. } | Network::KautzDirected { .. } => return None,
+            _ => b::edge_coloring_periodic(&self.build()),
+        };
+        Some(sp)
+    }
+
+    /// Human-readable vertex label in the paper's notation (digit words,
+    /// levels) where the family has one; plain index otherwise.
+    pub fn vertex_label(&self, v: usize) -> String {
+        match *self {
+            Network::Butterfly { d, dd } => gen::bf_label(v, d, dd),
+            Network::WrappedButterflyDirected { d, dd } | Network::WrappedButterfly { d, dd } => {
+                gen::bf_label(v, d, dd)
+            }
+            Network::DeBruijnDirected { d, dd } | Network::DeBruijn { d, dd } => {
+                gen::db_label(v, d, dd)
+            }
+            Network::KautzDirected { d, dd } | Network::Kautz { d, dd } => {
+                gen::kautz_label(v, d, dd)
+            }
+            _ => v.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_count() {
+        let cases = [
+            (Network::Path { n: 7 }, 7),
+            (Network::Hypercube { k: 4 }, 16),
+            (Network::Butterfly { d: 2, dd: 3 }, 32),
+            (Network::WrappedButterfly { d: 2, dd: 3 }, 24),
+            (Network::DeBruijn { d: 2, dd: 4 }, 16),
+            (Network::Kautz { d: 2, dd: 3 }, 12),
+            (Network::Knodel { delta: 3, n: 16 }, 16),
+        ];
+        for (net, n) in cases {
+            assert_eq!(net.build().vertex_count(), n, "{net}");
+        }
+    }
+
+    #[test]
+    fn directed_flags() {
+        assert!(Network::DeBruijnDirected { d: 2, dd: 3 }.is_directed());
+        assert!(!Network::DeBruijn { d: 2, dd: 3 }.is_directed());
+        assert!(Network::KautzDirected { d: 2, dd: 3 }.is_directed());
+        assert!(!Network::Path { n: 4 }.is_directed());
+    }
+
+    #[test]
+    fn directedness_matches_graph_symmetry() {
+        for net in [
+            Network::DeBruijnDirected { d: 2, dd: 3 },
+            Network::DeBruijn { d: 2, dd: 3 },
+            Network::WrappedButterflyDirected { d: 2, dd: 3 },
+            Network::WrappedButterfly { d: 2, dd: 3 },
+        ] {
+            assert_eq!(net.build().is_symmetric(), !net.is_directed(), "{net}");
+        }
+    }
+
+    #[test]
+    fn separators_only_for_hypercubic_families() {
+        assert!(Network::Butterfly { d: 2, dd: 4 }.separator_params().is_some());
+        assert!(Network::Path { n: 9 }.separator_params().is_none());
+        assert!(Network::Kautz { d: 2, dd: 4 }.concrete_separator().is_some());
+        assert!(Network::Hypercube { k: 3 }.concrete_separator().is_none());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Network::Path { n: 3 }.vertex_label(2), "2");
+        let bf = Network::Butterfly { d: 2, dd: 3 };
+        assert!(bf.vertex_label(9).contains(", 1"));
+        assert_eq!(Network::DeBruijn { d: 2, dd: 3 }.vertex_label(5), "101");
+        assert_eq!(bf.name(), "BF(2,3)");
+    }
+
+    #[test]
+    fn reference_protocols_validate_and_gossip() {
+        use sg_sim::engine::systolic_gossip_time;
+        let nets = [
+            Network::Path { n: 10 },
+            Network::Cycle { n: 10 },
+            Network::Complete { n: 8 },
+            Network::Grid2d { w: 4, h: 4 },
+            Network::Hypercube { k: 4 },
+            Network::Knodel { delta: 4, n: 16 },
+            Network::WrappedButterflyDirected { d: 2, dd: 3 },
+            Network::WrappedButterfly { d: 2, dd: 3 },
+            Network::DeBruijn { d: 2, dd: 4 },
+            Network::Kautz { d: 2, dd: 3 },
+            Network::Butterfly { d: 2, dd: 3 },
+        ];
+        for net in nets {
+            let g = net.build();
+            let sp = net.reference_protocol().expect("reference exists");
+            sp.validate(&g).unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+            let n = g.vertex_count();
+            let t = systolic_gossip_time(&sp, n, 1000 * n);
+            assert!(t.is_some(), "{}: reference protocol must gossip", net.name());
+        }
+        // Directed shift networks have no deterministic reference.
+        assert!(Network::DeBruijnDirected { d: 2, dd: 3 }
+            .reference_protocol()
+            .is_none());
+    }
+}

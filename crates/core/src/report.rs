@@ -1,0 +1,163 @@
+//! Lower-bound reports: everything the paper can say about a network in
+//! one structure.
+
+use crate::network::Network;
+use sg_bounds::pfun::{BoundMode, Period};
+use sg_bounds::{e_coefficient, e_separator};
+use sg_graphs::traversal;
+use sg_protocol::mode::Mode;
+
+/// Maps a protocol communication mode onto the paper's analytical regime.
+pub fn bound_mode(mode: Mode) -> BoundMode {
+    match mode {
+        Mode::Directed | Mode::HalfDuplex => BoundMode::HalfDuplex,
+        Mode::FullDuplex => BoundMode::FullDuplex,
+    }
+}
+
+/// All applicable lower bounds for gossiping on a network under a mode
+/// and period, in *rounds* (coefficients multiplied by `log₂ n`).
+#[derive(Debug, Clone)]
+pub struct BoundReport {
+    /// Network name.
+    pub network: String,
+    /// Number of processors.
+    pub n: usize,
+    /// Communication mode.
+    pub mode: Mode,
+    /// Systolic period (or non-systolic).
+    pub period: Period,
+    /// The general coefficient (Cor. 4.4 / §6): `e(s)`.
+    pub general_coefficient: f64,
+    /// General bound in rounds: `e(s)·log₂ n`.
+    pub general_rounds: f64,
+    /// Theorem 5.1 coefficient, when the family has a separator.
+    pub separator_coefficient: Option<f64>,
+    /// Separator bound in rounds.
+    pub separator_rounds: Option<f64>,
+    /// Measured diameter (a trivial lower bound), when the graph is
+    /// strongly connected.
+    pub diameter: Option<u32>,
+    /// The strongest of the above, in rounds.
+    pub best_rounds: f64,
+}
+
+/// Computes the full bound report for a network/mode/period.
+///
+/// # Panics
+/// Panics when `mode` requires a symmetric digraph but the network is
+/// directed.
+pub fn bound_report(network: &Network, mode: Mode, period: Period) -> BoundReport {
+    assert!(
+        !(mode.requires_symmetric_graph() && network.is_directed()),
+        "{} cannot run in {mode} mode",
+        network.name()
+    );
+    let g = network.build();
+    let n = g.vertex_count();
+    let log2n = (n as f64).log2();
+    let bm = bound_mode(mode);
+    let general_coefficient = e_coefficient(bm, period);
+    let general_rounds = general_coefficient * log2n;
+    let (separator_coefficient, separator_rounds) = match network.separator_params() {
+        Some(params) => {
+            let b = e_separator(params, bm, period);
+            (Some(b.e), Some(b.e * log2n))
+        }
+        None => (None, None),
+    };
+    let diameter = traversal::diameter(&g);
+    let mut best = general_rounds;
+    if let Some(r) = separator_rounds {
+        best = best.max(r);
+    }
+    if let Some(d) = diameter {
+        best = best.max(d as f64);
+    }
+    BoundReport {
+        network: network.name(),
+        n,
+        mode,
+        period,
+        general_coefficient,
+        general_rounds,
+        separator_coefficient,
+        separator_rounds,
+        diameter,
+        best_rounds: best,
+    }
+}
+
+impl std::fmt::Display for BoundReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} (n = {}), {} mode, {}:",
+            self.network, self.n, self.mode, self.period
+        )?;
+        writeln!(
+            f,
+            "  general bound   : {:.4} · log2(n) = {:.1} rounds",
+            self.general_coefficient, self.general_rounds
+        )?;
+        if let (Some(c), Some(r)) = (self.separator_coefficient, self.separator_rounds) {
+            writeln!(f, "  separator bound : {:.4} · log2(n) = {:.1} rounds", c, r)?;
+        }
+        if let Some(d) = self.diameter {
+            writeln!(f, "  diameter bound  : {d} rounds")?;
+        }
+        write!(f, "  strongest       : {:.1} rounds", self.best_rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wbf_report_has_all_three_bounds() {
+        let net = Network::WrappedButterfly { d: 2, dd: 5 };
+        let r = bound_report(&net, Mode::HalfDuplex, Period::Systolic(4));
+        assert!(r.separator_coefficient.is_some());
+        assert!((r.separator_coefficient.unwrap() - 2.0218).abs() < 1e-3);
+        assert!(r.diameter.is_some());
+        assert!(r.best_rounds >= r.general_rounds);
+        let shown = r.to_string();
+        assert!(shown.contains("separator bound"));
+    }
+
+    #[test]
+    fn path_report_diameter_dominates() {
+        // On a long path, the diameter bound (n−1) crushes the log bound.
+        let net = Network::Path { n: 64 };
+        let r = bound_report(&net, Mode::HalfDuplex, Period::Systolic(4));
+        assert_eq!(r.diameter, Some(63));
+        assert!(r.best_rounds >= 63.0);
+        assert!(r.separator_coefficient.is_none());
+    }
+
+    #[test]
+    fn directed_networks_work_in_directed_mode() {
+        let net = Network::KautzDirected { d: 2, dd: 4 };
+        let r = bound_report(&net, Mode::Directed, Period::NonSystolic);
+        assert!(r.general_coefficient > 1.44 - 1e-4);
+        assert!(r.separator_coefficient.unwrap() > r.general_coefficient - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run")]
+    fn full_duplex_on_directed_network_panics() {
+        let net = Network::DeBruijnDirected { d: 2, dd: 3 };
+        let _ = bound_report(&net, Mode::FullDuplex, Period::Systolic(4));
+    }
+
+    #[test]
+    fn full_duplex_bounds_are_weaker_than_half_duplex() {
+        // Full-duplex protocols are more powerful, so their lower bounds
+        // are smaller.
+        let net = Network::DeBruijn { d: 2, dd: 5 };
+        let hd = bound_report(&net, Mode::HalfDuplex, Period::Systolic(5));
+        let fd = bound_report(&net, Mode::FullDuplex, Period::Systolic(5));
+        assert!(fd.general_rounds < hd.general_rounds);
+    }
+}

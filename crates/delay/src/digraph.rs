@@ -1,0 +1,328 @@
+//! The delay digraph of a systolic gossip protocol (Definition 3.3).
+//!
+//! Vertices are *activations* `(x, y, i)` — arc `(x, y)` active at round
+//! `i` — and there is an arc from `(x, y, i)` to `(y, z, j)` weighted
+//! `j − i` whenever `1 ≤ j − i < s`: the delay an item incurs between
+//! crossing `(x, y)` and crossing `(y, z)`.
+//!
+//! Two variants are built:
+//!
+//! * [`DelayDigraph::unrolled`] — the literal Definition 3.3 object for a
+//!   length-`t` prefix of the protocol;
+//! * [`DelayDigraph::periodic`] — the fold of the infinite execution onto
+//!   one period: one vertex per activation of the period, delays computed
+//!   modulo `s` (skipping delay ≡ 0, which the matching condition makes
+//!   impossible between *distinct* arcs anyway). For nonnegative matrices
+//!   the folded norm dominates every unrolled norm
+//!   (`‖M_t(λ)‖ ↑ ‖M_periodic(λ)‖` as `t → ∞`), so using the periodic
+//!   norm inside Theorem 4.1's condition `‖M(λ)‖ ≤ 1` is sound for every
+//!   protocol length at once — and is what the bound evaluator does.
+
+use sg_graphs::digraph::Arc;
+use sg_linalg::norm::{spectral_norm_sparse, PowerIterOpts};
+use sg_linalg::sparse::{CooBuilder, CsrMatrix};
+use sg_protocol::protocol::SystolicProtocol;
+
+/// Which flavor of delay digraph was built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayKind {
+    /// One vertex per activation of the period, delays mod `s`.
+    Periodic,
+    /// One vertex per activation of the `t`-round prefix (Definition 3.3).
+    Unrolled {
+        /// Prefix length in rounds.
+        t: usize,
+    },
+}
+
+/// An activation vertex `(arc, round)` of the delay digraph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivationVertex {
+    /// The network arc that is active.
+    pub arc: Arc,
+    /// The round of activation (within the period for
+    /// [`DelayKind::Periodic`], absolute for [`DelayKind::Unrolled`]).
+    pub round: u32,
+}
+
+/// The delay digraph together with its integer-weight arcs; the delay
+/// matrix `M(λ)` of Definition 3.4 is instantiated per `λ` from this
+/// structure.
+#[derive(Debug, Clone)]
+pub struct DelayDigraph {
+    /// Activation vertices in row/column order of the delay matrix.
+    pub activations: Vec<ActivationVertex>,
+    /// Arcs `(from_index, to_index, delay)` with `1 ≤ delay ≤ s − 1`.
+    pub edges: Vec<(u32, u32, u32)>,
+    /// The systolic period.
+    pub s: usize,
+    /// Variant marker.
+    pub kind: DelayKind,
+}
+
+impl DelayDigraph {
+    /// Builds the periodic (folded) delay digraph of a systolic protocol.
+    pub fn periodic(sp: &SystolicProtocol) -> Self {
+        let s = sp.s();
+        let mut activations = Vec::with_capacity(sp.activations_per_period());
+        for (i, round) in sp.period().iter().enumerate() {
+            for &arc in round.arcs() {
+                activations.push(ActivationVertex {
+                    arc,
+                    round: i as u32,
+                });
+            }
+        }
+        let edges = Self::connect(&activations, |from, to| {
+            let delta = (to.round + s as u32 - from.round) % s as u32;
+            (delta != 0).then_some(delta)
+        });
+        Self {
+            activations,
+            edges,
+            s,
+            kind: DelayKind::Periodic,
+        }
+    }
+
+    /// Builds the unrolled delay digraph of the `t`-round prefix
+    /// (Definition 3.3 verbatim).
+    pub fn unrolled(sp: &SystolicProtocol, t: usize) -> Self {
+        let s = sp.s();
+        let mut activations = Vec::new();
+        for i in 0..t {
+            for &arc in sp.round_at(i).arcs() {
+                activations.push(ActivationVertex {
+                    arc,
+                    round: i as u32,
+                });
+            }
+        }
+        let edges = Self::connect(&activations, |from, to| {
+            let (i, j) = (from.round, to.round);
+            (j > i && j - i < s as u32).then(|| j - i)
+        });
+        Self {
+            activations,
+            edges,
+            s,
+            kind: DelayKind::Unrolled { t },
+        }
+    }
+
+    /// Connects consecutive activations around every middle vertex using
+    /// `delay(from, to)` to accept/weight a pair.
+    fn connect(
+        activations: &[ActivationVertex],
+        delay: impl Fn(&ActivationVertex, &ActivationVertex) -> Option<u32>,
+    ) -> Vec<(u32, u32, u32)> {
+        // Group indices by middle vertex: incoming (arc.to == y) and
+        // outgoing (arc.from == y).
+        use std::collections::HashMap;
+        let mut incoming: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut outgoing: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (idx, a) in activations.iter().enumerate() {
+            incoming.entry(a.arc.to).or_default().push(idx as u32);
+            outgoing.entry(a.arc.from).or_default().push(idx as u32);
+        }
+        let mut edges = Vec::new();
+        for (&y, ins) in &incoming {
+            let Some(outs) = outgoing.get(&y) else {
+                continue;
+            };
+            for &ia in ins {
+                for &ob in outs {
+                    if let Some(w) = delay(&activations[ia as usize], &activations[ob as usize]) {
+                        edges.push((ia, ob, w));
+                    }
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges
+    }
+
+    /// Number of activation vertices (`m`, the delay-matrix dimension).
+    pub fn vertex_count(&self) -> usize {
+        self.activations.len()
+    }
+
+    /// Number of delay arcs.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Instantiates the delay matrix `M(λ)` of Definition 3.4:
+    /// `M(λ)[a, b] = λ^{delay(a → b)}`.
+    pub fn matrix(&self, lambda: f64) -> CsrMatrix {
+        let m = self.vertex_count();
+        let mut b = CooBuilder::new(m, m);
+        for &(from, to, w) in &self.edges {
+            b.push(from as usize, to as usize, lambda.powi(w as i32));
+        }
+        b.build()
+    }
+
+    /// `‖M(λ)‖₂` by power iteration.
+    pub fn norm(&self, lambda: f64, opts: PowerIterOpts) -> f64 {
+        spectral_norm_sparse(&self.matrix(lambda), opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_linalg::approx_eq;
+    use sg_protocol::builders;
+    use sg_protocol::mode::Mode;
+    use sg_protocol::round::Round;
+
+    const OPTS: PowerIterOpts = PowerIterOpts {
+        max_iters: 50_000,
+        tol: 1e-13,
+        seed: 0xDE1A,
+    };
+
+    #[test]
+    fn periodic_vertices_match_activations() {
+        let sp = builders::path_rrll(5);
+        let dg = DelayDigraph::periodic(&sp);
+        assert_eq!(dg.vertex_count(), sp.activations_per_period());
+        assert_eq!(dg.s, 4);
+        // All delays within [1, s−1].
+        for &(_, _, w) in &dg.edges {
+            assert!((1..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn unrolled_vertices_and_delays() {
+        let sp = builders::path_rrll(5);
+        let t = 8;
+        let dg = DelayDigraph::unrolled(&sp, t);
+        let per_period = sp.activations_per_period();
+        assert_eq!(dg.vertex_count(), 2 * per_period);
+        for &(a, b, w) in &dg.edges {
+            let (i, j) = (
+                dg.activations[a as usize].round,
+                dg.activations[b as usize].round,
+            );
+            assert_eq!(j - i, w);
+            assert!((1..4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn path_sum_property_small_example() {
+        // Two-vertex path, period 2: round 0 has 0→1, round 1 has 1→0.
+        // Periodic DG: activation A = (0→1, r0), B = (1→0, r1).
+        // Arcs: A→B (delay 1, item passes through vertex 1), B→A (delay 1,
+        // through vertex 0). M(λ) is the 2-cycle with entries λ.
+        let sp = SystolicProtocol::new(
+            vec![
+                Round::new(vec![Arc::new(0, 1)]),
+                Round::new(vec![Arc::new(1, 0)]),
+            ],
+            Mode::HalfDuplex,
+        );
+        let dg = DelayDigraph::periodic(&sp);
+        assert_eq!(dg.vertex_count(), 2);
+        assert_eq!(dg.edge_count(), 2);
+        let lambda = 0.5;
+        let m = dg.matrix(lambda).to_dense();
+        // (M^2)_{A,A} must equal λ^2: the single 2-arc path A→B→A of
+        // total weight 2 — the key property of Definition 3.4.
+        let m2 = m.matmul(&m);
+        assert!(approx_eq(m2[(0, 0)], lambda * lambda, 1e-12));
+        assert!(approx_eq(m2[(1, 1)], lambda * lambda, 1e-12));
+        assert_eq!(m2[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn norm_monotone_in_lambda() {
+        let sp = builders::cycle_rrll(8);
+        let dg = DelayDigraph::periodic(&sp);
+        let mut prev = 0.0;
+        for i in 1..10 {
+            let l = i as f64 / 10.0;
+            let n = dg.norm(l, OPTS);
+            assert!(n >= prev - 1e-9, "norm must grow with lambda");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn unrolled_norm_increases_to_periodic() {
+        let sp = builders::cycle_rrll(8);
+        let lambda = 0.7;
+        let periodic = DelayDigraph::periodic(&sp).norm(lambda, OPTS);
+        let mut prev = 0.0;
+        for periods in 1..=6 {
+            let t = periods * sp.s();
+            let u = DelayDigraph::unrolled(&sp, t).norm(lambda, OPTS);
+            assert!(
+                u >= prev - 1e-9,
+                "unrolled norm must be monotone in t: {u} < {prev}"
+            );
+            assert!(
+                u <= periodic + 1e-7,
+                "unrolled norm {u} exceeds periodic {periodic}"
+            );
+            prev = u;
+        }
+        // By six periods the unrolled norm is close to the fold.
+        assert!(periodic - prev < 0.15 * periodic + 1e-9);
+    }
+
+    #[test]
+    fn full_duplex_excludes_bounce_at_same_round() {
+        // Single edge full-duplex every round (s = 1 would be degenerate;
+        // use s = 2 with both rounds active). In-activation (0→1, r0) and
+        // out-activation (1→0, r0) are simultaneous: delay 0 mod s — no
+        // DG arc. The r1 activation gives delay 1.
+        let sp = SystolicProtocol::new(
+            vec![
+                Round::full_duplex_from_edges([(0, 1)]),
+                Round::full_duplex_from_edges([(0, 1)]),
+            ],
+            Mode::FullDuplex,
+        );
+        let dg = DelayDigraph::periodic(&sp);
+        assert_eq!(dg.vertex_count(), 4);
+        for &(a, b, w) in &dg.edges {
+            assert_eq!(w, 1);
+            let from = dg.activations[a as usize];
+            let to = dg.activations[b as usize];
+            assert_ne!(from.round, to.round);
+        }
+    }
+
+    #[test]
+    fn hd_matching_means_unique_outgoing_per_window() {
+        // In a validated half-duplex protocol all arcs incident to a
+        // vertex are activated at distinct rounds of the period, so every
+        // (in, out) pair appears with exactly one delay in the periodic DG.
+        let sp = builders::path_rrll(6);
+        let dg = DelayDigraph::periodic(&sp);
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b, _) in &dg.edges {
+            assert!(seen.insert((a, b)), "duplicate delay arc");
+        }
+    }
+
+    #[test]
+    fn matrix_entries_are_lambda_powers() {
+        let sp = builders::path_rrll(5);
+        let dg = DelayDigraph::periodic(&sp);
+        let lambda = 0.3;
+        let m = dg.matrix(lambda);
+        for &(a, b, w) in &dg.edges {
+            assert!(approx_eq(
+                m.get(a as usize, b as usize),
+                lambda.powi(w as i32),
+                1e-12
+            ));
+        }
+        assert_eq!(m.nnz(), dg.edge_count());
+    }
+}

@@ -1,0 +1,110 @@
+//! The full-duplex local matrix (Section 6, Fig. 7) and Lemma 6.1.
+//!
+//! In full-duplex mode a complete local schedule activates an incoming and
+//! an outgoing arc every round, so every left activation is followed by
+//! right activations at each of the next `s − 1` rounds: `Mx(λ)` becomes a
+//! banded matrix whose row `i` carries `λ, λ², …, λ^{s−1}` starting one
+//! column after the diagonal. The all-ones vector is a semi-eigenvector of
+//! both `Mx` and `Mxᵀ` with value `λ + λ² + ⋯ + λ^{s−1}`, which is
+//! Lemma 6.1's bound `‖M(λ)‖ ≤ λ + λ² + ⋯ + λ^{s−1}`.
+
+use sg_linalg::dense::DenseMatrix;
+
+/// The full-duplex local matrix for period `s` over `t` rounds (rows and
+/// columns both indexed by round; entry `(i, j) = λ^{j−i}` for
+/// `1 ≤ j − i ≤ s − 1`) — the matrix of Fig. 7.
+pub fn full_duplex_mx(s: usize, t: usize, lambda: f64) -> DenseMatrix {
+    assert!(s >= 2, "full-duplex analysis needs s >= 2");
+    DenseMatrix::from_fn(t, t, |i, j| {
+        if j > i && j - i < s {
+            lambda.powi((j - i) as i32)
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Lemma 6.1's norm bound `λ + λ² + ⋯ + λ^{s−1}` (the full-duplex
+/// counterpart of `λ·√p·√p`).
+pub fn full_duplex_norm_bound(s: usize, lambda: f64) -> f64 {
+    (1..s).map(|i| lambda.powi(i as i32)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_linalg::approx_eq;
+    use sg_linalg::norm::{is_semi_eigenvector, spectral_norm_dense, PowerIterOpts};
+
+    const OPTS: PowerIterOpts = PowerIterOpts {
+        max_iters: 100_000,
+        tol: 1e-14,
+        seed: 0xFD,
+    };
+
+    #[test]
+    fn band_structure_matches_fig7() {
+        let s = 4;
+        let t = 8;
+        let l = 0.5;
+        let m = full_duplex_mx(s, t, l);
+        for i in 0..t {
+            for j in 0..t {
+                let expect = if j > i && j - i <= 3 {
+                    l.powi((j - i) as i32)
+                } else {
+                    0.0
+                };
+                assert!(approx_eq(m[(i, j)], expect, 1e-15), "({i},{j})");
+            }
+        }
+        // Row in the middle has exactly s−1 nonzeros: λ, λ², λ³.
+        assert!(approx_eq(m[(2, 3)], l, 1e-15));
+        assert!(approx_eq(m[(2, 4)], l * l, 1e-15));
+        assert!(approx_eq(m[(2, 5)], l * l * l, 1e-15));
+        assert_eq!(m[(2, 6)], 0.0);
+        assert_eq!(m[(2, 2)], 0.0);
+    }
+
+    #[test]
+    fn ones_is_semi_eigenvector_lemma_6_1() {
+        let s = 5;
+        let t = 12;
+        for &l in &[0.3, 0.5437, 0.8] {
+            let m = full_duplex_mx(s, t, l);
+            let e = vec![1.0; t];
+            let bound = full_duplex_norm_bound(s, l);
+            assert!(is_semi_eigenvector(&m, &e, bound, 1e-12));
+            assert!(is_semi_eigenvector(&m.transpose(), &e, bound, 1e-12));
+        }
+    }
+
+    #[test]
+    fn norm_bounded_and_asymptotically_tight() {
+        let s = 4;
+        for &l in &[0.4, 0.5436, 0.7] {
+            let bound = full_duplex_norm_bound(s, l);
+            let mut prev = 0.0;
+            for t in [4usize, 8, 16, 32, 64] {
+                let norm = spectral_norm_dense(&full_duplex_mx(s, t, l), OPTS);
+                assert!(norm <= bound + 1e-8, "Lemma 6.1 violated: {norm} > {bound}");
+                assert!(norm >= prev - 1e-9);
+                prev = norm;
+            }
+            assert!(
+                bound - prev < 0.05 * bound + 1e-9,
+                "norm should approach the bound: {prev} vs {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn fd_bound_root_matches_broadcast_constant() {
+        // λ + λ² + λ³ = 1 at λ ≈ 0.5437 — the s = 4 full-duplex fixpoint,
+        // whose e(s) equals the degree-3 broadcasting constant 1.1374.
+        let l = 0.543_689_012_6;
+        assert!(approx_eq(full_duplex_norm_bound(4, l), 1.0, 1e-6));
+        let e = 1.0 / (1.0 / l).log2();
+        assert!(approx_eq(e, 1.137_4, 2e-4));
+    }
+}

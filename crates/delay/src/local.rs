@@ -1,0 +1,335 @@
+//! The paper's local matrices `Mx(λ)`, `Nx(λ)`, `Ox(λ)` (Section 4,
+//! Figs. 1–3) and the semi-eigenvector machinery of Lemma 4.2.
+//!
+//! A vertex with a complete half-duplex local pattern
+//! `⟨(l_j), (r_j)⟩_{j<k}` and `h` block repetitions (`h = k·periods`)
+//! has a local delay matrix `Mx(λ)` made of rank-1 blocks
+//! `B_{i,j} = λ^{d_{i,j}} · λ0_{l_i} (λ0_{r_j})ᵀ` for `i ≤ j < i+k`, where
+//! `d_{i,j} = 1 + Σ_{c=i}^{j−1} (r_c + l_{c+1})` and
+//! `λ0_m = (1, λ, …, λ^{m−1})ᵀ`. Restricting to the image subspaces
+//! compresses `Mx` to the `h × h` matrices `Nx` and `Ox` with
+//! `ρ(MxᵀMx) = ρ(Ox·Nx)`, and the positive vector
+//! `e_j = λ^{Σ_{c<j}(r_c − l_{c+1})}` is a semi-eigenvector of both —
+//! which is how Lemma 4.3's uniform bound
+//! `‖Mx(λ)‖ ≤ λ·√(p_{⌈s/2⌉}(λ))·√(p_{⌊s/2⌋}(λ))` falls out.
+
+use sg_linalg::dense::DenseMatrix;
+use sg_linalg::poly::gossip_p_eval;
+use sg_protocol::local::BlockPattern;
+
+/// The local-matrix family of one vertex: the pattern plus the number of
+/// block repetitions `h` used for the finite matrices.
+#[derive(Debug, Clone)]
+pub struct LocalMatrices {
+    pattern: BlockPattern,
+    h: usize,
+}
+
+impl LocalMatrices {
+    /// Creates the family for `pattern` with `h ≥ k` blocks (indices are
+    /// extended periodically: `l_j = l_{j mod k}`).
+    pub fn new(pattern: BlockPattern, h: usize) -> Self {
+        assert!(h >= pattern.k(), "need at least one full period of blocks");
+        Self { pattern, h }
+    }
+
+    /// Block count `h`.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// The underlying pattern.
+    pub fn pattern(&self) -> &BlockPattern {
+        &self.pattern
+    }
+
+    #[inline]
+    fn l(&self, j: usize) -> usize {
+        self.pattern.l[j % self.pattern.k()]
+    }
+
+    #[inline]
+    fn r(&self, j: usize) -> usize {
+        self.pattern.r[j % self.pattern.k()]
+    }
+
+    /// The delay `d_{i,j} = 1 + Σ_{c=i}^{j−1} (r_c + l_{c+1})` between the
+    /// last left activation of block `i` and the first right activation of
+    /// block `j` (`i ≤ j`).
+    pub fn d(&self, i: usize, j: usize) -> usize {
+        assert!(i <= j);
+        let mut acc = 1;
+        for c in i..j {
+            acc += self.r(c) + self.l(c + 1);
+        }
+        acc
+    }
+
+    /// `Mx(λ)`: rows are left activations (block-major, reverse round
+    /// order inside a block), columns are right activations (block-major,
+    /// forward round order) — the matrix of Fig. 1.
+    pub fn mx(&self, lambda: f64) -> DenseMatrix {
+        let k = self.pattern.k();
+        let rows: usize = (0..self.h).map(|i| self.l(i)).sum();
+        let cols: usize = (0..self.h).map(|j| self.r(j)).sum();
+        let mut m = DenseMatrix::zeros(rows, cols);
+        let mut row0 = 0;
+        for i in 0..self.h {
+            let li = self.l(i);
+            let mut col0: usize = (0..i).map(|j| self.r(j)).sum();
+            for j in i..(i + k).min(self.h) {
+                let rj = self.r(j);
+                let base = lambda.powi(self.d(i, j) as i32);
+                for a in 0..li {
+                    for b in 0..rj {
+                        m[(row0 + a, col0 + b)] = base * lambda.powi((a + b) as i32);
+                    }
+                }
+                col0 += rj;
+            }
+            row0 += li;
+        }
+        m
+    }
+
+    /// `Nx(λ)`: the `h × h` compression of `Mx` onto the block images
+    /// (Fig. 3, left): `N[i, j] = λ^{d_{i,j}}·p_{r_j}(λ)` for
+    /// `i ≤ j < i + k`, zero elsewhere.
+    pub fn nx(&self, lambda: f64) -> DenseMatrix {
+        let k = self.pattern.k();
+        DenseMatrix::from_fn(self.h, self.h, |i, j| {
+            if j < i || j >= i + k {
+                0.0
+            } else {
+                lambda.powi(self.d(i, j) as i32) * gossip_p_eval(self.r(j), lambda)
+            }
+        })
+    }
+
+    /// `Ox(λ)`: the transpose-side compression (Fig. 3, right):
+    /// `O[i, j] = λ^{d_{j,i}}·p_{l_j}(λ)` for `i − k < j ≤ i`, zero
+    /// elsewhere.
+    pub fn ox(&self, lambda: f64) -> DenseMatrix {
+        let k = self.pattern.k();
+        DenseMatrix::from_fn(self.h, self.h, |i, j| {
+            if j > i || j + k <= i {
+                0.0
+            } else {
+                lambda.powi(self.d(j, i) as i32) * gossip_p_eval(self.l(j), lambda)
+            }
+        })
+    }
+
+    /// The semi-eigenvector `e` of Lemma 4.2:
+    /// `e_j = λ^{Σ_{c=0}^{j−1} (r_c − l_{c+1})}`.
+    pub fn semi_eigenvector(&self, lambda: f64) -> Vec<f64> {
+        let mut e = Vec::with_capacity(self.h);
+        let mut exp: i64 = 0;
+        for j in 0..self.h {
+            e.push(lambda.powi(exp as i32));
+            exp += self.r(j) as i64 - self.l(j + 1) as i64;
+        }
+        e
+    }
+
+    /// The semi-eigenvalue of `Nx(λ)` from Lemma 4.2:
+    /// `λ·p_{r_0 + ⋯ + r_{k−1}}(λ)`.
+    pub fn nx_semi_eigenvalue(&self, lambda: f64) -> f64 {
+        lambda * gossip_p_eval(self.pattern.total_right(), lambda)
+    }
+
+    /// The semi-eigenvalue of `Ox(λ)` from Lemma 4.2:
+    /// `λ·p_{l_0 + ⋯ + l_{k−1}}(λ)`.
+    pub fn ox_semi_eigenvalue(&self, lambda: f64) -> f64 {
+        lambda * gossip_p_eval(self.pattern.total_left(), lambda)
+    }
+}
+
+/// Lemma 4.3's uniform norm bound for period `s`:
+/// `λ·√(p_{⌈s/2⌉}(λ))·√(p_{⌊s/2⌋}(λ))`.
+pub fn local_norm_bound(s: usize, lambda: f64) -> f64 {
+    lambda
+        * gossip_p_eval(s.div_ceil(2), lambda).sqrt()
+        * gossip_p_eval(s / 2, lambda).sqrt()
+}
+
+/// The pattern-specific norm bound `λ·√(p_{Σl}(λ))·√(p_{Σr}(λ))`
+/// (the intermediate step of Lemma 4.3, tight for the pattern).
+pub fn pattern_norm_bound(pattern: &BlockPattern, lambda: f64) -> f64 {
+    lambda
+        * gossip_p_eval(pattern.total_left(), lambda).sqrt()
+        * gossip_p_eval(pattern.total_right(), lambda).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_linalg::approx_eq;
+    use sg_linalg::norm::{
+        is_semi_eigenvector, spectral_norm_dense, spectral_radius_dense, PowerIterOpts,
+    };
+
+    const OPTS: PowerIterOpts = PowerIterOpts {
+        max_iters: 100_000,
+        tol: 1e-14,
+        seed: 0x10CA1,
+    };
+
+    fn patterns() -> Vec<BlockPattern> {
+        vec![
+            BlockPattern::from_blocks(vec![2], vec![2]),          // s=4, k=1
+            BlockPattern::from_blocks(vec![1], vec![1]),          // s=2
+            BlockPattern::from_blocks(vec![1, 1], vec![1, 1]),    // s=4, k=2
+            BlockPattern::from_blocks(vec![2, 1], vec![1, 2]),    // s=6, k=2 (paper Fig. 1 shape)
+            BlockPattern::from_blocks(vec![3], vec![1]),          // unbalanced s=4
+            BlockPattern::from_blocks(vec![1, 2, 1], vec![2, 1, 1]), // s=8, k=3
+        ]
+    }
+
+    #[test]
+    fn mx_block_structure_and_rank_one_blocks() {
+        // Fig. 2: every block B_{i,j} is λ^{d_{i,j}}·λ0_{l_i}(λ0_{r_j})ᵀ.
+        let p = BlockPattern::from_blocks(vec![2, 1], vec![1, 2]);
+        let lm = LocalMatrices::new(p, 4);
+        let l = 0.6;
+        let m = lm.mx(l);
+        assert_eq!(m.rows(), 2 + 1 + 2 + 1);
+        assert_eq!(m.cols(), 1 + 2 + 1 + 2);
+        // Block (0,0): rows 0..2, col 0: entries λ^{d00}·λ^a = λ^{1+a}.
+        assert!(approx_eq(m[(0, 0)], l.powi(1), 1e-12));
+        assert!(approx_eq(m[(1, 0)], l.powi(2), 1e-12));
+        // Block (1,0) is below the band: zero.
+        assert_eq!(m[(2, 0)], 0.0);
+        // Block (0,1): cols 1..3: λ^{d01}·λ^{a+b}, d01 = 1 + r0 + l1 = 3.
+        assert!(approx_eq(m[(0, 1)], l.powi(3), 1e-12));
+        assert!(approx_eq(m[(0, 2)], l.powi(4), 1e-12));
+        assert!(approx_eq(m[(1, 2)], l.powi(5), 1e-12));
+        // Band width k: block (0,2) is zero (j >= i+k).
+        assert_eq!(m[(0, 3)], 0.0);
+    }
+
+    #[test]
+    fn dij_accumulates_rounds() {
+        let p = BlockPattern::from_blocks(vec![2, 1], vec![1, 2]);
+        let lm = LocalMatrices::new(p, 4);
+        assert_eq!(lm.d(0, 0), 1);
+        assert_eq!(lm.d(0, 1), 1 + 1 + 1); // r0 + l1
+        assert_eq!(lm.d(1, 2), 1 + 2 + 2); // r1 + l2 (= l0)
+        // One full period of distance: d(i, i+k) − d(i, i) = s.
+        assert_eq!(lm.d(0, 2) - lm.d(0, 0), p_sum());
+        fn p_sum() -> usize {
+            2 + 1 + 1 + 2
+        }
+    }
+
+    #[test]
+    fn rho_of_oxnx_equals_norm_squared() {
+        // Lemma 2.2 + the construction: ‖Mx‖² = ρ(MᵀM) = ρ(Ox·Nx).
+        for p in patterns() {
+            for &l in &[0.3, 0.618, 0.8] {
+                let h = 3 * p.k();
+                let lm = LocalMatrices::new(p.clone(), h);
+                let mx = lm.mx(l);
+                let norm = spectral_norm_dense(&mx, OPTS);
+                let oxnx = lm.ox(l).matmul(&lm.nx(l));
+                let rho = spectral_radius_dense(&oxnx, OPTS);
+                assert!(
+                    approx_eq(norm * norm, rho, 1e-6),
+                    "pattern {:?} λ={l}: ‖Mx‖²={} vs ρ(OxNx)={}",
+                    p,
+                    norm * norm,
+                    rho
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn semi_eigenvector_inequalities_lemma_4_2() {
+        for p in patterns() {
+            for &l in &[0.25, 0.618, 0.9] {
+                let h = 4 * p.k();
+                let lm = LocalMatrices::new(p.clone(), h);
+                let e = lm.semi_eigenvector(l);
+                assert!(is_semi_eigenvector(
+                    &lm.nx(l),
+                    &e,
+                    lm.nx_semi_eigenvalue(l),
+                    1e-10
+                ), "Nx semi-eigenvector failed for {p:?} at λ={l}");
+                assert!(is_semi_eigenvector(
+                    &lm.ox(l),
+                    &e,
+                    lm.ox_semi_eigenvalue(l),
+                    1e-10
+                ), "Ox semi-eigenvector failed for {p:?} at λ={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_4_3_uniform_bound_holds() {
+        for p in patterns() {
+            let s = p.s();
+            for &l in &[0.2, 0.5, 0.618, 0.75, 0.95] {
+                let lm = LocalMatrices::new(p.clone(), 3 * p.k());
+                let norm = spectral_norm_dense(&lm.mx(l), OPTS);
+                let tight = pattern_norm_bound(&p, l);
+                let uniform = local_norm_bound(s, l);
+                assert!(
+                    norm <= tight + 1e-7,
+                    "pattern bound violated for {p:?} λ={l}: {norm} > {tight}"
+                );
+                assert!(
+                    tight <= uniform + 1e-12,
+                    "balanced split must dominate: {tight} > {uniform}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_pattern_bound_is_asymptotically_tight() {
+        // For the balanced k=1 pattern (l = r = s/2) the norm approaches
+        // λ·p_{s/2}(λ) as h grows.
+        let p = BlockPattern::from_blocks(vec![2], vec![2]);
+        let l = 0.68233; // the Fig. 4 λ for s = 4
+        let bound = local_norm_bound(4, l);
+        let mut prev = 0.0;
+        for h in [1usize, 2, 4, 8, 16] {
+            let lm = LocalMatrices::new(p.clone(), h);
+            let norm = spectral_norm_dense(&lm.mx(l), OPTS);
+            assert!(norm >= prev - 1e-9, "norm grows with h");
+            assert!(norm <= bound + 1e-7);
+            prev = norm;
+        }
+        assert!(
+            bound - prev < 0.02 * bound,
+            "norm should approach the bound: {prev} vs {bound}"
+        );
+    }
+
+    #[test]
+    fn semi_eigenvector_is_positive_and_periodic_ratio() {
+        let p = BlockPattern::from_blocks(vec![2, 1], vec![1, 2]);
+        let lm = LocalMatrices::new(p.clone(), 6);
+        let l = 0.7;
+        let e = lm.semi_eigenvector(l);
+        assert!(e.iter().all(|&v| v > 0.0));
+        // Over one period (k blocks) the ratio telescopes to
+        // λ^{Σr − Σl} = λ^0 = 1 for balanced patterns.
+        assert!(approx_eq(e[0], e[2], 1e-12));
+        assert!(approx_eq(e[1], e[3], 1e-12));
+    }
+
+    #[test]
+    fn fig4_lambda_norm_crosses_one() {
+        // At the Fig. 4 fixpoint λ(s=4) = 0.68233 the uniform bound is 1.
+        let l = 0.682_327_803_8;
+        assert!(approx_eq(local_norm_bound(4, l), 1.0, 1e-6));
+        // And for s = 3: λ = 0.786151 (the square root of the inverse
+        // golden ratio satisfies λ²(1+λ²) = 1).
+        let l3 = 0.786_151_377_8;
+        assert!(approx_eq(local_norm_bound(3, l3), 1.0, 1e-6));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based verification of the paper's Section 4 lemmas on random
+//! local activation patterns.
+//!
+//! For every pattern `⟨(l_j), (r_j)⟩` and every `λ ∈ (0, 1)`:
+//!
+//! * the compression identity `‖Mx(λ)‖² = ρ(Ox(λ)·Nx(λ))` (Lemma 2.2
+//!   plus the subspace construction of Section 4),
+//! * Lemma 4.2's semi-eigenvector inequalities,
+//! * Lemma 4.3's closed-form bound,
+//! * monotone growth of `‖Mx‖` in the number of block repetitions `h`.
+
+use proptest::prelude::*;
+use sg_delay::local::{local_norm_bound, pattern_norm_bound, LocalMatrices};
+use sg_linalg::norm::{
+    is_semi_eigenvector, spectral_norm_dense, spectral_radius_dense, PowerIterOpts,
+};
+use sg_protocol::local::BlockPattern;
+
+const OPTS: PowerIterOpts = PowerIterOpts {
+    max_iters: 60_000,
+    tol: 1e-13,
+    seed: 0x1E44A,
+};
+
+fn pattern_strategy() -> impl Strategy<Value = BlockPattern> {
+    // k blocks with lengths 1..=4 on both sides.
+    (1usize..=3).prop_flat_map(|k| {
+        (
+            proptest::collection::vec(1usize..=4, k),
+            proptest::collection::vec(1usize..=4, k),
+        )
+            .prop_map(|(l, r)| BlockPattern::from_blocks(l, r))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compression_identity(pattern in pattern_strategy(), lam in 0.1f64..0.95) {
+        let h = 3 * pattern.k();
+        let lm = LocalMatrices::new(pattern, h);
+        let mx = lm.mx(lam);
+        let norm = spectral_norm_dense(&mx, OPTS);
+        let rho = spectral_radius_dense(&lm.ox(lam).matmul(&lm.nx(lam)), OPTS);
+        prop_assert!(
+            (norm * norm - rho).abs() <= 1e-5 * (1.0 + rho),
+            "‖Mx‖² = {} vs ρ(OxNx) = {}",
+            norm * norm,
+            rho
+        );
+    }
+
+    #[test]
+    fn lemma_4_2_semi_eigenvectors(pattern in pattern_strategy(), lam in 0.1f64..0.95) {
+        let h = 4 * pattern.k();
+        let lm = LocalMatrices::new(pattern, h);
+        let e = lm.semi_eigenvector(lam);
+        prop_assert!(is_semi_eigenvector(&lm.nx(lam), &e, lm.nx_semi_eigenvalue(lam), 1e-9));
+        prop_assert!(is_semi_eigenvector(&lm.ox(lam), &e, lm.ox_semi_eigenvalue(lam), 1e-9));
+    }
+
+    #[test]
+    fn lemma_4_3_bounds(pattern in pattern_strategy(), lam in 0.1f64..0.95) {
+        let s = pattern.s();
+        let lm = LocalMatrices::new(pattern.clone(), 3 * pattern.k());
+        let norm = spectral_norm_dense(&lm.mx(lam), OPTS);
+        let tight = pattern_norm_bound(&pattern, lam);
+        let uniform = local_norm_bound(s, lam);
+        prop_assert!(norm <= tight + 1e-6, "{norm} > {tight}");
+        prop_assert!(tight <= uniform + 1e-12, "{tight} > {uniform}");
+    }
+
+    #[test]
+    fn norm_grows_with_h(pattern in pattern_strategy(), lam in 0.1f64..0.9) {
+        let k = pattern.k();
+        let n1 = spectral_norm_dense(&LocalMatrices::new(pattern.clone(), k).mx(lam), OPTS);
+        let n2 = spectral_norm_dense(&LocalMatrices::new(pattern.clone(), 2 * k).mx(lam), OPTS);
+        let n4 = spectral_norm_dense(&LocalMatrices::new(pattern, 4 * k).mx(lam), OPTS);
+        prop_assert!(n1 <= n2 + 1e-7);
+        prop_assert!(n2 <= n4 + 1e-7);
+    }
+
+    #[test]
+    fn d_offsets_accumulate_one_period(pattern in pattern_strategy()) {
+        // d(i, i+k) − d(i, i) = s for every i.
+        let k = pattern.k();
+        let s = pattern.s();
+        let lm = LocalMatrices::new(pattern, 3 * k);
+        for i in 0..k {
+            prop_assert_eq!(lm.d(i, i + k) - lm.d(i, i), s);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Vertex codecs: bijections between vertex ids and the structured labels
+//! (digit strings, levels) used by the hypercube-like topologies of
+//! Section 3.
+//!
+//! Conventions: digit strings `x = x_{D−1} x_{D−2} … x_1 x_0` over the
+//! alphabet `{0, …, d−1}` (the paper uses `{1, …, d}`; we shift to 0-based
+//! digits, which changes nothing structurally). A word is encoded as the
+//! integer `Σ_i x_i · d^i`, i.e. `x_0` is the least significant digit.
+
+/// `base^exp` with overflow checks, as `usize`.
+pub fn pow(base: usize, exp: usize) -> usize {
+    base.checked_pow(exp as u32).expect("pow overflow")
+}
+
+/// Decodes digit `position` (0 = least significant = `x_0`) of `word` in
+/// the given base.
+#[inline]
+pub fn digit(word: usize, position: usize, base: usize) -> usize {
+    (word / pow(base, position)) % base
+}
+
+/// Replaces digit `position` of `word` with `value`.
+#[inline]
+pub fn with_digit(word: usize, position: usize, base: usize, value: usize) -> usize {
+    debug_assert!(value < base);
+    let p = pow(base, position);
+    let old = digit(word, position, base);
+    word - old * p + value * p
+}
+
+/// Left shift of a length-`len` word dropping the most significant digit
+/// and appending `append` as the new least significant digit — the de
+/// Bruijn successor map `x_{D−1}…x_0 ↦ x_{D−2}…x_0·α`.
+#[inline]
+pub fn shift_append(word: usize, len: usize, base: usize, append: usize) -> usize {
+    debug_assert!(append < base);
+    (word % pow(base, len - 1)) * base + append
+}
+
+/// Renders a word as its digit string `x_{D−1}…x_0`.
+pub fn word_string(word: usize, len: usize, base: usize) -> String {
+    (0..len)
+        .rev()
+        .map(|i| {
+            let d = digit(word, i, base);
+            std::char::from_digit(d as u32, 36).expect("base too large to render")
+        })
+        .collect()
+}
+
+/// Digits of a word as a vector, most significant first
+/// (`[x_{D−1}, …, x_0]`).
+pub fn word_digits(word: usize, len: usize, base: usize) -> Vec<usize> {
+    (0..len).rev().map(|i| digit(word, i, base)).collect()
+}
+
+/// Rebuilds a word from digits, most significant first.
+pub fn word_from_digits(digits: &[usize], base: usize) -> usize {
+    digits.iter().fold(0, |acc, &d| {
+        debug_assert!(d < base);
+        acc * base + d
+    })
+}
+
+/// Codec for Kautz words: length-`len` strings over `base + 1` symbols
+/// (`{0, …, base}`) in which adjacent symbols differ. There are
+/// `(base+1)·base^{len−1}` such strings, indexed compactly.
+#[derive(Debug, Clone, Copy)]
+pub struct KautzCodec {
+    /// The paper's degree `d`; the alphabet has `d + 1` symbols.
+    pub d: usize,
+    /// Word length `D`.
+    pub len: usize,
+}
+
+impl KautzCodec {
+    /// Number of valid words, `(d+1)·d^{D−1}`.
+    pub fn count(&self) -> usize {
+        (self.d + 1) * pow(self.d, self.len - 1)
+    }
+
+    /// Id → symbol string (most significant / leftmost symbol first).
+    pub fn decode(&self, id: usize) -> Vec<usize> {
+        debug_assert!(id < self.count());
+        let tail = pow(self.d, self.len - 1);
+        let mut symbols = Vec::with_capacity(self.len);
+        let first = id / tail;
+        symbols.push(first);
+        let mut rem = id % tail;
+        let mut prev = first;
+        for i in (0..self.len - 1).rev() {
+            let p = pow(self.d, i);
+            let r = rem / p;
+            rem %= p;
+            // Rank r in {0,…,d−1} maps to the r-th symbol distinct from prev.
+            let sym = if r < prev { r } else { r + 1 };
+            symbols.push(sym);
+            prev = sym;
+        }
+        symbols
+    }
+
+    /// Symbol string → id; inverse of [`KautzCodec::decode`].
+    pub fn encode(&self, symbols: &[usize]) -> usize {
+        debug_assert_eq!(symbols.len(), self.len);
+        let mut id = symbols[0];
+        let mut prev = symbols[0];
+        for &s in &symbols[1..] {
+            debug_assert!(s != prev, "not a Kautz word");
+            let r = if s < prev { s } else { s - 1 };
+            id = id * self.d + r;
+            prev = s;
+        }
+        id
+    }
+
+    /// Renders the word for display.
+    pub fn label(&self, id: usize) -> String {
+        self.decode(id)
+            .iter()
+            .map(|&s| std::char::from_digit(s as u32, 36).expect("base too large"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_roundtrip() {
+        let w = word_from_digits(&[2, 0, 1], 3); // "201" base 3 = 2*9 + 0 + 1 = 19
+        assert_eq!(w, 19);
+        assert_eq!(digit(w, 0, 3), 1);
+        assert_eq!(digit(w, 1, 3), 0);
+        assert_eq!(digit(w, 2, 3), 2);
+        assert_eq!(word_digits(w, 3, 3), vec![2, 0, 1]);
+        assert_eq!(word_string(w, 3, 3), "201");
+    }
+
+    #[test]
+    fn with_digit_replaces() {
+        let w = word_from_digits(&[1, 1, 1], 2); // 7
+        assert_eq!(with_digit(w, 1, 2, 0), 0b101);
+        assert_eq!(with_digit(w, 2, 2, 0), 0b011);
+        // Idempotent when the digit is unchanged.
+        assert_eq!(with_digit(w, 0, 2, 1), w);
+    }
+
+    #[test]
+    fn shift_append_debruijn_map() {
+        // word "10" (base 2) shifted with append 1 gives "01"·1 = "011"? No:
+        // len 2: "10" → drop msb "0", append 1 → "01".
+        let w = word_from_digits(&[1, 0], 2);
+        assert_eq!(shift_append(w, 2, 2, 1), word_from_digits(&[0, 1], 2));
+        // Constant word maps to itself when appending the same digit.
+        let c = word_from_digits(&[1, 1], 2);
+        assert_eq!(shift_append(c, 2, 2, 1), c);
+    }
+
+    #[test]
+    fn kautz_codec_bijective() {
+        for (d, len) in [(2usize, 1usize), (2, 3), (3, 2), (3, 4), (4, 3)] {
+            let codec = KautzCodec { d, len };
+            let mut seen = std::collections::HashSet::new();
+            for id in 0..codec.count() {
+                let w = codec.decode(id);
+                assert_eq!(w.len(), len);
+                // Valid Kautz word: adjacent symbols differ, alphabet d+1.
+                assert!(w.iter().all(|&s| s <= d));
+                assert!(w.windows(2).all(|p| p[0] != p[1]));
+                assert_eq!(codec.encode(&w), id, "roundtrip failed for {w:?}");
+                assert!(seen.insert(w), "duplicate word for id {id}");
+            }
+            assert_eq!(seen.len(), codec.count());
+        }
+    }
+
+    #[test]
+    fn kautz_count_formula() {
+        let c = KautzCodec { d: 2, len: 4 };
+        assert_eq!(c.count(), 3 * 8);
+        let c = KautzCodec { d: 3, len: 3 };
+        assert_eq!(c.count(), 4 * 9);
+    }
+
+    #[test]
+    fn kautz_label_renders() {
+        let c = KautzCodec { d: 2, len: 3 };
+        let id = c.encode(&[0, 1, 2]);
+        assert_eq!(c.label(id), "012");
+    }
+}

@@ -1,0 +1,349 @@
+//! Static digraphs in compressed sparse row form.
+//!
+//! The paper models a network as a digraph `G = (V, A)` (Section 3);
+//! undirected networks are *symmetric* digraphs (every arc has its
+//! opposite), which is how the half-duplex and full-duplex modes are
+//! expressed. This module provides an immutable CSR digraph with both out-
+//! and in-adjacency, which every other crate builds on.
+
+/// A directed arc `from → to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Arc {
+    /// Tail (source) vertex.
+    pub from: u32,
+    /// Head (target) vertex.
+    pub to: u32,
+}
+
+impl Arc {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(from: usize, to: usize) -> Self {
+        Self {
+            from: from as u32,
+            to: to as u32,
+        }
+    }
+
+    /// The opposite arc `to → from`.
+    #[inline]
+    pub fn reversed(self) -> Self {
+        Self {
+            from: self.to,
+            to: self.from,
+        }
+    }
+
+    /// `true` when the arc is a self-loop.
+    #[inline]
+    pub fn is_loop(self) -> bool {
+        self.from == self.to
+    }
+}
+
+impl std::fmt::Display for Arc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+/// An immutable digraph on vertices `0..n` with CSR out- and in-adjacency.
+///
+/// Parallel arcs are collapsed and self-loops are rejected at construction:
+/// neither can ever help a gossip protocol (Definition 3.1 needs matchings
+/// between *distinct* endpoints) and allowing them would complicate every
+/// matching check downstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Digraph {
+    n: usize,
+    out_ptr: Vec<u32>,
+    out_adj: Vec<u32>,
+    in_ptr: Vec<u32>,
+    in_adj: Vec<u32>,
+    symmetric: bool,
+}
+
+impl Digraph {
+    /// Builds a digraph from an arc list. Self-loops are dropped,
+    /// duplicates collapsed.
+    pub fn from_arcs(n: usize, arcs: impl IntoIterator<Item = Arc>) -> Self {
+        let mut list: Vec<Arc> = arcs
+            .into_iter()
+            .inspect(|a| {
+                assert!(
+                    (a.from as usize) < n && (a.to as usize) < n,
+                    "arc {a} out of range for n={n}"
+                );
+            })
+            .filter(|a| !a.is_loop())
+            .collect();
+        list.sort_unstable();
+        list.dedup();
+
+        let mut out_ptr = vec![0u32; n + 1];
+        for a in &list {
+            out_ptr[a.from as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_ptr[i + 1] += out_ptr[i];
+        }
+        let out_adj: Vec<u32> = list.iter().map(|a| a.to).collect();
+
+        // In-adjacency: counting sort by head.
+        let mut in_ptr = vec![0u32; n + 1];
+        for a in &list {
+            in_ptr[a.to as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_ptr[i + 1] += in_ptr[i];
+        }
+        let mut cursor = in_ptr.clone();
+        let mut in_adj = vec![0u32; list.len()];
+        for a in &list {
+            let slot = cursor[a.to as usize];
+            in_adj[slot as usize] = a.from;
+            cursor[a.to as usize] += 1;
+        }
+        // Sources per head are visited in sorted arc order, so each
+        // in-adjacency slice is sorted — binary search works on both sides.
+
+        let mut g = Self {
+            n,
+            out_ptr,
+            out_adj,
+            in_ptr,
+            in_adj,
+            symmetric: false,
+        };
+        g.symmetric = g.compute_symmetric();
+        g
+    }
+
+    /// Builds a *symmetric* digraph from undirected edges (each edge
+    /// contributes both arcs).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut arcs = Vec::new();
+        for (u, v) in edges {
+            arcs.push(Arc::new(u, v));
+            arcs.push(Arc::new(v, u));
+        }
+        Self::from_arcs(n, arcs)
+    }
+
+    fn compute_symmetric(&self) -> bool {
+        self.arcs().all(|a| self.has_arc(a.to as usize, a.from as usize))
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of arcs (an undirected edge counts as two).
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Number of undirected edges, only meaningful for symmetric digraphs.
+    pub fn edge_count(&self) -> usize {
+        debug_assert!(self.symmetric);
+        self.arc_count() / 2
+    }
+
+    /// `true` when every arc has its opposite (an "undirected" network).
+    #[inline]
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// Out-neighbours of `v`, sorted.
+    #[inline]
+    pub fn out_neighbors(&self, v: usize) -> &[u32] {
+        &self.out_adj[self.out_ptr[v] as usize..self.out_ptr[v + 1] as usize]
+    }
+
+    /// In-neighbours of `v`, sorted.
+    #[inline]
+    pub fn in_neighbors(&self, v: usize) -> &[u32] {
+        &self.in_adj[self.in_ptr[v] as usize..self.in_ptr[v + 1] as usize]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Maximum out-degree over all vertices (the paper's degree parameter
+    /// `d` for directed graphs).
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.n).map(|v| self.out_degree(v)).max().unwrap_or(0)
+    }
+
+    /// Maximum total degree, counting each undirected edge once for
+    /// symmetric digraphs (i.e. out-degree, which equals in-degree there).
+    pub fn max_degree(&self) -> usize {
+        if self.symmetric {
+            self.max_out_degree()
+        } else {
+            (0..self.n)
+                .map(|v| self.out_degree(v) + self.in_degree(v))
+                .max()
+                .unwrap_or(0)
+        }
+    }
+
+    /// Membership test via binary search on the sorted adjacency slice.
+    #[inline]
+    pub fn has_arc(&self, from: usize, to: usize) -> bool {
+        self.out_neighbors(from).binary_search(&(to as u32)).is_ok()
+    }
+
+    /// Iterator over every arc.
+    pub fn arcs(&self) -> impl Iterator<Item = Arc> + '_ {
+        (0..self.n).flat_map(move |v| {
+            self.out_neighbors(v).iter().map(move |&w| Arc {
+                from: v as u32,
+                to: w,
+            })
+        })
+    }
+
+    /// Iterator over undirected edges `(u, v)` with `u < v` of a symmetric
+    /// digraph.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        debug_assert!(self.symmetric, "edges() requires a symmetric digraph");
+        self.arcs()
+            .filter(|a| a.from < a.to)
+            .map(|a| (a.from as usize, a.to as usize))
+    }
+
+    /// The reverse digraph (every arc flipped).
+    pub fn reverse(&self) -> Digraph {
+        Digraph::from_arcs(self.n, self.arcs().map(Arc::reversed))
+    }
+
+    /// The symmetric closure (adds the opposite of every arc) — turns a
+    /// directed network into the undirected one it underlies.
+    pub fn symmetric_closure(&self) -> Digraph {
+        Digraph::from_arcs(
+            self.n,
+            self.arcs().flat_map(|a| [a, a.reversed()]),
+        )
+    }
+
+    /// Degree histogram keyed by out-degree; index `d` holds the number of
+    /// vertices with out-degree `d`.
+    pub fn out_degree_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.max_out_degree() + 1];
+        for v in 0..self.n {
+            h[self.out_degree(v)] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Digraph {
+        Digraph::from_arcs(3, [Arc::new(0, 1), Arc::new(1, 2), Arc::new(2, 0)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.arc_count(), 3);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.in_neighbors(0), &[2]);
+        assert!(g.has_arc(0, 1));
+        assert!(!g.has_arc(1, 0));
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn self_loops_dropped_duplicates_collapsed() {
+        let g = Digraph::from_arcs(
+            2,
+            [Arc::new(0, 0), Arc::new(0, 1), Arc::new(0, 1), Arc::new(1, 1)],
+        );
+        assert_eq!(g.arc_count(), 1);
+        assert!(g.has_arc(0, 1));
+    }
+
+    #[test]
+    fn symmetric_from_edges() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2)]);
+        assert!(g.is_symmetric());
+        assert_eq!(g.arc_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn reverse_flips_arcs() {
+        let g = triangle();
+        let r = g.reverse();
+        assert!(r.has_arc(1, 0));
+        assert!(r.has_arc(0, 2));
+        assert_eq!(r.reverse(), g);
+    }
+
+    #[test]
+    fn symmetric_closure_is_symmetric() {
+        let g = triangle();
+        let s = g.symmetric_closure();
+        assert!(s.is_symmetric());
+        assert_eq!(s.arc_count(), 6);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = Digraph::from_arcs(
+            4,
+            [Arc::new(0, 1), Arc::new(0, 2), Arc::new(0, 3), Arc::new(1, 0)],
+        );
+        assert_eq!(g.out_degree(0), 3);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.max_out_degree(), 3);
+        assert_eq!(g.out_degree_histogram(), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn arcs_iterator_sorted() {
+        let g = triangle();
+        let arcs: Vec<Arc> = g.arcs().collect();
+        assert_eq!(arcs, vec![Arc::new(0, 1), Arc::new(1, 2), Arc::new(2, 0)]);
+    }
+
+    #[test]
+    fn in_neighbors_sorted() {
+        let g = Digraph::from_arcs(4, [Arc::new(2, 0), Arc::new(1, 0), Arc::new(3, 0)]);
+        assert_eq!(g.in_neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Digraph::from_arcs(2, [Arc::new(0, 5)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Digraph::from_arcs(0, []);
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.arc_count(), 0);
+        // Vacuously symmetric.
+        assert!(g.is_symmetric());
+    }
+}

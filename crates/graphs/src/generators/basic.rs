@@ -1,0 +1,195 @@
+//! Elementary topologies: paths, cycles, complete graphs, stars, trees,
+//! grids, tori and hypercubes.
+//!
+//! These are the networks for which the systolic-gossip literature has
+//! exact results (\[8\] for paths and complete d-ary trees, \[11\] for cycles
+//! and grids, \[20,14\] for grids) — the upper-bound side that the paper's
+//! lower bounds are measured against.
+
+use crate::digraph::Digraph;
+
+/// Path `P_n` (undirected), vertices `0 — 1 — ⋯ — n−1`.
+pub fn path(n: usize) -> Digraph {
+    Digraph::from_edges(n, (1..n).map(|i| (i - 1, i)))
+}
+
+/// Cycle `C_n` (undirected).
+pub fn cycle(n: usize) -> Digraph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    Digraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+}
+
+/// Directed cycle (one arc per edge, all clockwise).
+pub fn directed_cycle(n: usize) -> Digraph {
+    assert!(n >= 2);
+    Digraph::from_arcs(
+        n,
+        (0..n).map(|i| crate::digraph::Arc::new(i, (i + 1) % n)),
+    )
+}
+
+/// Complete graph `K_n` (undirected).
+pub fn complete(n: usize) -> Digraph {
+    Digraph::from_edges(
+        n,
+        (0..n).flat_map(move |i| (i + 1..n).map(move |j| (i, j))),
+    )
+}
+
+/// Star `S_n`: center `0` joined to `1..n`.
+pub fn star(n: usize) -> Digraph {
+    assert!(n >= 1);
+    Digraph::from_edges(n, (1..n).map(|i| (0, i)))
+}
+
+/// Complete `d`-ary tree of height `h` (undirected). Height 0 is a single
+/// vertex; vertex `v`'s children are `d·v + 1 + j` in heap order. These are
+/// the trees for which \[8\] gives optimal systolic gossip.
+pub fn complete_dary_tree(d: usize, h: usize) -> Digraph {
+    assert!(d >= 2, "arity must be at least 2");
+    // n = (d^{h+1} − 1) / (d − 1)
+    let n = (crate::codec::pow(d, h + 1) - 1) / (d - 1);
+    let internal = (n - 1) / d; // vertices having children
+    Digraph::from_edges(
+        n,
+        (0..internal).flat_map(move |v| (0..d).map(move |j| (v, d * v + 1 + j))),
+    )
+}
+
+/// 2-D grid `w × h` (undirected), vertex `(x, y)` at id `y·w + x`.
+pub fn grid2d(w: usize, h: usize) -> Digraph {
+    assert!(w >= 1 && h >= 1);
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if x + 1 < w {
+                edges.push((v, v + 1));
+            }
+            if y + 1 < h {
+                edges.push((v, v + w));
+            }
+        }
+    }
+    Digraph::from_edges(w * h, edges)
+}
+
+/// 2-D torus `w × h` (undirected, wraps both dimensions).
+pub fn torus2d(w: usize, h: usize) -> Digraph {
+    assert!(w >= 3 && h >= 3, "torus wrap needs >= 3 per dimension");
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            edges.push((v, y * w + (x + 1) % w));
+            edges.push((v, ((y + 1) % h) * w + x));
+        }
+    }
+    Digraph::from_edges(w * h, edges)
+}
+
+/// Hypercube `Q_k` (undirected), `2^k` vertices; `i ↔ i ⊕ 2^b`.
+pub fn hypercube(k: usize) -> Digraph {
+    let n = 1usize << k;
+    Digraph::from_edges(
+        n,
+        (0..n).flat_map(move |i| (0..k).filter_map(move |b| {
+            let j = i ^ (1 << b);
+            (i < j).then_some((i, j))
+        })),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter, is_strongly_connected};
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(diameter(&g), Some(4));
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(diameter(&g), Some(3));
+        assert!(g.is_symmetric());
+        let d = directed_cycle(6);
+        assert!(!d.is_symmetric());
+        assert_eq!(diameter(&d), Some(5));
+        assert!(is_strongly_connected(&d));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(diameter(&g), Some(1));
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(diameter(&g), Some(2));
+        assert_eq!(g.out_degree(0), 6);
+    }
+
+    #[test]
+    fn dary_tree_counts() {
+        // Binary tree of height 2: 7 vertices.
+        let g = complete_dary_tree(2, 2);
+        assert_eq!(g.vertex_count(), 7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(diameter(&g), Some(4));
+        // Ternary, height 1: 4 vertices, star-like.
+        let g = complete_dary_tree(3, 1);
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.max_degree(), 3);
+        // Height 0: single vertex.
+        assert_eq!(complete_dary_tree(2, 0).vertex_count(), 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d(4, 3);
+        assert_eq!(g.vertex_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 4 * 2); // horizontal + vertical
+        assert_eq!(diameter(&g), Some(3 + 2));
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus2d(4, 4);
+        assert_eq!(g.vertex_count(), 16);
+        // 4-regular.
+        assert_eq!(g.max_degree(), 4);
+        assert!(g.out_degree_histogram()[4] == 16);
+        assert_eq!(diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.vertex_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        assert_eq!(diameter(&g), Some(4));
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn hypercube_q0_q1() {
+        assert_eq!(hypercube(0).vertex_count(), 1);
+        let q1 = hypercube(1);
+        assert_eq!(q1.vertex_count(), 2);
+        assert_eq!(q1.edge_count(), 1);
+    }
+}

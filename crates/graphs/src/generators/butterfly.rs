@@ -1,0 +1,186 @@
+//! Butterfly-family topologies (Section 3 of the paper).
+//!
+//! * `BF(d, D)` — the (unwrapped) Butterfly: `(D+1)·d^D` vertices `(x, l)`
+//!   with `x ∈ {0,…,d−1}^D`, level `l ∈ {0,…,D}`; a vertex at level `l > 0`
+//!   is joined *with pairwise opposite arcs* (i.e. undirected edges) to the
+//!   `d` vertices obtained by substituting digit `x_{l−1}` and decrementing
+//!   the level.
+//! * `WBF→(d, D)` — the directed Wrapped Butterfly: `D·d^D` vertices
+//!   `(x, l)` with `l ∈ {0,…,D−1}`; arcs go from level `l` to level `l−1`
+//!   substituting digit `l−1`, with level 0 wrapping to level `D−1` and
+//!   substituting digit `D−1`.
+//! * `WBF(d, D)` — the undirected Wrapped Butterfly: the symmetric closure
+//!   of `WBF→(d, D)`.
+//!
+//! Vertex ids are `l · d^D + word`, so `word = id % d^D`,
+//! `level = id / d^D`.
+
+use crate::codec::{pow, with_digit, word_string};
+use crate::digraph::{Arc, Digraph};
+
+/// Vertex id for `(word, level)` in a butterfly with `d^D` words per level.
+#[inline]
+pub fn bf_vertex(word: usize, level: usize, d: usize, dd: usize) -> usize {
+    debug_assert!(word < pow(d, dd));
+    level * pow(d, dd) + word
+}
+
+/// Decodes a butterfly vertex id into `(word, level)`.
+#[inline]
+pub fn bf_decode(id: usize, d: usize, dd: usize) -> (usize, usize) {
+    let per = pow(d, dd);
+    (id % per, id / per)
+}
+
+/// Human-readable label `(x_{D−1}…x_0, l)`.
+pub fn bf_label(id: usize, d: usize, dd: usize) -> String {
+    let (w, l) = bf_decode(id, d, dd);
+    format!("({}, {})", word_string(w, dd, d), l)
+}
+
+/// The (unwrapped) Butterfly `BF(d, D)` as an undirected network.
+pub fn butterfly(d: usize, dd: usize) -> Digraph {
+    assert!(d >= 2 && dd >= 1);
+    let words = pow(d, dd);
+    let n = (dd + 1) * words;
+    let mut edges = Vec::with_capacity(dd * words * d);
+    for l in 1..=dd {
+        for w in 0..words {
+            let v = bf_vertex(w, l, d, dd);
+            for a in 0..d {
+                let u = bf_vertex(with_digit(w, l - 1, d, a), l - 1, d, dd);
+                edges.push((v, u));
+            }
+        }
+    }
+    Digraph::from_edges(n, edges)
+}
+
+/// The directed Wrapped Butterfly `WBF→(d, D)`.
+pub fn wrapped_butterfly_directed(d: usize, dd: usize) -> Digraph {
+    assert!(d >= 2 && dd >= 2, "WBF needs D >= 2 to be loop-free");
+    let words = pow(d, dd);
+    let n = dd * words;
+    let mut arcs = Vec::with_capacity(n * d);
+    for l in 0..dd {
+        for w in 0..words {
+            let v = bf_vertex(w, l, d, dd);
+            // From level l we substitute digit (l − 1 mod D) and move to
+            // level (l − 1 mod D).
+            let (pos, nl) = if l > 0 { (l - 1, l - 1) } else { (dd - 1, dd - 1) };
+            for a in 0..d {
+                let u = bf_vertex(with_digit(w, pos, d, a), nl, d, dd);
+                arcs.push(Arc::new(v, u));
+            }
+        }
+    }
+    Digraph::from_arcs(n, arcs)
+}
+
+/// The undirected Wrapped Butterfly `WBF(d, D)` (symmetric closure of the
+/// directed one).
+pub fn wrapped_butterfly(d: usize, dd: usize) -> Digraph {
+    wrapped_butterfly_directed(d, dd).symmetric_closure()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter, is_strongly_connected};
+
+    #[test]
+    fn bf_counts_and_degree() {
+        let g = butterfly(2, 3);
+        assert_eq!(g.vertex_count(), 4 * 8);
+        assert!(g.is_symmetric());
+        // Interior levels have degree 2d = 4; boundary levels degree d = 2.
+        assert_eq!(g.max_degree(), 4);
+        let hist = g.out_degree_histogram();
+        assert_eq!(hist[2], 2 * 8); // levels 0 and D
+        assert_eq!(hist[4], 2 * 8); // levels 1..D−1
+    }
+
+    #[test]
+    fn bf_diameter_is_2d() {
+        // Classic: diam(BF(2, D)) = 2D for D >= 2 (up and down sweeps).
+        for dd in 2..=4 {
+            let g = butterfly(2, dd);
+            assert_eq!(diameter(&g), Some(2 * dd as u32), "D={dd}");
+        }
+    }
+
+    #[test]
+    fn bf_level_edges_only_adjacent_levels() {
+        let d = 2;
+        let dd = 3;
+        let g = butterfly(d, dd);
+        for a in g.arcs() {
+            let (_, lf) = bf_decode(a.from as usize, d, dd);
+            let (_, lt) = bf_decode(a.to as usize, d, dd);
+            assert_eq!(lf.abs_diff(lt), 1);
+        }
+    }
+
+    #[test]
+    fn bf_straight_edges_exist() {
+        // The substitution includes α = x_{l−1}, so "straight" edges
+        // (same word across adjacent levels) must exist.
+        let d = 2;
+        let dd = 3;
+        let g = butterfly(d, dd);
+        let v = bf_vertex(0b101, 2, d, dd);
+        let u = bf_vertex(0b101, 1, d, dd);
+        assert!(g.has_arc(v, u));
+    }
+
+    #[test]
+    fn wbf_directed_regular_and_connected() {
+        let g = wrapped_butterfly_directed(2, 3);
+        assert_eq!(g.vertex_count(), 3 * 8);
+        assert!(!g.is_symmetric());
+        // d-in d-out regular.
+        for v in 0..g.vertex_count() {
+            assert_eq!(g.out_degree(v), 2);
+            assert_eq!(g.in_degree(v), 2);
+        }
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn wbf_undirected_degree_2d() {
+        let g = wrapped_butterfly(2, 3);
+        assert!(g.is_symmetric());
+        assert_eq!(g.max_degree(), 4);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn wbf_level_structure_wraps() {
+        let d = 2;
+        let dd = 3;
+        let g = wrapped_butterfly_directed(d, dd);
+        for a in g.arcs() {
+            let (_, lf) = bf_decode(a.from as usize, d, dd);
+            let (_, lt) = bf_decode(a.to as usize, d, dd);
+            let expected = if lf > 0 { lf - 1 } else { dd - 1 };
+            assert_eq!(lt, expected);
+        }
+    }
+
+    #[test]
+    fn wbf_diameter_classic() {
+        // diam(WBF(2, D)) is about 3D/2 (⌊3D/2⌋ for the undirected wrapped
+        // butterfly, D >= 3 — Leighton). Spot check D = 4: 6.
+        let g = wrapped_butterfly(2, 4);
+        assert_eq!(diameter(&g), Some(6));
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let d = 3;
+        let dd = 2;
+        let id = bf_vertex(5, 1, d, dd); // word "12" base 3
+        assert_eq!(bf_label(id, d, dd), "(12, 1)");
+        assert_eq!(bf_decode(id, d, dd), (5, 1));
+    }
+}

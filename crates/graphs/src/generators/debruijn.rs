@@ -1,0 +1,172 @@
+//! de Bruijn and Kautz topologies (Section 3 of the paper).
+//!
+//! * `DB→(d, D)` — de Bruijn digraph: `d^D` vertices (words of length `D`
+//!   over `{0,…,d−1}`); arcs `x_{D−1}…x_0 → x_{D−2}…x_0·α`. The two
+//!   self-loops at constant words are dropped (a self-loop can never be
+//!   part of a gossip matching).
+//! * `DB(d, D)` — undirected de Bruijn graph (symmetric closure).
+//! * `K→(d, D)` — Kautz digraph: `(d+1)·d^{D−1}` vertices (words over
+//!   `{0,…,d}` with adjacent symbols distinct); arcs
+//!   `x_{D−1}…x_0 → x_{D−2}…x_0·α` with `α ≠ x_0`.
+//! * `K(d, D)` — undirected Kautz graph.
+
+use crate::codec::{pow, shift_append, word_string, KautzCodec};
+use crate::digraph::{Arc, Digraph};
+
+/// The de Bruijn digraph `DB→(d, D)` (self-loops removed).
+pub fn de_bruijn_directed(d: usize, dd: usize) -> Digraph {
+    assert!(d >= 2 && dd >= 1);
+    let n = pow(d, dd);
+    let mut arcs = Vec::with_capacity(n * d);
+    for w in 0..n {
+        for a in 0..d {
+            arcs.push(Arc::new(w, shift_append(w, dd, d, a)));
+        }
+    }
+    // from_arcs drops the self-loops at the constant words.
+    Digraph::from_arcs(n, arcs)
+}
+
+/// The undirected de Bruijn graph `DB(d, D)`.
+pub fn de_bruijn(d: usize, dd: usize) -> Digraph {
+    de_bruijn_directed(d, dd).symmetric_closure()
+}
+
+/// Human-readable de Bruijn label: the digit word.
+pub fn db_label(id: usize, d: usize, dd: usize) -> String {
+    word_string(id, dd, d)
+}
+
+/// The Kautz digraph `K→(d, D)`.
+pub fn kautz_directed(d: usize, dd: usize) -> Digraph {
+    assert!(d >= 2 && dd >= 1);
+    let codec = KautzCodec { d, len: dd };
+    let n = codec.count();
+    let mut arcs = Vec::with_capacity(n * d);
+    for id in 0..n {
+        let w = codec.decode(id);
+        let last = *w.last().expect("nonempty word");
+        // Shift left, append any symbol distinct from the old last symbol.
+        let mut succ = Vec::with_capacity(dd);
+        succ.extend_from_slice(&w[1..]);
+        succ.push(0);
+        for a in 0..=d {
+            if a == last {
+                continue;
+            }
+            *succ.last_mut().expect("nonempty") = a;
+            // For D = 1 the word is just [a]; the adjacency constraint is
+            // vacuous and a ≠ last keeps it loop-free (complete digraph).
+            arcs.push(Arc::new(id, codec.encode(&succ)));
+        }
+    }
+    Digraph::from_arcs(n, arcs)
+}
+
+/// The undirected Kautz graph `K(d, D)`.
+pub fn kautz(d: usize, dd: usize) -> Digraph {
+    kautz_directed(d, dd).symmetric_closure()
+}
+
+/// Human-readable Kautz label.
+pub fn kautz_label(id: usize, d: usize, dd: usize) -> String {
+    KautzCodec { d, len: dd }.label(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter, is_strongly_connected};
+
+    #[test]
+    fn db_counts() {
+        let g = de_bruijn_directed(2, 3);
+        assert_eq!(g.vertex_count(), 8);
+        // 8 words × 2 arcs − 2 self-loops = 14.
+        assert_eq!(g.arc_count(), 14);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn db_directed_diameter_is_d() {
+        // Any word reaches any other in exactly <= D shifts.
+        for dd in 2..=4 {
+            let g = de_bruijn_directed(2, dd);
+            assert_eq!(diameter(&g), Some(dd as u32), "D={dd}");
+        }
+        let g = de_bruijn_directed(3, 3);
+        assert_eq!(diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn db_successor_structure() {
+        let d = 2;
+        let dd = 3;
+        let g = de_bruijn_directed(d, dd);
+        // 110 → 10α for α ∈ {0,1}: 100, 101.
+        let v = 0b110;
+        assert!(g.has_arc(v, 0b100));
+        assert!(g.has_arc(v, 0b101));
+        assert_eq!(g.out_degree(v), 2);
+    }
+
+    #[test]
+    fn db_undirected_symmetric() {
+        let g = de_bruijn(2, 3);
+        assert!(g.is_symmetric());
+        // Undirected diameter is still D (shift chains dominate).
+        assert_eq!(diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn kautz_counts() {
+        let g = kautz_directed(2, 3);
+        assert_eq!(g.vertex_count(), 3 * 4); // (d+1) d^{D−1}
+        // Kautz is exactly d-out-regular (no self-loops to lose).
+        for v in 0..g.vertex_count() {
+            assert_eq!(g.out_degree(v), 2);
+            assert_eq!(g.in_degree(v), 2);
+        }
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn kautz_diameter_is_d() {
+        // diam(K→(d, D)) = D.
+        for dd in 2..=4 {
+            let g = kautz_directed(2, dd);
+            assert_eq!(diameter(&g), Some(dd as u32), "D={dd}");
+        }
+    }
+
+    #[test]
+    fn kautz_d1_is_complete_digraph() {
+        let g = kautz_directed(3, 1);
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.arc_count(), 12);
+        assert_eq!(diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn kautz_words_valid() {
+        let d = 2;
+        let dd = 4;
+        let codec = KautzCodec { d, len: dd };
+        let g = kautz_directed(d, dd);
+        for a in g.arcs() {
+            let from = codec.decode(a.from as usize);
+            let to = codec.decode(a.to as usize);
+            // Successor property: to = shift(from)·α.
+            assert_eq!(&from[1..], &to[..dd - 1]);
+            assert_ne!(to[dd - 1], from[dd - 1], "append must differ from old last");
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(db_label(0b101, 2, 3), "101");
+        let codec = KautzCodec { d: 2, len: 3 };
+        let id = codec.encode(&[2, 0, 1]);
+        assert_eq!(kautz_label(id, 2, 3), "201");
+    }
+}

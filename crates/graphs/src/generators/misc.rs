@@ -1,0 +1,179 @@
+//! Additional bounded-degree networks: shuffle-exchange, cube-connected
+//! cycles, Knödel graphs, random regular graphs and G(n, p).
+//!
+//! Shuffle-exchange and CCC are the classic constant-degree hypercube
+//! derivatives (\[19\], cited in Section 3); Knödel graphs are the
+//! traditional optimal-gossip graphs of even order; the random families are
+//! workloads for the generic protocol machinery.
+
+use crate::codec::pow;
+use crate::digraph::Digraph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Shuffle-exchange network `SE(D)` on `2^D` vertices (undirected):
+/// shuffle edges `x — rot_left(x)` and exchange edges `x — x⊕1`.
+pub fn shuffle_exchange(dd: usize) -> Digraph {
+    assert!(dd >= 2);
+    let n = 1usize << dd;
+    let msb = 1usize << (dd - 1);
+    let mut edges = Vec::with_capacity(2 * n);
+    for x in 0..n {
+        let rot = ((x << 1) | (x >> (dd - 1))) & (n - 1);
+        if rot != x {
+            edges.push((x, rot));
+        }
+        edges.push((x, x ^ 1));
+    }
+    let _ = msb;
+    Digraph::from_edges(n, edges)
+}
+
+/// Cube-connected cycles `CCC(k)` on `k·2^k` vertices (undirected):
+/// vertex `(w, i)` has cycle edges to `(w, i±1 mod k)` and a cube edge to
+/// `(w ⊕ 2^i, i)`. Requires `k ≥ 3` so that cycle edges are simple.
+pub fn cube_connected_cycles(k: usize) -> Digraph {
+    assert!(k >= 3);
+    let words = 1usize << k;
+    let n = k * words;
+    let id = |w: usize, i: usize| i * words + w;
+    let mut edges = Vec::with_capacity(2 * n);
+    for w in 0..words {
+        for i in 0..k {
+            edges.push((id(w, i), id(w, (i + 1) % k)));
+            edges.push((id(w, i), id(w ^ (1 << i), i)));
+        }
+    }
+    Digraph::from_edges(n, edges)
+}
+
+/// Knödel graph `W_{Δ,n}` for even `n` and `1 ≤ Δ ≤ ⌊log₂ n⌋`:
+/// vertices `(i, j)`, `i ∈ {1, 2}`, `j ∈ 0..n/2`; edges between `(1, j)`
+/// and `(2, (j + 2^k − 1) mod n/2)` for `k = 0..Δ−1`. The classic family of
+/// minimum-gossip-time graphs.
+pub fn knodel(delta: usize, n: usize) -> Digraph {
+    assert!(n >= 2 && n.is_multiple_of(2), "Knödel graphs need even order");
+    assert!(delta >= 1 && (1usize << delta) <= n, "need 2^delta <= n");
+    let half = n / 2;
+    let mut edges = Vec::with_capacity(delta * half);
+    for j in 0..half {
+        for k in 0..delta {
+            let other = (j + pow(2, k) - 1) % half;
+            edges.push((j, half + other));
+        }
+    }
+    Digraph::from_edges(n, edges)
+}
+
+/// Random `d`-regular graph on `n` vertices via the configuration model
+/// with rejection (retry until simple). `n·d` must be even. Panics after
+/// `1000` failed attempts (practically impossible for the sizes used here).
+pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Digraph {
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
+    assert!(d < n, "degree must be below n");
+    'attempt: for _ in 0..1000 {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(rng);
+        let mut edges = Vec::with_capacity(n * d / 2);
+        let mut seen = std::collections::HashSet::new();
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v {
+                continue 'attempt; // self-loop
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen.insert(key) {
+                continue 'attempt; // multi-edge
+            }
+            edges.push((u, v));
+        }
+        return Digraph::from_edges(n, edges);
+    }
+    panic!("random_regular: rejection sampling failed; parameters too dense");
+}
+
+/// Erdős–Rényi `G(n, p)` (undirected).
+pub fn gnp(n: usize, p: f64, rng: &mut impl Rng) -> Digraph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen::<f64>() < p {
+                edges.push((i, j));
+            }
+        }
+    }
+    Digraph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter, is_strongly_connected};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shuffle_exchange_shape() {
+        let g = shuffle_exchange(3);
+        assert_eq!(g.vertex_count(), 8);
+        assert!(g.is_symmetric());
+        // Degree at most 3 (shuffle in/out collapse on symmetric closure,
+        // constants 000/111 lose their shuffle self-loop).
+        assert!(g.max_degree() <= 4);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn ccc_shape() {
+        let k = 3;
+        let g = cube_connected_cycles(k);
+        assert_eq!(g.vertex_count(), k * 8);
+        // CCC is 3-regular.
+        let hist = g.out_degree_histogram();
+        assert_eq!(hist[3], k * 8);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn knodel_shape() {
+        // W_{3,16}: 16 vertices, 3-regular.
+        let g = knodel(3, 16);
+        assert_eq!(g.vertex_count(), 16);
+        let hist = g.out_degree_histogram();
+        assert_eq!(hist[3], 16);
+        assert!(is_strongly_connected(&g));
+        // W_{1,n} is a perfect matching.
+        let m = knodel(1, 6);
+        assert_eq!(m.edge_count(), 3);
+        assert_eq!(m.max_degree(), 1);
+    }
+
+    #[test]
+    fn knodel_w2_is_cycle() {
+        // W_{2,n} is a cycle of length n.
+        let g = knodel(2, 8);
+        let hist = g.out_degree_histogram();
+        assert_eq!(hist[2], 8);
+        assert!(is_strongly_connected(&g));
+        assert_eq!(diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn random_regular_is_regular() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = random_regular(20, 3, &mut rng);
+        assert_eq!(g.vertex_count(), 20);
+        let hist = g.out_degree_histogram();
+        assert_eq!(hist[3], 20);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let empty = gnp(10, 0.0, &mut rng);
+        assert_eq!(empty.arc_count(), 0);
+        let full = gnp(10, 1.0, &mut rng);
+        assert_eq!(full.edge_count(), 45);
+    }
+}

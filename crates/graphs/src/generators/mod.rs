@@ -1,0 +1,21 @@
+//! Topology generators.
+//!
+//! All generators return [`crate::digraph::Digraph`]; undirected networks
+//! are symmetric digraphs. Structured families come with codec helpers for
+//! mapping vertex ids to the labels used in the paper.
+
+mod basic;
+mod butterfly;
+mod debruijn;
+mod misc;
+
+pub use basic::{
+    complete, complete_dary_tree, cycle, directed_cycle, grid2d, hypercube, path, star, torus2d,
+};
+pub use butterfly::{
+    bf_decode, bf_label, bf_vertex, butterfly, wrapped_butterfly, wrapped_butterfly_directed,
+};
+pub use debruijn::{
+    db_label, de_bruijn, de_bruijn_directed, kautz, kautz_directed, kautz_label,
+};
+pub use misc::{cube_connected_cycles, gnp, knodel, random_regular, shuffle_exchange};

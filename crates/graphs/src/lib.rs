@@ -1,0 +1,31 @@
+//! Interconnection-network substrate for the systolic-gossip reproduction.
+//!
+//! The paper (Section 3) models networks as digraphs whose vertices are
+//! processors and whose arcs are communication links; undirected networks
+//! are symmetric digraphs. This crate provides, from scratch:
+//!
+//! * [`digraph`] — immutable CSR digraphs with in/out adjacency;
+//! * [`traversal`] — BFS distances, diameter, strong connectivity, Tarjan
+//!   SCC;
+//! * [`matching`] — the matching conditions of Definition 3.1 (half-duplex
+//!   and full-duplex) plus greedy matchings and edge colorings;
+//! * [`codec`] — digit-string vertex codecs for the structured families;
+//! * [`generators`] — the topology zoo: paths, cycles, complete graphs,
+//!   trees, grids, tori, hypercubes, Butterflies, Wrapped Butterflies
+//!   (directed and undirected), de Bruijn and Kautz networks (directed and
+//!   undirected), shuffle-exchange, cube-connected cycles, Knödel graphs
+//!   and random families;
+//! * [`separator`] — the ⟨α, ℓ⟩-separators of Definition 3.5 and the
+//!   concrete constructions of Lemma 3.1.
+
+pub mod codec;
+pub mod digraph;
+pub mod generators;
+pub mod matching;
+pub mod separator;
+pub mod traversal;
+pub mod weighted;
+
+pub use digraph::{Arc, Digraph};
+pub use separator::{ConcreteSeparator, SeparatorParams};
+pub use weighted::WeightedDigraph;

@@ -1,0 +1,224 @@
+//! Matchings and edge colorings.
+//!
+//! A gossip round (Definition 3.1) is a *matching* in the digraph sense of
+//! the paper: no two active arcs share an endpoint, where both the tail and
+//! the head of an arc count as endpoints. The full-duplex variant relaxes
+//! this exactly one way: two active arcs may coincide as an opposite pair.
+//! Edge colorings produce the "periodic" protocols of Liestman–Richards
+//! (cycling through color classes), the historical ancestor of systolic
+//! gossip that the introduction discusses.
+
+use crate::digraph::{Arc, Digraph};
+
+/// `true` when no two arcs of `arcs` share an endpoint (tails and heads
+/// both count) — the half-duplex/directed matching condition.
+pub fn is_matching(n: usize, arcs: &[Arc]) -> bool {
+    let mut used = vec![false; n];
+    for a in arcs {
+        let (f, t) = (a.from as usize, a.to as usize);
+        if f == t || used[f] || used[t] {
+            return false;
+        }
+        used[f] = true;
+        used[t] = true;
+    }
+    true
+}
+
+/// `true` when `arcs` is valid as a *full-duplex* round: arcs come in
+/// opposite pairs, and distinct pairs do not share endpoints (Section 3:
+/// "any two active arcs either do not have a common endpoint or are
+/// opposite").
+pub fn is_full_duplex_round(n: usize, arcs: &[Arc]) -> bool {
+    use std::collections::HashSet;
+    let set: HashSet<Arc> = arcs.iter().copied().collect();
+    if set.len() != arcs.len() {
+        return false; // duplicates
+    }
+    // Closed under reversal.
+    if !set.iter().all(|a| set.contains(&a.reversed())) {
+        return false;
+    }
+    // The underlying undirected pairs must form a matching.
+    let mut used = vec![false; n];
+    for a in &set {
+        if a.from >= a.to {
+            continue; // handle each pair once (loops are impossible: from==to excluded below)
+        }
+        let (f, t) = (a.from as usize, a.to as usize);
+        if used[f] || used[t] {
+            return false;
+        }
+        used[f] = true;
+        used[t] = true;
+    }
+    // Self-loops are invalid.
+    set.iter().all(|a| !a.is_loop())
+}
+
+/// Greedy maximal matching over the arcs of `g`, scanning arcs in the order
+/// given by `order` (indices into `g.arcs()` collected in canonical order).
+/// With `order = identity` this is deterministic; protocol generators pass
+/// shuffled orders.
+pub fn greedy_maximal_matching(g: &Digraph, order: Option<&[usize]>) -> Vec<Arc> {
+    let arcs: Vec<Arc> = g.arcs().collect();
+    let mut used = vec![false; g.vertex_count()];
+    let mut out = Vec::new();
+    let iter: Box<dyn Iterator<Item = &Arc>> = match order {
+        Some(ord) => Box::new(ord.iter().map(|&i| &arcs[i])),
+        None => Box::new(arcs.iter()),
+    };
+    for a in iter {
+        let (f, t) = (a.from as usize, a.to as usize);
+        if !used[f] && !used[t] {
+            used[f] = true;
+            used[t] = true;
+            out.push(*a);
+        }
+    }
+    out
+}
+
+/// A proper edge coloring of a symmetric digraph's underlying undirected
+/// graph: every edge gets a color, and edges sharing a vertex get distinct
+/// colors. Greedy over edges uses at most `2Δ − 1` colors (Vizing
+/// guarantees `Δ + 1` exists; greedy is enough for protocol generation,
+/// and is exact on paths, cycles of even length, and d-dimensional grids
+/// when edges are fed in dimension order).
+///
+/// Returns `(color_count, colors)` with `colors[i]` the color of the `i`-th
+/// edge of `g.edges()`.
+pub fn greedy_edge_coloring(g: &Digraph) -> (usize, Vec<usize>) {
+    assert!(g.is_symmetric(), "edge coloring needs an undirected graph");
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    let n = g.vertex_count();
+    // colors_at[v] is a bitmask of colors used at v (up to 64 colors, far
+    // beyond any bounded-degree network here; fall back to a Vec otherwise).
+    let max_colors = 2 * g.max_degree();
+    assert!(max_colors <= 64, "greedy_edge_coloring supports degree <= 32");
+    let mut used_at = vec![0u64; n];
+    let mut colors = Vec::with_capacity(edges.len());
+    let mut color_count = 0usize;
+    for &(u, v) in &edges {
+        let free = !(used_at[u] | used_at[v]);
+        let c = free.trailing_zeros() as usize;
+        used_at[u] |= 1 << c;
+        used_at[v] |= 1 << c;
+        colors.push(c);
+        color_count = color_count.max(c + 1);
+    }
+    (color_count, colors)
+}
+
+/// Checks a proper edge coloring: same-colored edges share no vertex.
+pub fn is_proper_edge_coloring(g: &Digraph, colors: &[usize]) -> bool {
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    if colors.len() != edges.len() {
+        return false;
+    }
+    let ncol = colors.iter().copied().max().map_or(0, |c| c + 1);
+    let mut used = vec![vec![false; g.vertex_count()]; ncol];
+    for (&(u, v), &c) in edges.iter().zip(colors) {
+        if used[c][u] || used[c][v] {
+            return false;
+        }
+        used[c][u] = true;
+        used[c][v] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn matching_detects_shared_endpoints() {
+        assert!(is_matching(4, &[Arc::new(0, 1), Arc::new(2, 3)]));
+        // Head of one is tail of another.
+        assert!(!is_matching(4, &[Arc::new(0, 1), Arc::new(1, 2)]));
+        // Shared head.
+        assert!(!is_matching(4, &[Arc::new(0, 2), Arc::new(1, 2)]));
+        // Self loop.
+        assert!(!is_matching(4, &[Arc::new(1, 1)]));
+        // Empty is a matching.
+        assert!(is_matching(4, &[]));
+    }
+
+    #[test]
+    fn full_duplex_round_requires_opposite_pairs() {
+        let ok = [Arc::new(0, 1), Arc::new(1, 0), Arc::new(2, 3), Arc::new(3, 2)];
+        assert!(is_full_duplex_round(4, &ok));
+        // Missing one direction.
+        assert!(!is_full_duplex_round(4, &[Arc::new(0, 1)]));
+        // Pairs sharing a vertex.
+        let bad = [Arc::new(0, 1), Arc::new(1, 0), Arc::new(1, 2), Arc::new(2, 1)];
+        assert!(!is_full_duplex_round(4, &bad));
+    }
+
+    #[test]
+    fn full_duplex_rejects_duplicates() {
+        let dup = [Arc::new(0, 1), Arc::new(1, 0), Arc::new(0, 1), Arc::new(1, 0)];
+        assert!(!is_full_duplex_round(2, &dup));
+    }
+
+    #[test]
+    fn greedy_matching_is_maximal_matching() {
+        let g = generators::cycle(7);
+        let m = greedy_maximal_matching(&g, None);
+        assert!(is_matching(7, &m));
+        // Maximality: no arc can be added.
+        let mut used = [false; 7];
+        for a in &m {
+            used[a.from as usize] = true;
+            used[a.to as usize] = true;
+        }
+        for a in g.arcs() {
+            assert!(
+                used[a.from as usize] || used[a.to as usize],
+                "arc {a} could extend the matching"
+            );
+        }
+    }
+
+    #[test]
+    fn coloring_path_uses_two_colors() {
+        let g = generators::path(6);
+        let (k, colors) = greedy_edge_coloring(&g);
+        assert_eq!(k, 2);
+        assert!(is_proper_edge_coloring(&g, &colors));
+    }
+
+    #[test]
+    fn coloring_even_cycle_two_odd_cycle_three() {
+        let even = generators::cycle(8);
+        let (k, c) = greedy_edge_coloring(&even);
+        assert!(is_proper_edge_coloring(&even, &c));
+        assert_eq!(k, 2);
+        let odd = generators::cycle(7);
+        let (k, c) = greedy_edge_coloring(&odd);
+        assert!(is_proper_edge_coloring(&odd, &c));
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn coloring_complete_graph_within_bound() {
+        let g = generators::complete(6);
+        let (k, c) = greedy_edge_coloring(&g);
+        assert!(is_proper_edge_coloring(&g, &c));
+        // Greedy bound: at most 2Δ − 1 colors.
+        assert!(k < 2 * g.max_degree());
+        // Lower bound: at least Δ colors.
+        assert!(k >= g.max_degree());
+    }
+
+    #[test]
+    fn improper_coloring_rejected() {
+        let g = generators::path(3); // edges (0,1), (1,2)
+        assert!(!is_proper_edge_coloring(&g, &[0, 0]));
+        assert!(is_proper_edge_coloring(&g, &[0, 1]));
+        // Wrong length.
+        assert!(!is_proper_edge_coloring(&g, &[0]));
+    }
+}

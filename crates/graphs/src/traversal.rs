@@ -1,0 +1,275 @@
+//! Breadth-first traversal, distances, diameter, connectivity and strongly
+//! connected components.
+//!
+//! Distances drive two parts of the reproduction: verifying the concrete
+//! separators of Lemma 3.1 (`dist(V1, V2)` must match the paper's claim)
+//! and the diameter lower bounds of Fig. 6.
+
+use crate::digraph::Digraph;
+
+/// Marker for an unreachable vertex in distance vectors.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances along out-arcs.
+pub fn bfs_distances(g: &Digraph, src: usize) -> Vec<u32> {
+    multi_source_bfs(g, std::iter::once(src))
+}
+
+/// Multi-source BFS distances along out-arcs: `d[v]` is the minimum number
+/// of arcs from any source to `v`.
+pub fn multi_source_bfs(g: &Digraph, sources: impl IntoIterator<Item = usize>) -> Vec<u32> {
+    let n = g.vertex_count();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = std::collections::VecDeque::new();
+    for s in sources {
+        if dist[s] == UNREACHABLE {
+            dist[s] = 0;
+            queue.push_back(s as u32);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.out_neighbors(v as usize) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Directed distance from `u` to `v` (`None` when unreachable).
+pub fn distance(g: &Digraph, u: usize, v: usize) -> Option<u32> {
+    let d = bfs_distances(g, u)[v];
+    (d != UNREACHABLE).then_some(d)
+}
+
+/// Minimum directed distance from any vertex of `from` to any vertex of
+/// `to` — the quantity `min_{x∈V1, y∈V2} dist_G(x, y)` of Definition 3.5.
+pub fn set_distance(g: &Digraph, from: &[usize], to: &[usize]) -> Option<u32> {
+    if from.is_empty() || to.is_empty() {
+        return None;
+    }
+    let dist = multi_source_bfs(g, from.iter().copied());
+    to.iter()
+        .map(|&v| dist[v])
+        .min()
+        .filter(|&d| d != UNREACHABLE)
+}
+
+/// Eccentricity of `v`: the largest finite distance from `v`; `None` if
+/// some vertex is unreachable.
+pub fn eccentricity(g: &Digraph, v: usize) -> Option<u32> {
+    let dist = bfs_distances(g, v);
+    let mut ecc = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        ecc = ecc.max(d);
+    }
+    Some(ecc)
+}
+
+/// Exact diameter by all-pairs BFS (`O(n·m)`); fine for the instance sizes
+/// this workspace simulates. `None` when the digraph is not strongly
+/// connected (infinite diameter).
+pub fn diameter(g: &Digraph) -> Option<u32> {
+    let mut best = 0;
+    for v in 0..g.vertex_count() {
+        best = best.max(eccentricity(g, v)?);
+    }
+    Some(best)
+}
+
+/// `true` when every vertex reaches every other (strong connectivity):
+/// one forward and one backward BFS from vertex 0.
+pub fn is_strongly_connected(g: &Digraph) -> bool {
+    let n = g.vertex_count();
+    if n <= 1 {
+        return true;
+    }
+    let fwd = bfs_distances(g, 0);
+    if fwd.contains(&UNREACHABLE) {
+        return false;
+    }
+    let bwd = bfs_distances(&g.reverse(), 0);
+    bwd.iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Strongly connected components via iterative Tarjan. Returns
+/// `(component_count, component_id_per_vertex)`; component ids are in
+/// reverse topological order of the condensation (Tarjan's natural order).
+pub fn tarjan_scc(g: &Digraph) -> (usize, Vec<u32>) {
+    let n = g.vertex_count();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNVISITED; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut comp_count = 0u32;
+
+    // Explicit DFS stack: (vertex, next child offset).
+    let mut call: Vec<(u32, u32)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        call.push((root as u32, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root as u32);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut child)) = call.last_mut() {
+            let neigh = g.out_neighbors(v as usize);
+            if (*child as usize) < neigh.len() {
+                let w = neigh[*child as usize];
+                *child += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is an SCC root: pop its component.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = comp_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+            }
+        }
+    }
+    (comp_count as usize, comp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::Arc;
+
+    fn path4() -> Digraph {
+        Digraph::from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let d = bfs_distances(&path4(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_unreachable_in_directed() {
+        let g = Digraph::from_arcs(3, [Arc::new(0, 1)]);
+        let d = bfs_distances(&g, 1);
+        assert_eq!(d, vec![UNREACHABLE, 0, UNREACHABLE]);
+        assert_eq!(distance(&g, 0, 1), Some(1));
+        assert_eq!(distance(&g, 1, 0), None);
+    }
+
+    #[test]
+    fn set_distance_multi_source() {
+        let g = path4();
+        assert_eq!(set_distance(&g, &[0, 1], &[3]), Some(2));
+        assert_eq!(set_distance(&g, &[0], &[0]), Some(0));
+        assert_eq!(set_distance(&g, &[], &[1]), None);
+    }
+
+    #[test]
+    fn diameter_path_and_cycle() {
+        assert_eq!(diameter(&path4()), Some(3));
+        let c5 = Digraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(diameter(&c5), Some(2));
+    }
+
+    #[test]
+    fn diameter_disconnected_is_none() {
+        let g = Digraph::from_edges(4, [(0, 1), (2, 3)]);
+        assert_eq!(diameter(&g), None);
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn strongly_connected_cycle_not_path() {
+        let cyc = Digraph::from_arcs(3, [Arc::new(0, 1), Arc::new(1, 2), Arc::new(2, 0)]);
+        assert!(is_strongly_connected(&cyc));
+        let path = Digraph::from_arcs(3, [Arc::new(0, 1), Arc::new(1, 2)]);
+        assert!(!is_strongly_connected(&path));
+    }
+
+    #[test]
+    fn tarjan_on_two_cycles_with_bridge() {
+        // 0→1→0 and 2→3→2, bridge 1→2: two SCCs of size 2.
+        let g = Digraph::from_arcs(
+            4,
+            [
+                Arc::new(0, 1),
+                Arc::new(1, 0),
+                Arc::new(1, 2),
+                Arc::new(2, 3),
+                Arc::new(3, 2),
+            ],
+        );
+        let (count, comp) = tarjan_scc(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn tarjan_singletons_on_dag() {
+        let g = Digraph::from_arcs(3, [Arc::new(0, 1), Arc::new(1, 2)]);
+        let (count, comp) = tarjan_scc(&g);
+        assert_eq!(count, 3);
+        // All distinct.
+        assert_ne!(comp[0], comp[1]);
+        assert_ne!(comp[1], comp[2]);
+    }
+
+    #[test]
+    fn tarjan_matches_strong_connectivity() {
+        let cyc = Digraph::from_arcs(5, (0..5).map(|i| Arc::new(i, (i + 1) % 5)));
+        let (count, _) = tarjan_scc(&cyc);
+        assert_eq!(count, 1);
+        assert!(is_strongly_connected(&cyc));
+    }
+
+    #[test]
+    fn eccentricity_center_vs_leaf() {
+        let g = path4();
+        assert_eq!(eccentricity(&g, 0), Some(3));
+        assert_eq!(eccentricity(&g, 1), Some(2));
+    }
+
+    #[test]
+    fn deep_recursion_free_tarjan() {
+        // A long directed cycle exercises the iterative DFS (would blow the
+        // stack if implemented recursively).
+        let n = 200_000;
+        let g = Digraph::from_arcs(n, (0..n).map(|i| Arc::new(i, (i + 1) % n)));
+        let (count, _) = tarjan_scc(&g);
+        assert_eq!(count, 1);
+    }
+}

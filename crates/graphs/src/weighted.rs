@@ -1,0 +1,231 @@
+//! Weighted digraphs and shortest paths.
+//!
+//! Section 7 of the paper points out that the delay-matrix technique also
+//! yields lower bounds on the *diameter of weighted digraphs* ("such
+//! issues … deserve further investigation"). This module provides the
+//! substrate for that extension: positive-integer-weighted digraphs,
+//! Dijkstra shortest paths and exact weighted diameters, which
+//! `sg-delay::weighted` then bounds from below.
+
+use crate::digraph::{Arc, Digraph};
+use std::collections::BinaryHeap;
+
+/// A digraph with positive integer arc weights (lengths).
+#[derive(Debug, Clone)]
+pub struct WeightedDigraph {
+    n: usize,
+    // CSR over (head, weight) pairs.
+    out_ptr: Vec<u32>,
+    out_adj: Vec<(u32, u32)>,
+}
+
+impl WeightedDigraph {
+    /// Builds from weighted arcs `(from, to, weight)`. Weights must be
+    /// `≥ 1`; self-loops are dropped, duplicate arcs keep the *minimum*
+    /// weight.
+    pub fn from_arcs(n: usize, arcs: impl IntoIterator<Item = (usize, usize, u32)>) -> Self {
+        let mut list: Vec<(u32, u32, u32)> = arcs
+            .into_iter()
+            .inspect(|&(u, v, w)| {
+                assert!(u < n && v < n, "arc ({u},{v}) out of range");
+                assert!(w >= 1, "weights must be positive");
+            })
+            .filter(|&(u, v, _)| u != v)
+            .map(|(u, v, w)| (u as u32, v as u32, w))
+            .collect();
+        list.sort_unstable();
+        // Keep the minimum weight per (u, v).
+        list.dedup_by(|a, b| {
+            if a.0 == b.0 && a.1 == b.1 {
+                b.2 = b.2.min(a.2);
+                true
+            } else {
+                false
+            }
+        });
+        let mut out_ptr = vec![0u32; n + 1];
+        for &(u, _, _) in &list {
+            out_ptr[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_ptr[i + 1] += out_ptr[i];
+        }
+        let out_adj = list.iter().map(|&(_, v, w)| (v, w)).collect();
+        Self { n, out_ptr, out_adj }
+    }
+
+    /// Lifts an unweighted digraph with unit weights.
+    pub fn unit_weights(g: &Digraph) -> Self {
+        Self::from_arcs(
+            g.vertex_count(),
+            g.arcs().map(|a| (a.from as usize, a.to as usize, 1)),
+        )
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Weighted out-neighbours of `v` as `(head, weight)` pairs.
+    pub fn out_neighbors(&self, v: usize) -> &[(u32, u32)] {
+        &self.out_adj[self.out_ptr[v] as usize..self.out_ptr[v + 1] as usize]
+    }
+
+    /// Iterator over `(arc, weight)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (Arc, u32)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.out_neighbors(u).iter().map(move |&(v, w)| {
+                (
+                    Arc {
+                        from: u as u32,
+                        to: v,
+                    },
+                    w,
+                )
+            })
+        })
+    }
+
+    /// Largest arc weight (`0` for an empty graph).
+    pub fn max_weight(&self) -> u32 {
+        self.out_adj.iter().map(|&(_, w)| w).max().unwrap_or(0)
+    }
+
+    /// Dijkstra distances from `src` (`u64::MAX` marks unreachable).
+    pub fn dijkstra(&self, src: usize) -> Vec<u64> {
+        const INF: u64 = u64::MAX;
+        let mut dist = vec![INF; self.n];
+        dist[src] = 0;
+        // Max-heap over Reverse((dist, vertex)).
+        let mut heap = BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0u64, src as u32)));
+        while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+            if d > dist[v as usize] {
+                continue; // stale entry
+            }
+            for &(w, wt) in self.out_neighbors(v as usize) {
+                let nd = d + wt as u64;
+                if nd < dist[w as usize] {
+                    dist[w as usize] = nd;
+                    heap.push(std::cmp::Reverse((nd, w)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// Weighted distance `u → v`.
+    pub fn distance(&self, u: usize, v: usize) -> Option<u64> {
+        let d = self.dijkstra(u)[v];
+        (d != u64::MAX).then_some(d)
+    }
+
+    /// Exact weighted diameter by all-pairs Dijkstra; `None` when not
+    /// strongly connected.
+    pub fn diameter(&self) -> Option<u64> {
+        let mut best = 0u64;
+        for v in 0..self.n {
+            let dist = self.dijkstra(v);
+            for &d in &dist {
+                if d == u64::MAX {
+                    return None;
+                }
+                best = best.max(d);
+            }
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dijkstra_on_weighted_path() {
+        // 0 →(5) 1 →(2) 2, plus a slow shortcut 0 →(10) 2.
+        let g = WeightedDigraph::from_arcs(3, [(0, 1, 5), (1, 2, 2), (0, 2, 10)]);
+        assert_eq!(g.dijkstra(0), vec![0, 5, 7]);
+        assert_eq!(g.distance(0, 2), Some(7));
+        assert_eq!(g.distance(2, 0), None);
+    }
+
+    #[test]
+    fn duplicate_arcs_keep_minimum() {
+        let g = WeightedDigraph::from_arcs(2, [(0, 1, 9), (0, 1, 3), (0, 1, 7)]);
+        assert_eq!(g.arc_count(), 1);
+        assert_eq!(g.distance(0, 1), Some(3));
+    }
+
+    #[test]
+    fn unit_weights_match_bfs() {
+        let g = generators::de_bruijn_directed(2, 4);
+        let wg = WeightedDigraph::unit_weights(&g);
+        let bfs = crate::traversal::bfs_distances(&g, 3);
+        let dij = wg.dijkstra(3);
+        for v in 0..g.vertex_count() {
+            assert_eq!(bfs[v] as u64, dij[v], "vertex {v}");
+        }
+        assert_eq!(
+            wg.diameter(),
+            crate::traversal::diameter(&g).map(|d| d as u64)
+        );
+    }
+
+    #[test]
+    fn weighted_cycle_diameter() {
+        // Directed cycle with weights 1..n: diameter is the full loop
+        // minus the lightest arc... concretely, dist(u, u−1) dominates.
+        let n = 5;
+        let arcs: Vec<(usize, usize, u32)> =
+            (0..n).map(|i| (i, (i + 1) % n, (i + 1) as u32)).collect();
+        let g = WeightedDigraph::from_arcs(n, arcs);
+        // Total loop weight 1+2+3+4+5 = 15; dist(i, i-1) = 15 − w(i−1→i).
+        assert_eq!(g.distance(1, 0), Some(15 - 1));
+        assert_eq!(g.diameter(), Some(14));
+    }
+
+    #[test]
+    fn self_loops_dropped_and_weights_validated() {
+        let g = WeightedDigraph::from_arcs(2, [(0, 0, 4), (0, 1, 2)]);
+        assert_eq!(g.arc_count(), 1);
+        assert_eq!(g.max_weight(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_panics() {
+        let _ = WeightedDigraph::from_arcs(2, [(0, 1, 0)]);
+    }
+
+    #[test]
+    fn stale_heap_entries_are_skipped() {
+        // A graph with many alternative routes exercises the stale-entry
+        // guard: grid with random-ish weights.
+        let mut arcs = Vec::new();
+        let w = 4usize;
+        for y in 0..w {
+            for x in 0..w {
+                let v = y * w + x;
+                if x + 1 < w {
+                    arcs.push((v, v + 1, ((v % 3) + 1) as u32));
+                    arcs.push((v + 1, v, ((v % 2) + 1) as u32));
+                }
+                if y + 1 < w {
+                    arcs.push((v, v + w, ((v % 4) + 1) as u32));
+                    arcs.push((v + w, v, 1u32));
+                }
+            }
+        }
+        let g = WeightedDigraph::from_arcs(w * w, arcs);
+        let diam = g.diameter().expect("strongly connected");
+        assert!(diam >= (2 * (w - 1)) as u64, "at least the hop distance");
+    }
+}

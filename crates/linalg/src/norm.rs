@@ -1,0 +1,297 @@
+//! Euclidean matrix norms and spectral radii via power iteration.
+//!
+//! The paper's machinery only ever needs these quantities for *nonnegative*
+//! matrices (delay matrices have entries `λ^w > 0`), where power iteration
+//! with a strictly positive start vector converges to the Perron value.
+//! `‖M‖₂ = √ρ(MᵀM)` (Section 2), and `MᵀM` is symmetric positive
+//! semidefinite, so the Rayleigh quotient converges monotonically enough for
+//! a simple relative-change stopping rule.
+
+use crate::dense::DenseMatrix;
+use crate::rng::XorShift64;
+use crate::sparse::CsrMatrix;
+use crate::vector;
+
+/// Options for power iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerIterOpts {
+    /// Maximum number of iterations before giving up and returning the
+    /// current Rayleigh estimate.
+    pub max_iters: usize,
+    /// Relative tolerance on the eigenvalue estimate between iterations.
+    pub tol: f64,
+    /// Seed for the deterministic start-vector perturbation.
+    pub seed: u64,
+}
+
+impl Default for PowerIterOpts {
+    fn default() -> Self {
+        Self {
+            max_iters: 20_000,
+            tol: 1e-13,
+            seed: 0x5EED,
+        }
+    }
+}
+
+fn start_vector(n: usize, seed: u64) -> Vec<f64> {
+    // Strictly positive start: all-ones plus a small deterministic jitter.
+    // Positivity guarantees a nonzero Perron component for nonnegative
+    // matrices; the jitter avoids symmetric cancellation in signed tests.
+    let mut rng = XorShift64::new(seed);
+    (0..n).map(|_| 1.0 + 0.01 * rng.next_f64()).collect()
+}
+
+/// Spectral norm `‖A‖₂` of a sparse matrix via power iteration on `AᵀA`.
+///
+/// Returns `0.0` for a matrix with no nonzeros.
+pub fn spectral_norm_sparse(a: &CsrMatrix, opts: PowerIterOpts) -> f64 {
+    if a.nnz() == 0 {
+        return 0.0;
+    }
+    let n = a.cols();
+    let m = a.rows();
+    let mut x = start_vector(n, opts.seed);
+    vector::normalize(&mut x);
+    let mut ax = vec![0.0; m];
+    let mut atax = vec![0.0; n];
+    let mut prev = 0.0_f64;
+    for _ in 0..opts.max_iters {
+        a.matvec(&x, &mut ax);
+        a.matvec_transpose(&ax, &mut atax);
+        // Rayleigh quotient of AᵀA at unit x is ‖Ax‖² = xᵀ(AᵀA)x.
+        let lam = vector::dot(&x, &atax);
+        let nrm = vector::normalize(&mut atax);
+        if nrm == 0.0 {
+            // x is in the null space of AᵀA; for nonnegative A with a
+            // positive start this means A = 0 numerically.
+            return 0.0;
+        }
+        std::mem::swap(&mut x, &mut atax);
+        if (lam - prev).abs() <= opts.tol * lam.max(1e-300) {
+            return lam.max(0.0).sqrt();
+        }
+        prev = lam;
+    }
+    prev.max(0.0).sqrt()
+}
+
+/// Spectral norm of a dense matrix (converts to CSR; dense matrices in this
+/// workspace are tiny local matrices, so the conversion cost is irrelevant).
+pub fn spectral_norm_dense(a: &DenseMatrix, opts: PowerIterOpts) -> f64 {
+    spectral_norm_sparse(&CsrMatrix::from_dense(a), opts)
+}
+
+/// Spectral radius `ρ(A)` of a *nonnegative* square matrix via power
+/// iteration. For nonnegative matrices the Perron–Frobenius theorem
+/// guarantees `ρ(A)` is an eigenvalue with a nonnegative eigenvector, and a
+/// positive start vector has a component along it.
+///
+/// Internally iterates on the shifted operator `A + I`: for nonnegative `A`
+/// the shift satisfies `ρ(A + I) = ρ(A) + 1` and destroys the spectral
+/// periodicity that would otherwise make the Rayleigh quotient oscillate on
+/// imprimitive matrices (e.g. permutation cycles). Accuracy caveat: for
+/// *defective* dominant eigenvalues (nilpotent blocks) convergence degrades
+/// to `O(1/k)`, so exact zeros may come back as `~1e-4`; the matrices this
+/// workspace actually cares about (`MᵀM`, `Ox·Nx`, both with positive
+/// diagonals in the relevant regime) converge geometrically.
+///
+/// # Panics
+/// Panics if `a` is not square or has a negative entry.
+pub fn spectral_radius_sparse(a: &CsrMatrix, opts: PowerIterOpts) -> f64 {
+    assert_eq!(a.rows(), a.cols(), "spectral radius needs a square matrix");
+    assert!(a.is_nonnegative(), "power iteration for rho needs A >= 0");
+    if a.nnz() == 0 {
+        return 0.0;
+    }
+    let n = a.rows();
+    let mut x = start_vector(n, opts.seed);
+    vector::normalize(&mut x);
+    let mut ax = vec![0.0; n];
+    let mut prev = 0.0_f64;
+    for _ in 0..opts.max_iters {
+        a.matvec(&x, &mut ax);
+        // Shifted operator (A + I)x = Ax + x.
+        vector::axpy(1.0, &x, &mut ax);
+        let lam = vector::dot(&x, &ax); // Rayleigh quotient of A + I
+        let nrm = vector::normalize(&mut ax);
+        if nrm == 0.0 {
+            return 0.0;
+        }
+        std::mem::swap(&mut x, &mut ax);
+        if (lam - prev).abs() <= opts.tol * lam.abs().max(1e-300) {
+            return (lam - 1.0).max(0.0);
+        }
+        prev = lam;
+    }
+    (prev - 1.0).max(0.0)
+}
+
+/// Dense wrapper over [`spectral_radius_sparse`].
+pub fn spectral_radius_dense(a: &DenseMatrix, opts: PowerIterOpts) -> f64 {
+    spectral_radius_sparse(&CsrMatrix::from_dense(a), opts)
+}
+
+/// Verifies the semi-eigenvector relation of Definition 2.2 / Lemma 2.1:
+/// `x > 0`, `Mx ≤ e·x` component-wise. Returns `true` when the relation
+/// holds within `tol` per component, where the tolerance is applied
+/// relative to the component magnitude (semi-eigenvector components can
+/// span many orders of magnitude — e.g. the Lemma 4.2 vector
+/// `e_j = λ^{Σ(r_c − l_{c+1})}` for unbalanced patterns — so an absolute
+/// tolerance would be meaningless).
+pub fn is_semi_eigenvector(m: &DenseMatrix, x: &[f64], e: f64, tol: f64) -> bool {
+    if x.iter().any(|&v| v <= 0.0) {
+        return false;
+    }
+    let mx = m.matvec(x);
+    mx.iter()
+        .zip(x)
+        .all(|(lhs, xi)| *lhs <= e * xi + tol * (e * xi).abs().max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::sparse::CooBuilder;
+
+    const OPTS: PowerIterOpts = PowerIterOpts {
+        max_iters: 50_000,
+        tol: 1e-14,
+        seed: 0xABCD,
+    };
+
+    #[test]
+    fn norm_of_diagonal() {
+        let d = DenseMatrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 2.0]]);
+        assert!(approx_eq(spectral_norm_dense(&d, OPTS), 3.0, 1e-10));
+    }
+
+    #[test]
+    fn norm_of_rank_one() {
+        // ‖u vᵀ‖ = ‖u‖·‖v‖.
+        let u = [1.0, 2.0];
+        let v = [3.0, 4.0, 12.0];
+        let m = DenseMatrix::from_fn(2, 3, |i, j| u[i] * v[j]);
+        let expect = (5.0_f64).sqrt() * (169.0_f64).sqrt();
+        assert!(approx_eq(spectral_norm_dense(&m, OPTS), expect, 1e-10));
+    }
+
+    #[test]
+    fn norm_known_2x2() {
+        // M = [[1,1],[0,1]]: singular values are golden-ratio related;
+        // sigma_max = (1+sqrt(5))/2.
+        let m = DenseMatrix::from_rows(&[vec![1.0, 1.0], vec![0.0, 1.0]]);
+        let phi = (1.0 + 5.0_f64.sqrt()) / 2.0;
+        assert!(approx_eq(spectral_norm_dense(&m, OPTS), phi, 1e-10));
+    }
+
+    #[test]
+    fn radius_of_permutation_is_one() {
+        let mut b = CooBuilder::new(3, 3);
+        b.push(0, 1, 1.0);
+        b.push(1, 2, 1.0);
+        b.push(2, 0, 1.0);
+        let p = b.build();
+        assert!(approx_eq(spectral_radius_sparse(&p, OPTS), 1.0, 1e-9));
+        // A permutation is orthogonal, so its spectral norm is 1 as well.
+        assert!(approx_eq(spectral_norm_sparse(&p, OPTS), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn radius_of_nilpotent_is_zero() {
+        let mut b = CooBuilder::new(3, 3);
+        b.push(0, 1, 5.0);
+        b.push(1, 2, 7.0);
+        let m = b.build();
+        // Defective (nilpotent) case: convergence is only O(1/k), so allow
+        // a loose tolerance; the true radius is 0.
+        assert!(spectral_radius_sparse(&m, OPTS) < 1e-3);
+    }
+
+    #[test]
+    fn radius_positive_matrix() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let m = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        assert!(approx_eq(spectral_radius_dense(&m, OPTS), 3.0, 1e-10));
+        // Symmetric: spectral norm equals spectral radius (Section 2).
+        assert!(approx_eq(spectral_norm_dense(&m, OPTS), 3.0, 1e-10));
+    }
+
+    #[test]
+    fn zero_matrix_norms() {
+        let z = CsrMatrix::zeros(4, 4);
+        assert_eq!(spectral_norm_sparse(&z, OPTS), 0.0);
+        assert_eq!(spectral_radius_sparse(&z, OPTS), 0.0);
+    }
+
+    #[test]
+    fn norm_equals_sqrt_radius_of_gram() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0, 0.0], vec![0.0, 1.0, 3.0]]);
+        let mt = m.transpose();
+        let gram = mt.matmul(&m);
+        let direct = spectral_norm_dense(&m, OPTS);
+        let via_gram = spectral_radius_dense(&gram, OPTS).sqrt();
+        assert!(approx_eq(direct, via_gram, 1e-9));
+    }
+
+    #[test]
+    fn semi_eigenvector_detection() {
+        // Row-stochastic-ish: ones vector is an exact eigenvector of the
+        // all-(1/2) 2x2 matrix with eigenvalue 1.
+        let m = DenseMatrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]);
+        assert!(is_semi_eigenvector(&m, &[1.0, 1.0], 1.0, 1e-12));
+        // e smaller than the true value must fail.
+        assert!(!is_semi_eigenvector(&m, &[1.0, 1.0], 0.9, 1e-12));
+        // Nonpositive vectors are rejected.
+        assert!(!is_semi_eigenvector(&m, &[1.0, 0.0], 1.0, 1e-12));
+    }
+
+    #[test]
+    fn norm_properties_on_samples() {
+        // Triangle inequality and submultiplicativity spot checks
+        // (norm properties 5 and 6 of Section 2).
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![0.5, 0.0]]);
+        let b = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 0.25]]);
+        let na = spectral_norm_dense(&a, OPTS);
+        let nb = spectral_norm_dense(&b, OPTS);
+        let nsum = spectral_norm_dense(&a.add(&b), OPTS);
+        let nprod = spectral_norm_dense(&a.matmul(&b), OPTS);
+        assert!(nsum <= na + nb + 1e-9);
+        assert!(nprod <= na * nb + 1e-9);
+    }
+
+    #[test]
+    fn block_diag_norm_is_max() {
+        // Norm property 8.
+        let a = DenseMatrix::from_rows(&[vec![2.0]]);
+        let b = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let d = DenseMatrix::block_diag(&[a.clone(), b.clone()]);
+        let na = spectral_norm_dense(&a, OPTS);
+        let nb = spectral_norm_dense(&b, OPTS);
+        let nd = spectral_norm_dense(&d, OPTS);
+        assert!(approx_eq(nd, na.max(nb), 1e-9));
+    }
+
+    #[test]
+    fn permutation_invariance() {
+        // Norm property 7.
+        let m = DenseMatrix::from_rows(&[vec![1.0, 3.0], vec![2.0, 4.0]]);
+        let p = m.permute_rows(&[1, 0]).permute_cols(&[1, 0]);
+        assert!(approx_eq(
+            spectral_norm_dense(&m, OPTS),
+            spectral_norm_dense(&p, OPTS),
+            1e-10
+        ));
+    }
+
+    #[test]
+    fn monotonicity_for_nonnegative() {
+        // Norm property 4: M <= N entrywise (nonneg) implies ‖M‖ <= ‖N‖.
+        let m = DenseMatrix::from_rows(&[vec![1.0, 0.5], vec![0.0, 1.0]]);
+        let n = m.scale(1.5);
+        assert!(
+            spectral_norm_dense(&m, OPTS) <= spectral_norm_dense(&n, OPTS) + 1e-12
+        );
+    }
+}

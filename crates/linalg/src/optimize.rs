@@ -1,0 +1,159 @@
+//! Derivative-free 1-D maximization.
+//!
+//! Theorem 5.1 asks for
+//! `e(s) = max_{0<λ<1, f(λ)≤1} ℓ·(α − log₂ f(λ)) / log₂(1/λ)`.
+//! The objective is smooth but not guaranteed unimodal for every separator,
+//! so the robust strategy is a dense scan to locate the best bucket followed
+//! by golden-section refinement inside it. The problems are tiny (scalar,
+//! one per table cell), so robustness beats cleverness.
+
+/// Result of a 1-D maximization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxResult {
+    /// Argmax.
+    pub x: f64,
+    /// Maximum value.
+    pub value: f64,
+}
+
+const INVPHI: f64 = 0.618_033_988_749_894_8; // 1/φ
+const INVPHI2: f64 = 0.381_966_011_250_105_2; // 1/φ²
+
+/// Golden-section search for the maximum of a *unimodal* function on
+/// `[lo, hi]`. `iters` halvings of the golden kind (each shrinks the
+/// interval by 1/φ); 100 iterations resolve any f64 interval.
+pub fn golden_section_max(f: impl Fn(f64) -> f64, lo: f64, hi: f64, iters: usize) -> MaxResult {
+    let (mut a, mut b) = (lo, hi);
+    let mut h = b - a;
+    let mut c = a + INVPHI2 * h;
+    let mut d = a + INVPHI * h;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..iters {
+        if h <= f64::EPSILON * (a.abs() + b.abs()).max(1.0) {
+            break;
+        }
+        if fc > fd {
+            b = d;
+            d = c;
+            fd = fc;
+            h = b - a;
+            c = a + INVPHI2 * h;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            h = b - a;
+            d = a + INVPHI * h;
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    MaxResult { x, value: f(x) }
+}
+
+/// Robust maximization on `[lo, hi]`: dense scan over `scan_points`
+/// samples, then golden-section refinement on the bracket around the best
+/// sample. Handles objectives that return `-∞`/NaN outside their feasible
+/// region (infeasible samples are skipped).
+pub fn maximize_scan_refine(
+    f: impl Fn(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    scan_points: usize,
+) -> MaxResult {
+    assert!(scan_points >= 3, "need at least 3 scan points");
+    assert!(hi > lo, "empty interval");
+    let step = (hi - lo) / (scan_points - 1) as f64;
+    let mut best_i = 0usize;
+    let mut best_v = f64::NEG_INFINITY;
+    for i in 0..scan_points {
+        let x = lo + step * i as f64;
+        let v = f(x);
+        if v.is_finite() && v > best_v {
+            best_v = v;
+            best_i = i;
+        }
+    }
+    if best_v == f64::NEG_INFINITY {
+        // Entirely infeasible: report the midpoint with -inf.
+        return MaxResult {
+            x: 0.5 * (lo + hi),
+            value: f64::NEG_INFINITY,
+        };
+    }
+    let a = lo + step * best_i.saturating_sub(1) as f64;
+    let b = (lo + step * (best_i + 1) as f64).min(hi);
+    // Guard the refinement against -inf plateaus at the bracket edges by
+    // clamping the objective.
+    let g = |x: f64| {
+        let v = f(x);
+        if v.is_finite() {
+            v
+        } else {
+            f64::MIN
+        }
+    };
+    let refined = golden_section_max(g, a, b, 100);
+    if refined.value >= best_v {
+        refined
+    } else {
+        MaxResult {
+            x: lo + step * best_i as f64,
+            value: best_v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn golden_parabola() {
+        let r = golden_section_max(|x| -(x - 0.3) * (x - 0.3), 0.0, 1.0, 100);
+        assert!(approx_eq(r.x, 0.3, 1e-9));
+        assert!(r.value.abs() < 1e-16);
+    }
+
+    #[test]
+    fn scan_refine_multimodal_picks_global() {
+        // Two bumps; the higher one is at x = 0.8.
+        let f = |x: f64| {
+            (-(x - 0.2) * (x - 0.2) / 0.001).exp() + 2.0 * (-(x - 0.8) * (x - 0.8) / 0.001).exp()
+        };
+        let r = maximize_scan_refine(f, 0.0, 1.0, 2001);
+        assert!(approx_eq(r.x, 0.8, 1e-6));
+        assert!(approx_eq(r.value, 2.0, 1e-6));
+    }
+
+    #[test]
+    fn scan_refine_with_infeasible_region() {
+        // Objective only defined on [0, 0.5].
+        let f = |x: f64| {
+            if x > 0.5 {
+                f64::NEG_INFINITY
+            } else {
+                x
+            }
+        };
+        let r = maximize_scan_refine(f, 0.0, 1.0, 1001);
+        assert!(approx_eq(r.x, 0.5, 1e-6));
+        assert!(approx_eq(r.value, 0.5, 1e-6));
+    }
+
+    #[test]
+    fn scan_refine_all_infeasible() {
+        let r = maximize_scan_refine(|_| f64::NEG_INFINITY, 0.0, 1.0, 101);
+        assert_eq!(r.value, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn golden_monotone_edge() {
+        // Monotone increasing: max at right endpoint.
+        let r = golden_section_max(|x| x, 0.0, 2.0, 200);
+        assert!(approx_eq(r.x, 2.0, 1e-9));
+    }
+}

@@ -1,0 +1,223 @@
+//! Polynomials and the paper's gossip polynomials `p_i(λ)`.
+//!
+//! Definition (Section 1/4 of the paper): for any integer `i > 0`,
+//! `p_i(λ) = 1 + λ² + λ⁴ + ⋯ + λ^{2i−2}` — `i` terms with even exponents.
+//! They satisfy the splicing identity used throughout Lemma 4.2:
+//! `p_i(λ) + λ^{2i}·p_j(λ) = p_{i+j}(λ)`, and the concavity-style
+//! inequality of Lemma 4.3's proof:
+//! `p_{i+1}(λ)·p_{j−1}(λ) < p_i(λ)·p_j(λ)` for `i ≥ j` and `λ ∈ (0,1)`,
+//! which is why the worst split of a period `s` is `⌈s/2⌉ / ⌊s/2⌋`.
+
+/// A dense univariate polynomial with `f64` coefficients,
+/// `c₀ + c₁x + c₂x² + ⋯`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Builds from coefficients in ascending-degree order; trailing zeros
+    /// are trimmed.
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        while coeffs.len() > 1 && *coeffs.last().unwrap() == 0.0 {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Self { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self::new(vec![0.0])
+    }
+
+    /// The monomial `c·x^k`.
+    pub fn monomial(c: f64, k: usize) -> Self {
+        let mut v = vec![0.0; k + 1];
+        v[k] = c;
+        Self::new(v)
+    }
+
+    /// Degree (0 for the zero polynomial, by convention).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Coefficient view, ascending degree.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Horner evaluation.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Polynomial sum.
+    pub fn add(&self, rhs: &Self) -> Self {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = vec![0.0; n];
+        for (i, c) in self.coeffs.iter().enumerate() {
+            out[i] += c;
+        }
+        for (i, c) in rhs.coeffs.iter().enumerate() {
+            out[i] += c;
+        }
+        Self::new(out)
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        let mut out = vec![0.0; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if *a == 0.0 {
+                continue;
+            }
+            for (j, b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Self::new(out)
+    }
+
+    /// Scales every coefficient.
+    pub fn scale(&self, a: f64) -> Self {
+        Self::new(self.coeffs.iter().map(|c| a * c).collect())
+    }
+
+    /// Derivative.
+    pub fn derivative(&self) -> Self {
+        if self.coeffs.len() <= 1 {
+            return Self::zero();
+        }
+        Self::new(
+            self.coeffs[1..]
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i + 1) as f64 * c)
+                .collect(),
+        )
+    }
+}
+
+/// The gossip polynomial `p_i(λ) = 1 + λ² + ⋯ + λ^{2i−2}` as a
+/// [`Polynomial`]. `p_0` is the zero polynomial (empty sum).
+pub fn gossip_p(i: usize) -> Polynomial {
+    if i == 0 {
+        return Polynomial::zero();
+    }
+    let mut coeffs = vec![0.0; 2 * i - 1];
+    for k in 0..i {
+        coeffs[2 * k] = 1.0;
+    }
+    Polynomial::new(coeffs)
+}
+
+/// Direct evaluation of `p_i(λ)` without building the coefficient vector:
+/// the closed form `(1 − λ^{2i}) / (1 − λ²)` for `λ ≠ 1`, else `i`.
+///
+/// This is the hot path of every bound computation in `sg-bounds`.
+#[inline]
+pub fn gossip_p_eval(i: usize, lambda: f64) -> f64 {
+    if i == 0 {
+        return 0.0;
+    }
+    let l2 = lambda * lambda;
+    if (1.0 - l2).abs() < 1e-12 {
+        return i as f64;
+    }
+    (1.0 - l2.powi(i as i32)) / (1.0 - l2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn gossip_p_small_cases() {
+        assert_eq!(gossip_p(1).coeffs(), &[1.0]);
+        assert_eq!(gossip_p(2).coeffs(), &[1.0, 0.0, 1.0]);
+        assert_eq!(gossip_p(3).coeffs(), &[1.0, 0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gossip_p_eval_matches_polynomial() {
+        for i in 0..12 {
+            let p = gossip_p(i);
+            for &l in &[0.0, 0.1, 0.5, 0.618, 0.9, 0.99, 1.0, 1.5] {
+                assert!(
+                    approx_eq(p.eval(l), gossip_p_eval(i, l), 1e-10),
+                    "i={i} lambda={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn splicing_identity() {
+        // p_i + λ^{2i} p_j = p_{i+j}  (used in Lemma 4.2's computation).
+        for i in 0..8 {
+            for j in 0..8 {
+                for &l in &[0.3, 0.618, 0.95] {
+                    let lhs = gossip_p_eval(i, l) + l.powi(2 * i as i32) * gossip_p_eval(j, l);
+                    let rhs = gossip_p_eval(i + j, l);
+                    assert!(approx_eq(lhs, rhs, 1e-10), "i={i} j={j} l={l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_split_maximizes_product() {
+        // Lemma 4.3's proof: for i >= j, p_{i+1} p_{j-1} < p_i p_j on (0,1).
+        // Hence among all splits a+b = s the product p_a p_b is maximized by
+        // the balanced split {⌈s/2⌉, ⌊s/2⌋}.
+        for s in 2..=12usize {
+            for &l in &[0.2, 0.5, 0.7, 0.9] {
+                let best = gossip_p_eval(s.div_ceil(2), l) * gossip_p_eval(s / 2, l);
+                for a in 0..=s {
+                    let b = s - a;
+                    let prod = gossip_p_eval(a, l) * gossip_p_eval(b, l);
+                    assert!(
+                        prod <= best + 1e-12,
+                        "split {a}+{b} beats balanced at l={l}: {prod} > {best}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn polynomial_arithmetic() {
+        let p = Polynomial::new(vec![1.0, 2.0]); // 1 + 2x
+        let q = Polynomial::new(vec![0.0, 1.0]); // x
+        assert_eq!(p.add(&q).coeffs(), &[1.0, 3.0]);
+        assert_eq!(p.mul(&q).coeffs(), &[0.0, 1.0, 2.0]);
+        assert_eq!(p.scale(2.0).coeffs(), &[2.0, 4.0]);
+        assert_eq!(p.derivative().coeffs(), &[2.0]);
+        assert_eq!(p.eval(3.0), 7.0);
+    }
+
+    #[test]
+    fn trailing_zero_trim() {
+        let p = Polynomial::new(vec![1.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 0);
+        assert_eq!(Polynomial::zero().degree(), 0);
+        assert_eq!(Polynomial::monomial(3.0, 4).degree(), 4);
+    }
+
+    #[test]
+    fn p_is_increasing_in_i_and_lambda() {
+        for i in 1..10usize {
+            assert!(gossip_p_eval(i + 1, 0.5) > gossip_p_eval(i, 0.5));
+        }
+        for w in 1..20 {
+            let a = w as f64 / 20.0;
+            let b = (w + 1) as f64 / 20.0;
+            assert!(gossip_p_eval(5, b) >= gossip_p_eval(5, a));
+        }
+    }
+}

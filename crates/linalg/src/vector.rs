@@ -1,0 +1,96 @@
+//! Dense vector helpers shared by the norm and matrix code.
+
+/// Euclidean (L2) norm of a vector.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Dot product; the slices must have equal length.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Scales `x` in place so that `‖x‖₂ = 1`; returns the former norm.
+///
+/// A zero vector is left untouched and `0.0` is returned.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        let inv = 1.0 / n;
+        for v in x.iter_mut() {
+            *v *= inv;
+        }
+    }
+    n
+}
+
+/// `y ← y + a·x`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Maximum absolute component (`‖x‖_∞`).
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+}
+
+/// Component-wise `x ≤ y` check with a tolerance, used for the paper's
+/// semi-eigenvector inequality `Mx ≤ e·x` (Definition 2.2).
+pub fn le_componentwise(x: &[f64], y: &[f64], tol: f64) -> bool {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).all(|(a, b)| *a <= *b + tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_and_dot() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn normalize_unit() {
+        let mut v = vec![3.0, 4.0];
+        let old = normalize(&mut v);
+        assert_eq!(old, 5.0);
+        assert!((norm2(&v) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut v), 0.0);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn inf_norm() {
+        assert_eq!(norm_inf(&[-4.0, 2.0, 3.0]), 4.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn componentwise_le() {
+        assert!(le_componentwise(&[1.0, 2.0], &[1.0, 2.5], 1e-12));
+        assert!(!le_componentwise(&[1.1, 2.0], &[1.0, 2.5], 1e-12));
+        assert!(le_componentwise(&[1.0 + 1e-13, 2.0], &[1.0, 2.0], 1e-12));
+    }
+}

@@ -1,0 +1,401 @@
+//! Hand-built protocols for the classical networks.
+//!
+//! These supply the *upper-bound* side of every experiment: the paper's
+//! lower bounds are checked against executions of real protocols. Paths,
+//! cycles, trees and grids have systolic protocols in the literature
+//! (\[8\], \[11\], \[20\], \[14\]); hypercubes, complete graphs and Knödel graphs
+//! have the classical dimension-sweep gossip; and any connected network
+//! gets a universal edge-coloring periodic protocol à la Liestman–Richards
+//! \[20\].
+
+use crate::mode::Mode;
+use crate::protocol::SystolicProtocol;
+use crate::round::Round;
+use sg_graphs::digraph::{Arc, Digraph};
+use sg_graphs::matching::greedy_edge_coloring;
+
+/// Period-4 half-duplex path protocol ("RRLL"): even edges rightward, odd
+/// edges rightward, even edges leftward, odd edges leftward. Items travel
+/// two hops per period in each direction; gossip completes in `≈ 2n`
+/// rounds (systolization of paths costs a constant factor, cf. \[8\]).
+pub fn path_rrll(n: usize) -> SystolicProtocol {
+    assert!(n >= 2);
+    let right = |parity: usize| {
+        Round::new(
+            (0..n - 1)
+                .filter(|i| i % 2 == parity)
+                .map(|i| Arc::new(i, i + 1))
+                .collect(),
+        )
+    };
+    let left = |parity: usize| {
+        Round::new(
+            (0..n - 1)
+                .filter(|i| i % 2 == parity)
+                .map(|i| Arc::new(i + 1, i))
+                .collect(),
+        )
+    };
+    SystolicProtocol::new(
+        vec![right(0), right(1), left(0), left(1)],
+        Mode::HalfDuplex,
+    )
+}
+
+/// Period-2 half-duplex protocol on an even cycle whose two rounds form a
+/// directed Hamiltonian cycle (all arcs clockwise). This is exactly the
+/// degenerate `s = 2` situation discussed at the start of Section 4: items
+/// travel at one arc per round along the cycle, and gossip takes `n − 1`
+/// rounds — meeting the paper's `s = 2` lower bound.
+pub fn cycle_two_color_directed(n: usize) -> SystolicProtocol {
+    assert!(n >= 4 && n.is_multiple_of(2), "needs an even cycle");
+    let cw = |parity: usize| {
+        Round::new(
+            (0..n)
+                .filter(|i| i % 2 == parity)
+                .map(|i| Arc::new(i, (i + 1) % n))
+                .collect(),
+        )
+    };
+    SystolicProtocol::new(vec![cw(0), cw(1)], Mode::HalfDuplex)
+}
+
+/// Period-4 half-duplex cycle protocol: two clockwise rounds then two
+/// counter-clockwise rounds; information flows both ways at half speed, so
+/// gossip completes in `≈ n` rounds (cf. the optimal cycle protocols of
+/// \[11\]).
+pub fn cycle_rrll(n: usize) -> SystolicProtocol {
+    assert!(n >= 4 && n.is_multiple_of(2), "needs an even cycle");
+    let cw = |parity: usize| {
+        Round::new(
+            (0..n)
+                .filter(|i| i % 2 == parity)
+                .map(|i| Arc::new(i, (i + 1) % n))
+                .collect(),
+        )
+    };
+    let ccw = |parity: usize| {
+        Round::new(
+            (0..n)
+                .filter(|i| i % 2 == parity)
+                .map(|i| Arc::new((i + 1) % n, i))
+                .collect(),
+        )
+    };
+    SystolicProtocol::new(vec![cw(0), cw(1), ccw(0), ccw(1)], Mode::HalfDuplex)
+}
+
+/// Full-duplex dimension sweep on the hypercube `Q_k` (also the classic
+/// `log n`-round gossip on `K_{2^k}` restricted to hypercube edges):
+/// round `i` activates every dimension-`i` edge. Gossip completes in
+/// exactly `k` rounds.
+pub fn hypercube_sweep(k: usize) -> SystolicProtocol {
+    assert!(k >= 1);
+    let n = 1usize << k;
+    let rounds = (0..k)
+        .map(|b| {
+            Round::full_duplex_from_edges(
+                (0..n).filter(|x| x & (1 << b) == 0).map(|x| (x, x | (1 << b))),
+            )
+        })
+        .collect();
+    SystolicProtocol::new(rounds, Mode::FullDuplex)
+}
+
+/// Full-duplex dimension sweep on the Knödel graph `W_{Δ,n}`: round `k`
+/// activates the dimension-`k` perfect matching. The classical protocol
+/// gossips in `≈ log₂ n` rounds for `Δ = ⌊log₂ n⌋`.
+pub fn knodel_sweep(delta: usize, n: usize) -> SystolicProtocol {
+    assert!(n.is_multiple_of(2) && delta >= 1 && (1usize << delta) <= n);
+    let half = n / 2;
+    let rounds = (0..delta)
+        .map(|k| {
+            Round::full_duplex_from_edges(
+                (0..half).map(move |j| (j, half + (j + (1usize << k) - 1) % half)),
+            )
+        })
+        .collect();
+    SystolicProtocol::new(rounds, Mode::FullDuplex)
+}
+
+/// Period-4 full-duplex "traffic light" protocol on the `w × h` grid
+/// (Kortsarz–Peleg style \[14\]): even row edges, odd row edges, even column
+/// edges, odd column edges.
+pub fn grid_traffic_light(w: usize, h: usize) -> SystolicProtocol {
+    assert!(w >= 2 && h >= 2);
+    let id = |x: usize, y: usize| y * w + x;
+    let row = |parity: usize| {
+        Round::full_duplex_from_edges(
+            (0..h).flat_map(move |y| {
+                (0..w - 1)
+                    .filter(move |x| x % 2 == parity)
+                    .map(move |x| (id(x, y), id(x + 1, y)))
+            }),
+        )
+    };
+    let col = |parity: usize| {
+        Round::full_duplex_from_edges(
+            (0..w).flat_map(move |x| {
+                (0..h - 1)
+                    .filter(move |y| y % 2 == parity)
+                    .map(move |y| (id(x, y), id(x, y + 1)))
+            }),
+        )
+    };
+    SystolicProtocol::new(vec![row(0), row(1), col(0), col(1)], Mode::FullDuplex)
+}
+
+/// Universal half-duplex periodic protocol from a proper edge coloring
+/// (Liestman–Richards \[20\]): for each color class `c`, one round sends
+/// every color-`c` edge "forward" (low → high endpoint) and a later round
+/// sends it "backward", giving period `2·χ'`. Gossips on every connected
+/// graph because each period moves information across every edge in both
+/// directions.
+pub fn edge_coloring_periodic(g: &Digraph) -> SystolicProtocol {
+    assert!(g.is_symmetric(), "needs an undirected network");
+    let (ncolors, colors) = greedy_edge_coloring(g);
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    let mut rounds = Vec::with_capacity(2 * ncolors);
+    for c in 0..ncolors {
+        let fwd = edges
+            .iter()
+            .zip(&colors)
+            .filter(|(_, &ec)| ec == c)
+            .map(|(&(u, v), _)| Arc::new(u, v))
+            .collect();
+        rounds.push(Round::new(fwd));
+        let bwd = edges
+            .iter()
+            .zip(&colors)
+            .filter(|(_, &ec)| ec == c)
+            .map(|(&(u, v), _)| Arc::new(v, u))
+            .collect();
+        rounds.push(Round::new(bwd));
+    }
+    SystolicProtocol::new(rounds, Mode::HalfDuplex)
+}
+
+/// Universal full-duplex periodic protocol: one round per color class,
+/// every edge of the class active in both directions; period `χ'`.
+pub fn full_duplex_coloring_periodic(g: &Digraph) -> SystolicProtocol {
+    assert!(g.is_symmetric(), "needs an undirected network");
+    let (ncolors, colors) = greedy_edge_coloring(g);
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    let rounds = (0..ncolors)
+        .map(|c| {
+            Round::full_duplex_from_edges(
+                edges
+                    .iter()
+                    .zip(&colors)
+                    .filter(|(_, &ec)| ec == c)
+                    .map(|(&e, _)| e),
+            )
+        })
+        .collect();
+    SystolicProtocol::new(rounds, Mode::FullDuplex)
+}
+
+/// Structured systolic protocol for the Wrapped Butterfly: period `D·d`
+/// rounds. Round `(l, k)` activates, for every word `x`, the arc from
+/// `(x, l)` to the level below (cyclically) substituting the changed digit
+/// by `x_p + k (mod d)` — a perfect matching between consecutive levels.
+/// All `D·d^{D+1}` arcs of `WBF→(d, D)` are covered once per period, so
+/// the protocol gossips on the directed wrapped butterfly and (as a
+/// half-duplex protocol) on the undirected one.
+pub fn wbf_shift_protocol(d: usize, dd: usize) -> SystolicProtocol {
+    use sg_graphs::codec::{digit, pow, with_digit};
+    assert!(d >= 2 && dd >= 2);
+    let words = pow(d, dd);
+    let vertex = |w: usize, l: usize| l * words + w;
+    let mut rounds = Vec::with_capacity(dd * d);
+    // Descend the levels so information pipelines around the level ring.
+    for l in (0..dd).rev() {
+        let (pos, nl) = if l > 0 { (l - 1, l - 1) } else { (dd - 1, dd - 1) };
+        for k in 0..d {
+            let arcs = (0..words)
+                .map(|w| {
+                    let digit_now = digit(w, pos, d);
+                    let target = with_digit(w, pos, d, (digit_now + k) % d);
+                    Arc::new(vertex(w, l), vertex(target, nl))
+                })
+                .collect();
+            rounds.push(Round::new(arcs));
+        }
+    }
+    SystolicProtocol::new(rounds, Mode::Directed)
+}
+
+/// Non-systolic path gossip by two sequential sweeps: accumulate
+/// everything at the right end (`n − 1` rounds of one arc each), then
+/// broadcast back (`n − 1` more). `2(n−1)` rounds total — the baseline
+/// that the *systolic* RRLL protocol is measured against, following the
+/// systolization-cost question of \[8\].
+pub fn path_two_sweep(n: usize) -> crate::protocol::Protocol {
+    assert!(n >= 2);
+    let mut rounds = Vec::with_capacity(2 * (n - 1));
+    for i in 0..n - 1 {
+        rounds.push(Round::new(vec![Arc::new(i, i + 1)]));
+    }
+    for i in (0..n - 1).rev() {
+        rounds.push(Round::new(vec![Arc::new(i + 1, i)]));
+    }
+    crate::protocol::Protocol::new(rounds, Mode::HalfDuplex)
+}
+
+/// Round-robin tournament on `K_n` (even `n`), full-duplex: the classical
+/// circle method produces `n − 1` perfect matchings, one per round;
+/// vertex `n − 1` stays fixed, the others rotate.
+pub fn complete_round_robin(n: usize) -> SystolicProtocol {
+    assert!(n >= 2 && n.is_multiple_of(2), "needs an even complete graph");
+    let m = n - 1;
+    let rounds = (0..m)
+        .map(|r| {
+            let mut edges = vec![(m, r)];
+            for i in 1..n / 2 {
+                let a = (r + i) % m;
+                let b = (r + m - i) % m;
+                edges.push((a, b));
+            }
+            Round::full_duplex_from_edges(edges)
+        })
+        .collect();
+    SystolicProtocol::new(rounds, Mode::FullDuplex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graphs::generators;
+
+    #[test]
+    fn path_rrll_valid() {
+        let g = generators::path(7);
+        let sp = path_rrll(7);
+        assert_eq!(sp.s(), 4);
+        sp.validate(&g).expect("valid protocol");
+    }
+
+    #[test]
+    fn cycle_protocols_valid() {
+        let g = generators::cycle(8);
+        cycle_two_color_directed(8).validate(&g).expect("2-color");
+        cycle_rrll(8).validate(&g).expect("rrll");
+    }
+
+    #[test]
+    fn hypercube_sweep_valid() {
+        let g = generators::hypercube(4);
+        let sp = hypercube_sweep(4);
+        assert_eq!(sp.s(), 4);
+        sp.validate(&g).expect("valid");
+        // Every round is a perfect matching: n/2 edges = n arcs.
+        for r in sp.period() {
+            assert_eq!(r.len(), 16);
+        }
+    }
+
+    #[test]
+    fn knodel_sweep_valid() {
+        let g = generators::knodel(4, 16);
+        let sp = knodel_sweep(4, 16);
+        sp.validate(&g).expect("valid");
+        for r in sp.period() {
+            assert_eq!(r.len(), 16); // perfect matching, both directions
+        }
+    }
+
+    #[test]
+    fn grid_traffic_light_valid() {
+        let g = generators::grid2d(5, 4);
+        let sp = grid_traffic_light(5, 4);
+        assert_eq!(sp.s(), 4);
+        sp.validate(&g).expect("valid");
+    }
+
+    #[test]
+    fn edge_coloring_periodic_valid_on_many_graphs() {
+        for g in [
+            generators::path(9),
+            generators::cycle(7),
+            generators::complete_dary_tree(3, 2),
+            generators::wrapped_butterfly(2, 3),
+            generators::de_bruijn(2, 4),
+            generators::kautz(2, 3),
+        ] {
+            let sp = edge_coloring_periodic(&g);
+            sp.validate(&g).expect("valid half-duplex");
+            let fd = full_duplex_coloring_periodic(&g);
+            fd.validate(&g).expect("valid full-duplex");
+            assert_eq!(sp.s(), 2 * fd.s());
+        }
+    }
+
+    #[test]
+    fn every_edge_covered_each_period() {
+        let g = generators::de_bruijn(2, 3);
+        let sp = edge_coloring_periodic(&g);
+        let mut seen = std::collections::HashSet::new();
+        for r in sp.period() {
+            for a in r.arcs() {
+                seen.insert(*a);
+            }
+        }
+        // Both directions of every edge appear in each period.
+        assert_eq!(seen.len(), g.arc_count());
+    }
+
+    #[test]
+    fn wbf_shift_protocol_valid_and_covers_all_arcs() {
+        for (d, dd) in [(2usize, 3usize), (2, 4), (3, 3)] {
+            let g = generators::wrapped_butterfly_directed(d, dd);
+            let sp = wbf_shift_protocol(d, dd);
+            assert_eq!(sp.s(), dd * d);
+            sp.validate(&g).expect("valid directed protocol");
+            // Every arc of WBF→ appears exactly once per period.
+            let mut seen = std::collections::HashSet::new();
+            for r in sp.period() {
+                for a in r.arcs() {
+                    assert!(seen.insert(*a), "arc {a} repeated in period");
+                }
+            }
+            assert_eq!(seen.len(), g.arc_count());
+            // And it is valid as a half-duplex protocol on the undirected
+            // wrapped butterfly.
+            let gu = generators::wrapped_butterfly(d, dd);
+            let hd = SystolicProtocol::new(sp.period().to_vec(), Mode::HalfDuplex);
+            hd.validate(&gu).expect("valid half-duplex protocol");
+        }
+    }
+
+    #[test]
+    fn path_two_sweep_shape() {
+        let p = path_two_sweep(5);
+        assert_eq!(p.len(), 8);
+        p.validate(&generators::path(5)).expect("valid");
+        // Not systolic with any small period (rounds differ).
+        assert!(!p.is_systolic_with_period(1));
+        assert!(!p.is_systolic_with_period(2));
+    }
+
+    #[test]
+    fn round_robin_is_perfect_matchings() {
+        let n = 8;
+        let g = generators::complete(n);
+        let sp = complete_round_robin(n);
+        assert_eq!(sp.s(), n - 1);
+        sp.validate(&g).expect("valid");
+        for r in sp.period() {
+            assert_eq!(r.len(), n, "perfect matching = n/2 edges = n arcs");
+        }
+        // Every edge of K_n appears exactly once per period.
+        let mut seen = std::collections::HashSet::new();
+        for r in sp.period() {
+            for a in r.arcs() {
+                if a.from < a.to {
+                    assert!(seen.insert((a.from, a.to)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+    }
+}

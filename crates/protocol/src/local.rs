@@ -1,0 +1,287 @@
+//! The local view of a systolic protocol at one vertex (Section 4).
+//!
+//! At a vertex `x`, each round of the period either activates an arc *into*
+//! `x` (a **left activation** in the paper's row/column language), an arc
+//! *out of* `x` (a **right activation**), both (full-duplex), or neither.
+//! For a *complete* half-duplex local protocol — one activation every
+//! round — the periodic pattern decomposes into alternating maximal blocks
+//! `⟨(l_j), (r_j)⟩_{j<k}` of left and right activations with
+//! `Σ_j (l_j + r_j) = s` (the paper's Definition 4.1), which is exactly
+//! the data from which the matrices `Mx(λ)`, `Nx(λ)`, `Ox(λ)` are built.
+
+use crate::protocol::SystolicProtocol;
+use sg_graphs::digraph::Arc;
+
+/// What happens at a vertex during one round of the period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// No incident arc is active.
+    Idle,
+    /// An arc into the vertex is active (the vertex receives).
+    Left(Arc),
+    /// An arc out of the vertex is active (the vertex sends).
+    Right(Arc),
+    /// Both directions at once (full-duplex rounds).
+    Both(Arc, Arc),
+}
+
+impl Activation {
+    /// `true` for [`Activation::Left`] or [`Activation::Both`].
+    pub fn has_left(self) -> bool {
+        matches!(self, Activation::Left(_) | Activation::Both(_, _))
+    }
+
+    /// `true` for [`Activation::Right`] or [`Activation::Both`].
+    pub fn has_right(self) -> bool {
+        matches!(self, Activation::Right(_) | Activation::Both(_, _))
+    }
+}
+
+/// The per-round activations of one vertex over one systolic period.
+#[derive(Debug, Clone)]
+pub struct LocalSchedule {
+    /// The vertex this schedule describes.
+    pub vertex: usize,
+    /// Activation at each round `0..s` of the period.
+    pub per_round: Vec<Activation>,
+}
+
+impl LocalSchedule {
+    /// Extracts the schedule of `v` from a systolic protocol.
+    pub fn of(sp: &SystolicProtocol, v: usize) -> Self {
+        let per_round = sp
+            .period()
+            .iter()
+            .map(|round| {
+                let inc = round.arc_into(v);
+                let out = round.arc_out_of(v);
+                match (inc, out) {
+                    (None, None) => Activation::Idle,
+                    (Some(a), None) => Activation::Left(a),
+                    (None, Some(a)) => Activation::Right(a),
+                    (Some(a), Some(b)) => Activation::Both(a, b),
+                }
+            })
+            .collect();
+        Self { vertex: v, per_round }
+    }
+
+    /// `true` when the vertex is active every round with a single
+    /// direction — the "complete local protocol" of Section 4.
+    pub fn is_complete_half_duplex(&self) -> bool {
+        self.per_round
+            .iter()
+            .all(|a| matches!(a, Activation::Left(_) | Activation::Right(_)))
+            && !self.per_round.is_empty()
+    }
+
+    /// `true` when the vertex is active every round in both directions —
+    /// a complete full-duplex schedule (Section 6).
+    pub fn is_complete_full_duplex(&self) -> bool {
+        !self.per_round.is_empty()
+            && self
+                .per_round
+                .iter()
+                .all(|a| matches!(a, Activation::Both(_, _)))
+    }
+
+    /// Decomposes a complete half-duplex schedule into the alternating
+    /// block pattern of Definition 4.1. Returns `None` when the schedule
+    /// is not complete half-duplex or never alternates (all-left /
+    /// all-right vertices forward nothing and have an empty local matrix).
+    pub fn block_pattern(&self) -> Option<BlockPattern> {
+        if !self.is_complete_half_duplex() {
+            return None;
+        }
+        let s = self.per_round.len();
+        let left: Vec<bool> = self.per_round.iter().map(|a| a.has_left()).collect();
+        if left.iter().all(|&b| b) || left.iter().all(|&b| !b) {
+            return None;
+        }
+        // Rotate so the period starts at a left activation preceded
+        // (cyclically) by a right activation: the start of a left block.
+        let start = (0..s)
+            .find(|&i| left[i] && !left[(i + s - 1) % s])
+            .expect("mixed pattern has a left-block boundary");
+        let mut l = Vec::new();
+        let mut r = Vec::new();
+        let mut i = 0;
+        while i < s {
+            let mut run_l = 0;
+            while i < s && left[(start + i) % s] {
+                run_l += 1;
+                i += 1;
+            }
+            let mut run_r = 0;
+            while i < s && !left[(start + i) % s] {
+                run_r += 1;
+                i += 1;
+            }
+            // The rotation guarantees the pattern starts with a left run
+            // and ends with a right run, so both runs are nonzero here.
+            l.push(run_l);
+            r.push(run_r);
+        }
+        Some(BlockPattern { l, r, rotation: start })
+    }
+}
+
+/// The alternating block pattern `⟨(l_j), (r_j)⟩` of Definition 4.1:
+/// `l[j]` consecutive left activations followed by `r[j]` consecutive
+/// right activations, cyclically, with `Σ (l[j] + r[j]) = s`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPattern {
+    /// Left-block lengths `l_0, …, l_{k−1}` (all ≥ 1).
+    pub l: Vec<usize>,
+    /// Right-block lengths `r_0, …, r_{k−1}` (all ≥ 1).
+    pub r: Vec<usize>,
+    /// The round of the period at which block 0 starts (the canonical
+    /// rotation chosen by [`LocalSchedule::block_pattern`]).
+    pub rotation: usize,
+}
+
+impl BlockPattern {
+    /// Number of blocks `k` per period.
+    pub fn k(&self) -> usize {
+        self.l.len()
+    }
+
+    /// The systolic period `s = Σ (l_j + r_j)`.
+    pub fn s(&self) -> usize {
+        self.l.iter().sum::<usize>() + self.r.iter().sum::<usize>()
+    }
+
+    /// Sum of left-block lengths (the exponent of `p_{Σl}` in Lemma 4.2).
+    pub fn total_left(&self) -> usize {
+        self.l.iter().sum()
+    }
+
+    /// Sum of right-block lengths.
+    pub fn total_right(&self) -> usize {
+        self.r.iter().sum()
+    }
+
+    /// Builds a pattern directly from block lengths (for tests and the
+    /// paper's worked examples). Panics unless both vectors are nonempty,
+    /// equally long and all-positive.
+    pub fn from_blocks(l: Vec<usize>, r: Vec<usize>) -> Self {
+        assert!(!l.is_empty() && l.len() == r.len());
+        assert!(l.iter().all(|&x| x >= 1) && r.iter().all(|&x| x >= 1));
+        Self { l, r, rotation: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::Mode;
+    use crate::round::Round;
+    use sg_graphs::digraph::Arc;
+
+    /// Period on a path 0—1—2 around vertex 1:
+    /// round 0: 0→1 (left), round 1: 2→1 (left), round 2: 1→0 (right),
+    /// round 3: 1→2 (right).
+    fn llrr_protocol() -> SystolicProtocol {
+        SystolicProtocol::new(
+            vec![
+                Round::new(vec![Arc::new(0, 1)]),
+                Round::new(vec![Arc::new(2, 1)]),
+                Round::new(vec![Arc::new(1, 0)]),
+                Round::new(vec![Arc::new(1, 2)]),
+            ],
+            Mode::HalfDuplex,
+        )
+    }
+
+    #[test]
+    fn schedule_extraction() {
+        let sp = llrr_protocol();
+        let sched = LocalSchedule::of(&sp, 1);
+        assert!(sched.is_complete_half_duplex());
+        assert!(sched.per_round[0].has_left());
+        assert!(sched.per_round[2].has_right());
+        // Vertex 0 is idle at rounds 1 and 3.
+        let s0 = LocalSchedule::of(&sp, 0);
+        assert!(!s0.is_complete_half_duplex());
+        assert_eq!(s0.per_round[1], Activation::Idle);
+    }
+
+    #[test]
+    fn block_pattern_llrr() {
+        let sp = llrr_protocol();
+        let p = LocalSchedule::of(&sp, 1).block_pattern().expect("complete");
+        assert_eq!(p.l, vec![2]);
+        assert_eq!(p.r, vec![2]);
+        assert_eq!(p.k(), 1);
+        assert_eq!(p.s(), 4);
+        assert_eq!(p.rotation, 0);
+    }
+
+    #[test]
+    fn block_pattern_rotated() {
+        // Pattern R L L R around vertex 1 → canonical rotation starts at
+        // round 1, giving l = [2], r = [2].
+        let sp = SystolicProtocol::new(
+            vec![
+                Round::new(vec![Arc::new(1, 0)]),
+                Round::new(vec![Arc::new(0, 1)]),
+                Round::new(vec![Arc::new(2, 1)]),
+                Round::new(vec![Arc::new(1, 2)]),
+            ],
+            Mode::HalfDuplex,
+        );
+        let p = LocalSchedule::of(&sp, 1).block_pattern().expect("complete");
+        assert_eq!((p.l.clone(), p.r.clone()), (vec![2], vec![2]));
+        assert_eq!(p.rotation, 1);
+    }
+
+    #[test]
+    fn alternating_lrlr() {
+        // L R L R: k = 2 blocks of (1,1).
+        let sp = SystolicProtocol::new(
+            vec![
+                Round::new(vec![Arc::new(0, 1)]),
+                Round::new(vec![Arc::new(1, 0)]),
+                Round::new(vec![Arc::new(2, 1)]),
+                Round::new(vec![Arc::new(1, 2)]),
+            ],
+            Mode::HalfDuplex,
+        );
+        let p = LocalSchedule::of(&sp, 1).block_pattern().expect("complete");
+        assert_eq!(p.l, vec![1, 1]);
+        assert_eq!(p.r, vec![1, 1]);
+        assert_eq!(p.k(), 2);
+    }
+
+    #[test]
+    fn all_left_has_no_pattern() {
+        let sp = SystolicProtocol::new(
+            vec![
+                Round::new(vec![Arc::new(0, 1)]),
+                Round::new(vec![Arc::new(2, 1)]),
+            ],
+            Mode::HalfDuplex,
+        );
+        assert!(LocalSchedule::of(&sp, 1).block_pattern().is_none());
+    }
+
+    #[test]
+    fn full_duplex_schedule() {
+        let sp = SystolicProtocol::new(
+            vec![Round::full_duplex_from_edges([(0, 1)])],
+            Mode::FullDuplex,
+        );
+        let s = LocalSchedule::of(&sp, 0);
+        assert!(s.is_complete_full_duplex());
+        assert!(!s.is_complete_half_duplex());
+        assert!(s.block_pattern().is_none());
+    }
+
+    #[test]
+    fn from_blocks_invariants() {
+        let p = BlockPattern::from_blocks(vec![1, 2], vec![3, 1]);
+        assert_eq!(p.s(), 7);
+        assert_eq!(p.total_left(), 3);
+        assert_eq!(p.total_right(), 4);
+    }
+}

@@ -1,0 +1,64 @@
+//! Communication modes (Section 1 and Section 3 of the paper).
+//!
+//! The whispering / processor-bound model admits three variants:
+//!
+//! * **Directed** — the network is an arbitrary digraph; a round activates
+//!   a set of arcs no two of which share an endpoint.
+//! * **Half-duplex** — the network is a symmetric digraph (an undirected
+//!   graph); a round again activates an endpoint-disjoint set of arcs, so
+//!   each active link carries its message in one direction only.
+//! * **Full-duplex** — the network is symmetric and arcs are activated in
+//!   opposite pairs: an active link carries messages both ways at once.
+
+/// The communication mode of a protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Arbitrary digraph, one-way activations (endpoint-disjoint arcs).
+    Directed,
+    /// Symmetric digraph, one-way activations (endpoint-disjoint arcs).
+    HalfDuplex,
+    /// Symmetric digraph, two-way activations (opposite arc pairs).
+    FullDuplex,
+}
+
+impl Mode {
+    /// `true` for the modes that require the underlying digraph to be
+    /// symmetric.
+    pub fn requires_symmetric_graph(self) -> bool {
+        matches!(self, Mode::HalfDuplex | Mode::FullDuplex)
+    }
+
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Directed => "directed",
+            Mode::HalfDuplex => "half-duplex",
+            Mode::FullDuplex => "full-duplex",
+        }
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetry_requirements() {
+        assert!(!Mode::Directed.requires_symmetric_graph());
+        assert!(Mode::HalfDuplex.requires_symmetric_graph());
+        assert!(Mode::FullDuplex.requires_symmetric_graph());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mode::Directed.to_string(), "directed");
+        assert_eq!(Mode::HalfDuplex.to_string(), "half-duplex");
+        assert_eq!(Mode::FullDuplex.to_string(), "full-duplex");
+    }
+}

@@ -1,0 +1,210 @@
+//! Protocols and systolic protocols (Definitions 3.1 and 3.2).
+
+use crate::mode::Mode;
+use crate::round::{ProtocolError, Round};
+use sg_graphs::digraph::Digraph;
+
+/// A gossip/broadcast protocol: a finite sequence of rounds under a
+/// communication mode (Definition 3.1; whether it actually *gossips* is a
+/// semantic property checked by the simulator in `sg-sim`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Protocol {
+    rounds: Vec<Round>,
+    mode: Mode,
+}
+
+impl Protocol {
+    /// Builds a protocol from rounds.
+    pub fn new(rounds: Vec<Round>, mode: Mode) -> Self {
+        Self { rounds, mode }
+    }
+
+    /// The rounds, in execution order.
+    pub fn rounds(&self) -> &[Round] {
+        &self.rounds
+    }
+
+    /// The communication mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Protocol length `t` (number of rounds).
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// `true` when there are no rounds.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Validates every round against the network: arc membership, the
+    /// matching condition of Definition 3.1 (or its full-duplex variant)
+    /// and graph symmetry for the undirected modes.
+    pub fn validate(&self, g: &Digraph) -> Result<(), ProtocolError> {
+        if self.mode.requires_symmetric_graph() && !g.is_symmetric() {
+            return Err(ProtocolError::GraphNotSymmetric);
+        }
+        for (i, r) in self.rounds.iter().enumerate() {
+            r.validate(g, self.mode, i)?;
+        }
+        Ok(())
+    }
+
+    /// `true` when the protocol is `s`-systolic in the sense of
+    /// Definition 3.2: `A_i = A_{i+s}` for every `i ≤ t − s`.
+    pub fn is_systolic_with_period(&self, s: usize) -> bool {
+        if s == 0 {
+            return false;
+        }
+        self.rounds
+            .iter()
+            .zip(self.rounds.iter().skip(s))
+            .all(|(a, b)| a == b)
+    }
+
+    /// The smallest `s ≥ 1` for which the protocol is `s`-systolic
+    /// (`t` itself when the protocol has no shorter period).
+    pub fn minimal_period(&self) -> usize {
+        (1..=self.rounds.len())
+            .find(|&s| self.is_systolic_with_period(s))
+            .unwrap_or(self.rounds.len().max(1))
+    }
+
+    /// Total number of activations `m = Σ_i |A_i|` (the dimension of the
+    /// unrolled delay matrix).
+    pub fn activation_count(&self) -> usize {
+        self.rounds.iter().map(Round::len).sum()
+    }
+}
+
+/// An infinite periodic (systolic) protocol: one period of `s` rounds that
+/// repeats (Definition 3.2). Finite prefixes are obtained with
+/// [`SystolicProtocol::unroll`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystolicProtocol {
+    period: Vec<Round>,
+    mode: Mode,
+}
+
+impl SystolicProtocol {
+    /// Builds from one period of rounds.
+    pub fn new(period: Vec<Round>, mode: Mode) -> Self {
+        assert!(!period.is_empty(), "a systolic protocol needs s >= 1");
+        Self { period, mode }
+    }
+
+    /// The systolic period `s`.
+    pub fn s(&self) -> usize {
+        self.period.len()
+    }
+
+    /// The rounds of one period.
+    pub fn period(&self) -> &[Round] {
+        &self.period
+    }
+
+    /// The communication mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The round active at (0-based) time `i` of the infinite execution.
+    pub fn round_at(&self, i: usize) -> &Round {
+        &self.period[i % self.period.len()]
+    }
+
+    /// The finite prefix of length `t` as a plain [`Protocol`].
+    pub fn unroll(&self, t: usize) -> Protocol {
+        let rounds = (0..t).map(|i| self.round_at(i).clone()).collect();
+        Protocol::new(rounds, self.mode)
+    }
+
+    /// Validates one period (and hence the whole infinite execution).
+    pub fn validate(&self, g: &Digraph) -> Result<(), ProtocolError> {
+        self.unroll(self.s()).validate(g)
+    }
+
+    /// Activations per period, `Σ_{i<s} |A_i|` — the dimension of the
+    /// periodic delay matrix.
+    pub fn activations_per_period(&self) -> usize {
+        self.period.iter().map(Round::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graphs::digraph::Arc;
+    use sg_graphs::generators;
+
+    fn ab() -> Round {
+        Round::new(vec![Arc::new(0, 1)])
+    }
+    fn ba() -> Round {
+        Round::new(vec![Arc::new(1, 0)])
+    }
+
+    #[test]
+    fn protocol_basics() {
+        let p = Protocol::new(vec![ab(), ba(), ab(), ba()], Mode::HalfDuplex);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.activation_count(), 4);
+        assert!(p.is_systolic_with_period(2));
+        assert!(!p.is_systolic_with_period(1));
+        assert_eq!(p.minimal_period(), 2);
+        // Any protocol is trivially t-systolic.
+        assert!(p.is_systolic_with_period(4));
+    }
+
+    #[test]
+    fn validate_against_graph() {
+        let g = generators::path(2);
+        let p = Protocol::new(vec![ab(), ba()], Mode::HalfDuplex);
+        assert!(p.validate(&g).is_ok());
+        // Directed path misses the reverse arc.
+        let directed = sg_graphs::Digraph::from_arcs(2, [Arc::new(0, 1)]);
+        assert!(p.validate(&directed).is_err());
+        // Half-duplex on an asymmetric graph is rejected outright.
+        let p2 = Protocol::new(vec![ab()], Mode::HalfDuplex);
+        assert_eq!(
+            p2.validate(&directed),
+            Err(crate::round::ProtocolError::GraphNotSymmetric)
+        );
+        // But the directed mode accepts it.
+        let p3 = Protocol::new(vec![ab()], Mode::Directed);
+        assert!(p3.validate(&directed).is_ok());
+    }
+
+    #[test]
+    fn systolic_unroll() {
+        let sp = SystolicProtocol::new(vec![ab(), ba()], Mode::HalfDuplex);
+        assert_eq!(sp.s(), 2);
+        let p = sp.unroll(5);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.rounds()[4], ab());
+        assert!(p.is_systolic_with_period(2));
+        assert_eq!(sp.activations_per_period(), 2);
+    }
+
+    #[test]
+    fn round_at_wraps() {
+        let sp = SystolicProtocol::new(vec![ab(), ba(), Round::empty()], Mode::HalfDuplex);
+        assert_eq!(sp.round_at(0), &ab());
+        assert_eq!(sp.round_at(4), &ba());
+        assert_eq!(sp.round_at(5), &Round::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "s >= 1")]
+    fn empty_period_panics() {
+        let _ = SystolicProtocol::new(vec![], Mode::HalfDuplex);
+    }
+
+    #[test]
+    fn minimal_period_of_constant_protocol() {
+        let p = Protocol::new(vec![ab(), ab(), ab()], Mode::Directed);
+        assert_eq!(p.minimal_period(), 1);
+    }
+}

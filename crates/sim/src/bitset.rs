@@ -1,0 +1,169 @@
+//! Knowledge state: one bitset of items per processor.
+//!
+//! Gossip semantics (Definition 3.1): processor `v` starts knowing exactly
+//! item `v`; when arc `(u, v)` is active at round `i`, `v` additionally
+//! learns everything `u` knew *at the beginning of round `i`*. The state is
+//! a flat `n × ⌈n/64⌉` bit matrix so that one round is a handful of
+//! word-wide OR sweeps.
+
+/// The knowledge sets of all `n` processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Knowledge {
+    n: usize,
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl Knowledge {
+    /// Initial gossip state: processor `v` knows exactly item `v`.
+    pub fn initial(n: usize) -> Self {
+        let words = n.div_ceil(64).max(1);
+        let mut bits = vec![0u64; n * words];
+        for v in 0..n {
+            bits[v * words + v / 64] |= 1u64 << (v % 64);
+        }
+        Self { n, words, bits }
+    }
+
+    /// Broadcast state: only `source`'s item exists; every other set is
+    /// empty except `source` knows itself.
+    pub fn broadcast_initial(n: usize, source: usize) -> Self {
+        let words = n.div_ceil(64).max(1);
+        let mut bits = vec![0u64; n * words];
+        bits[source * words + source / 64] |= 1u64 << (source % 64);
+        Self { n, words, bits }
+    }
+
+    /// Number of processors (= number of items).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Words per processor row.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The bitset row of processor `v`.
+    #[inline]
+    pub fn row(&self, v: usize) -> &[u64] {
+        &self.bits[v * self.words..(v + 1) * self.words]
+    }
+
+    /// Does processor `v` know item `item`?
+    pub fn knows(&self, v: usize, item: usize) -> bool {
+        self.row(v)[item / 64] & (1u64 << (item % 64)) != 0
+    }
+
+    /// Number of items processor `v` knows.
+    pub fn count(&self, v: usize) -> usize {
+        self.row(v).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `v_new ← v_old ∪ u_src`, where `src_row` was captured from the
+    /// beginning-of-round state. Returns `true` if `v` learned anything.
+    #[inline]
+    pub fn absorb_row(&mut self, v: usize, src_row: &[u64]) -> bool {
+        let dst = &mut self.bits[v * self.words..(v + 1) * self.words];
+        let mut changed = false;
+        for (d, s) in dst.iter_mut().zip(src_row) {
+            let before = *d;
+            *d |= s;
+            changed |= *d != before;
+        }
+        changed
+    }
+
+    /// Copies out processor `v`'s row (a beginning-of-round snapshot).
+    pub fn snapshot(&self, v: usize) -> Vec<u64> {
+        self.row(v).to_vec()
+    }
+
+    /// `true` when every processor knows every item — gossip complete.
+    pub fn all_complete(&self) -> bool {
+        (0..self.n).all(|v| self.count(v) == self.n)
+    }
+
+    /// `true` when every processor knows `item` — broadcast complete.
+    pub fn all_know(&self, item: usize) -> bool {
+        (0..self.n).all(|v| self.knows(v, item))
+    }
+
+    /// Minimum knowledge count over processors (the bottleneck of the
+    /// completion curve).
+    pub fn min_count(&self) -> usize {
+        (0..self.n).map(|v| self.count(v)).min().unwrap_or(0)
+    }
+
+    /// Total number of known (processor, item) pairs.
+    pub fn total_count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Raw storage (used by the parallel engine; rows are disjoint
+    /// `words`-sized slices).
+    pub(crate) fn bits_mut(&mut self) -> &mut [u64] {
+        &mut self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_diagonal() {
+        let k = Knowledge::initial(70); // spans two words
+        for v in 0..70 {
+            assert_eq!(k.count(v), 1);
+            assert!(k.knows(v, v));
+            assert!(!k.knows(v, (v + 1) % 70));
+        }
+        assert_eq!(k.total_count(), 70);
+        assert!(!k.all_complete());
+    }
+
+    #[test]
+    fn broadcast_initial_single_item() {
+        let k = Knowledge::broadcast_initial(10, 3);
+        assert_eq!(k.total_count(), 1);
+        assert!(k.knows(3, 3));
+        assert!(!k.all_know(3));
+    }
+
+    #[test]
+    fn absorb_merges_and_reports_change() {
+        let mut k = Knowledge::initial(4);
+        let src = k.snapshot(0);
+        assert!(k.absorb_row(1, &src));
+        assert!(k.knows(1, 0));
+        assert!(k.knows(1, 1));
+        assert_eq!(k.count(1), 2);
+        // Absorbing the same thing again changes nothing.
+        assert!(!k.absorb_row(1, &src));
+    }
+
+    #[test]
+    fn completion_detection() {
+        let n = 3;
+        let mut k = Knowledge::initial(n);
+        // Everyone absorbs everyone (beginning-of-round semantics ignored
+        // here — we just drive the state to completion).
+        for _ in 0..2 {
+            for u in 0..n {
+                let s = k.snapshot(u);
+                for v in 0..n {
+                    k.absorb_row(v, &s);
+                }
+            }
+        }
+        assert!(k.all_complete());
+        assert_eq!(k.min_count(), n);
+    }
+
+    #[test]
+    fn single_vertex_graph_complete_at_start() {
+        let k = Knowledge::initial(1);
+        assert!(k.all_complete());
+    }
+}

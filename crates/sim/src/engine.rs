@@ -1,0 +1,276 @@
+//! The dissemination engine: executes protocols round by round against the
+//! semantics of Definition 3.1.
+//!
+//! Correctness subtlety: all transfers of a round read the knowledge state
+//! *at the beginning of that round*. Under the half-duplex matching
+//! condition no vertex both sends and receives in one round, so in-place
+//! updates are safe; full-duplex rounds (and unvalidated arc sets) need
+//! beginning-of-round snapshots of the sources that are also targets. The
+//! engine snapshots exactly those, which costs nothing for half-duplex
+//! protocols.
+
+use crate::bitset::Knowledge;
+use sg_protocol::round::Round;
+use sg_protocol::protocol::{Protocol, SystolicProtocol};
+
+/// Outcome of running a protocol to (attempted) gossip completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimResult {
+    /// Round count after which every processor knew every item, or `None`
+    /// if the budget ran out first.
+    pub completed_at: Option<usize>,
+    /// Minimum knowledge count per round (completion curve), recorded when
+    /// tracing is enabled; `trace[i]` is the state after round `i+1`.
+    pub trace: Vec<usize>,
+}
+
+/// Applies one round to the knowledge state. Returns `true` if anything
+/// changed anywhere.
+pub fn apply_round(k: &mut Knowledge, round: &Round) -> bool {
+    let arcs = round.arcs();
+    if arcs.is_empty() {
+        return false;
+    }
+    // Sources that are also targets this round need a snapshot of their
+    // beginning-of-round row (full-duplex pairs, or arbitrary arc sets).
+    let mut target_flags = vec![false; k.n()];
+    for a in arcs {
+        target_flags[a.to as usize] = true;
+    }
+    let mut snapshots: Vec<(usize, Vec<u64>)> = Vec::new();
+    for a in arcs {
+        let u = a.from as usize;
+        if target_flags[u] {
+            snapshots.push((u, k.snapshot(u)));
+        }
+    }
+    snapshots.sort_unstable_by_key(|(u, _)| *u);
+    snapshots.dedup_by_key(|(u, _)| *u);
+
+    let mut changed = false;
+    for a in arcs {
+        let (u, v) = (a.from as usize, a.to as usize);
+        match snapshots.binary_search_by_key(&u, |(w, _)| *w) {
+            Ok(i) => {
+                let row = snapshots[i].1.clone();
+                changed |= k.absorb_row(v, &row);
+            }
+            Err(_) => {
+                // Source is not a target: its row is still the
+                // beginning-of-round state; borrow-split via copy of the
+                // row (rows are small: ⌈n/64⌉ words).
+                let row = k.snapshot(u);
+                changed |= k.absorb_row(v, &row);
+            }
+        }
+    }
+    changed
+}
+
+/// Runs a finite protocol from the gossip initial state. Stops early when
+/// gossip completes.
+pub fn run_protocol(p: &Protocol, n: usize, trace: bool) -> SimResult {
+    run_rounds(p.rounds().iter(), n, p.len(), trace)
+}
+
+/// Runs a systolic protocol for at most `max_rounds` rounds.
+pub fn run_systolic(sp: &SystolicProtocol, n: usize, max_rounds: usize, trace: bool) -> SimResult {
+    run_rounds(
+        (0..max_rounds).map(|i| sp.round_at(i)),
+        n,
+        max_rounds,
+        trace,
+    )
+}
+
+fn run_rounds<'a>(
+    rounds: impl Iterator<Item = &'a Round>,
+    n: usize,
+    max_rounds: usize,
+    trace: bool,
+) -> SimResult {
+    let mut k = Knowledge::initial(n);
+    let mut trace_vec = Vec::new();
+    if k.all_complete() {
+        return SimResult {
+            completed_at: Some(0),
+            trace: trace_vec,
+        };
+    }
+    for (i, round) in rounds.enumerate().take(max_rounds) {
+        apply_round(&mut k, round);
+        if trace {
+            trace_vec.push(k.min_count());
+        }
+        if k.all_complete() {
+            return SimResult {
+                completed_at: Some(i + 1),
+                trace: trace_vec,
+            };
+        }
+    }
+    SimResult {
+        completed_at: None,
+        trace: trace_vec,
+    }
+}
+
+/// Gossip time of a systolic protocol: the smallest `t` such that the
+/// `t`-round prefix gossips, or `None` within the budget.
+pub fn systolic_gossip_time(sp: &SystolicProtocol, n: usize, max_rounds: usize) -> Option<usize> {
+    run_systolic(sp, n, max_rounds, false).completed_at
+}
+
+/// Broadcast time of `source`'s item under a systolic protocol: the first
+/// round after which everyone knows item `source`.
+pub fn systolic_broadcast_time(
+    sp: &SystolicProtocol,
+    n: usize,
+    source: usize,
+    max_rounds: usize,
+) -> Option<usize> {
+    let mut k = Knowledge::broadcast_initial(n, source);
+    if k.all_know(source) {
+        return Some(0);
+    }
+    for i in 0..max_rounds {
+        apply_round(&mut k, sp.round_at(i));
+        if k.all_know(source) {
+            return Some(i + 1);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_graphs::digraph::Arc;
+    use sg_protocol::builders;
+
+    #[test]
+    fn beginning_of_round_semantics() {
+        // Chain 0→1 and 1→2 in the SAME round: 2 must NOT learn item 0,
+        // because 1 forwards its beginning-of-round knowledge.
+        let mut k = Knowledge::initial(3);
+        let round = Round::new(vec![Arc::new(0, 1), Arc::new(1, 2)]);
+        apply_round(&mut k, &round);
+        assert!(k.knows(1, 0));
+        assert!(k.knows(2, 1));
+        assert!(!k.knows(2, 0), "round must read beginning-of-round state");
+    }
+
+    #[test]
+    fn full_duplex_pair_swaps_fairly() {
+        let mut k = Knowledge::initial(2);
+        let round = Round::full_duplex_from_edges([(0, 1)]);
+        apply_round(&mut k, &round);
+        assert!(k.knows(0, 1));
+        assert!(k.knows(1, 0));
+        assert_eq!(k.count(0), 2);
+        assert_eq!(k.count(1), 2);
+    }
+
+    #[test]
+    fn hypercube_sweep_gossips_in_exactly_k_rounds() {
+        for k in 1..=5usize {
+            let sp = builders::hypercube_sweep(k);
+            let n = 1usize << k;
+            assert_eq!(systolic_gossip_time(&sp, n, 10 * k), Some(k), "Q_{k}");
+        }
+    }
+
+    #[test]
+    fn cycle_two_color_meets_s2_bound() {
+        // The period-2 directed-cycle protocol gossips in n-1 or n rounds
+        // (items at the wrong parity wait one round), matching the s = 2
+        // lower bound t >= n − 1 of Section 4.
+        let n = 8;
+        let sp = builders::cycle_two_color_directed(n);
+        let t = systolic_gossip_time(&sp, n, 4 * n).expect("completes");
+        assert!(t == n - 1 || t == n, "t = {t}");
+    }
+
+    #[test]
+    fn path_rrll_completes_in_about_2n() {
+        let n = 9;
+        let sp = builders::path_rrll(n);
+        let t = systolic_gossip_time(&sp, n, 10 * n).expect("completes");
+        assert!(t >= n - 1, "cannot beat non-systolic optimum: {t}");
+        assert!(t <= 3 * n, "should be within ~2n: {t}");
+    }
+
+    #[test]
+    fn knodel_sweep_gossips_fast() {
+        let n = 16;
+        let sp = builders::knodel_sweep(4, n);
+        let t = systolic_gossip_time(&sp, n, 64).expect("completes");
+        // Classical: about log2(n) .. 2 log2(n) rounds.
+        assert!((4..=12).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn grid_traffic_light_completes() {
+        let (w, h) = (5, 4);
+        let sp = builders::grid_traffic_light(w, h);
+        let t = systolic_gossip_time(&sp, w * h, 40 * (w + h)).expect("completes");
+        assert!(t >= w + h - 2, "diameter bound: {t}");
+    }
+
+    #[test]
+    fn edge_coloring_periodic_universal() {
+        for g in [
+            sg_graphs::generators::de_bruijn(2, 3),
+            sg_graphs::generators::kautz(2, 3),
+            sg_graphs::generators::complete_dary_tree(2, 3),
+        ] {
+            let sp = builders::edge_coloring_periodic(&g);
+            let n = g.vertex_count();
+            let t = systolic_gossip_time(&sp, n, 100 * n).expect("gossips");
+            assert!(t >= 1);
+        }
+    }
+
+    #[test]
+    fn broadcast_no_slower_than_gossip() {
+        let g = sg_graphs::generators::de_bruijn(2, 4);
+        let sp = builders::edge_coloring_periodic(&g);
+        let n = g.vertex_count();
+        let tg = systolic_gossip_time(&sp, n, 100 * n).expect("gossips");
+        for src in [0usize, 3, n - 1] {
+            let tb = systolic_broadcast_time(&sp, n, src, 100 * n).expect("broadcasts");
+            assert!(tb <= tg, "broadcast {tb} > gossip {tg}");
+        }
+    }
+
+    #[test]
+    fn incomplete_budget_returns_none() {
+        let sp = builders::path_rrll(10);
+        assert_eq!(systolic_gossip_time(&sp, 10, 3), None);
+    }
+
+    #[test]
+    fn trace_is_monotone() {
+        let sp = builders::path_rrll(8);
+        let res = run_systolic(&sp, 8, 100, true);
+        assert!(res.completed_at.is_some());
+        for w in res.trace.windows(2) {
+            assert!(w[0] <= w[1], "knowledge can only grow");
+        }
+        assert_eq!(*res.trace.last().unwrap(), 8);
+    }
+
+    #[test]
+    fn directed_protocol_on_unrolled_prefix() {
+        // Protocol::run on a finite unrolled prefix matches the systolic
+        // runner.
+        let sp = builders::cycle_rrll(8);
+        let t = systolic_gossip_time(&sp, 8, 200).expect("completes");
+        let p = sp.unroll(t);
+        let res = run_protocol(&p, 8, false);
+        assert_eq!(res.completed_at, Some(t));
+        // One round fewer must not complete.
+        let p_short = sp.unroll(t - 1);
+        assert_eq!(run_protocol(&p_short, 8, false).completed_at, None);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the dissemination engine against a naive
+//! reference implementation (explicit set semantics).
+
+use proptest::prelude::*;
+use sg_graphs::digraph::Arc;
+use sg_protocol::round::Round;
+use sg_sim::bitset::Knowledge;
+use sg_sim::engine::apply_round;
+use sg_sim::parallel::apply_round_parallel;
+use std::collections::HashSet;
+
+/// Naive reference: per-vertex `HashSet<usize>` with strict
+/// beginning-of-round snapshot semantics.
+fn naive_apply(state: &mut [HashSet<usize>], arcs: &[Arc]) {
+    let old = state.to_vec();
+    for a in arcs {
+        let items: Vec<usize> = old[a.from as usize].iter().copied().collect();
+        state[a.to as usize].extend(items);
+    }
+}
+
+fn arcs_strategy(n: usize) -> impl Strategy<Value = Vec<Arc>> {
+    proptest::collection::vec((0..n, 0..n), 0..2 * n).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter(|(u, v)| u != v)
+            .map(|(u, v)| Arc::new(u, v))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The bitset engine equals the naive set engine on ARBITRARY arc
+    /// sets (not just matchings) across several rounds.
+    #[test]
+    fn engine_matches_naive_reference(
+        rounds in proptest::collection::vec(arcs_strategy(9), 1..6)
+    ) {
+        let n = 9;
+        let mut k = Knowledge::initial(n);
+        let mut naive: Vec<HashSet<usize>> =
+            (0..n).map(|v| HashSet::from([v])).collect();
+        for arcs in &rounds {
+            let round = Round::new(arcs.clone());
+            apply_round(&mut k, &round);
+            // Round::new sorts and dedups; do the same for the reference.
+            let mut sorted = arcs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            naive_apply(&mut naive, &sorted);
+        }
+        for (v, known) in naive.iter().enumerate() {
+            for item in 0..n {
+                prop_assert_eq!(
+                    k.knows(v, item),
+                    known.contains(&item),
+                    "vertex {} item {}",
+                    v,
+                    item
+                );
+            }
+        }
+    }
+
+    /// The crossbeam-parallel engine is bit-identical to the sequential
+    /// one, including on rounds with duplicate targets (where it must
+    /// fall back).
+    #[test]
+    fn parallel_matches_sequential(
+        rounds in proptest::collection::vec(arcs_strategy(70), 1..4)
+    ) {
+        let n = 70;
+        let mut seq = Knowledge::initial(n);
+        let mut par = Knowledge::initial(n);
+        for arcs in &rounds {
+            let round = Round::new(arcs.clone());
+            apply_round(&mut seq, &round);
+            apply_round_parallel(&mut par, &round, 4);
+        }
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Knowledge counts never decrease and the total grows by at most
+    /// (items transferable per arc) per round.
+    #[test]
+    fn knowledge_monotone(rounds in proptest::collection::vec(arcs_strategy(8), 1..5)) {
+        let n = 8;
+        let mut k = Knowledge::initial(n);
+        let mut prev: Vec<usize> = (0..n).map(|v| k.count(v)).collect();
+        for arcs in &rounds {
+            apply_round(&mut k, &Round::new(arcs.clone()));
+            let now: Vec<usize> = (0..n).map(|v| k.count(v)).collect();
+            for v in 0..n {
+                prop_assert!(now[v] >= prev[v]);
+                prop_assert!(now[v] <= n);
+            }
+            prev = now;
+        }
+    }
+
+    /// Half-duplex doubling limit: under *matching* rounds each vertex
+    /// can at most add the sender's knowledge, so the max count at most
+    /// doubles per round.
+    #[test]
+    fn matching_rounds_double_at_most(seed in 0u64..500) {
+        use rand::prelude::*;
+        let n = 16;
+        let g = sg_graphs::generators::complete(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut k = Knowledge::initial(n);
+        for _ in 0..5 {
+            // Random maximal matching as a round.
+            let mut order: Vec<usize> = (0..g.arc_count()).collect();
+            order.shuffle(&mut rng);
+            let arcs = sg_graphs::matching::greedy_maximal_matching(&g, Some(&order));
+            let before: usize = (0..n).map(|v| k.count(v)).max().unwrap();
+            apply_round(&mut k, &Round::new(arcs));
+            let after: usize = (0..n).map(|v| k.count(v)).max().unwrap();
+            prop_assert!(after <= 2 * before);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates every numeric table of the paper from the public API.
+//!
+//! ```bash
+//! cargo run --release --example bound_tables
+//! ```
+//!
+//! Prints Figs. 4, 5, 6 and 8 (see also the `sg-bench` binaries `fig4`,
+//! `fig5`, `fig6`, `fig8`, which emit the same tables one at a time).
+
+use systolic_gossip::sg_bounds::tables;
+
+fn main() {
+    for table in [
+        tables::fig4(),
+        tables::fig5(),
+        tables::fig6(),
+        tables::fig8(),
+    ] {
+        println!("{}", table.render());
+    }
+    println!("'∗' marks entries where the separator optimizer sits on the feasibility");
+    println!("boundary f(λ) = 1 — there the bound coincides with the general one, as in");
+    println!("the paper's figures.");
+}

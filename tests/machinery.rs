@@ -1,0 +1,140 @@
+//! Integration: the delay-matrix machinery on real protocols.
+//!
+//! Checks that the norm of the *actual* delay matrix of each protocol
+//! never exceeds Lemma 4.3's (half-duplex) or Lemma 6.1's (full-duplex)
+//! closed-form bound, that unrolled matrices converge monotonically to the
+//! periodic fold, and that λ* from the concrete matrix is never smaller
+//! than the closed-form fixpoint (the protocol can only be *slower* than
+//! the best conceivable one).
+
+use systolic_gossip::prelude::*;
+use systolic_gossip::sg_delay::fullduplex::full_duplex_norm_bound;
+use systolic_gossip::sg_delay::local::local_norm_bound;
+
+const LAMBDAS: [f64; 5] = [0.2, 0.4, 0.618, 0.75, 0.9];
+
+fn half_duplex_protocols() -> Vec<(String, SystolicProtocol)> {
+    vec![
+        ("path_rrll(12)".into(), builders::path_rrll(12)),
+        ("cycle_rrll(12)".into(), builders::cycle_rrll(12)),
+        (
+            "coloring(WBF(2,3))".into(),
+            builders::edge_coloring_periodic(&Network::WrappedButterfly { d: 2, dd: 3 }.build()),
+        ),
+        (
+            "coloring(DB(2,4))".into(),
+            builders::edge_coloring_periodic(&Network::DeBruijn { d: 2, dd: 4 }.build()),
+        ),
+        (
+            "coloring(K(2,3))".into(),
+            builders::edge_coloring_periodic(&Network::Kautz { d: 2, dd: 3 }.build()),
+        ),
+    ]
+}
+
+#[test]
+fn lemma_4_3_dominates_real_half_duplex_delay_matrices() {
+    for (name, sp) in half_duplex_protocols() {
+        let dg = DelayDigraph::periodic(&sp);
+        for &l in &LAMBDAS {
+            let norm = dg.norm(l, Default::default());
+            let bound = local_norm_bound(sp.s(), l);
+            assert!(
+                norm <= bound + 1e-7,
+                "{name} s={} λ={l}: ‖M‖ = {norm} > bound {bound}",
+                sp.s()
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma_6_1_dominates_real_full_duplex_delay_matrices() {
+    let protocols = vec![
+        ("hypercube_sweep(4)".to_string(), builders::hypercube_sweep(4)),
+        ("knodel_sweep(4,16)".into(), builders::knodel_sweep(4, 16)),
+        (
+            "grid_traffic_light(4,4)".into(),
+            builders::grid_traffic_light(4, 4),
+        ),
+        (
+            "fd_coloring(DB(2,4))".into(),
+            systolic_gossip::sg_protocol::builders::full_duplex_coloring_periodic(
+                &Network::DeBruijn { d: 2, dd: 4 }.build(),
+            ),
+        ),
+    ];
+    for (name, sp) in protocols {
+        let dg = DelayDigraph::periodic(&sp);
+        for &l in &LAMBDAS {
+            let norm = dg.norm(l, Default::default());
+            let bound = full_duplex_norm_bound(sp.s(), l);
+            assert!(
+                norm <= bound + 1e-7,
+                "{name} s={s} λ={l}: ‖M‖ = {norm} > bound {bound}",
+                s = sp.s()
+            );
+        }
+    }
+}
+
+#[test]
+fn unrolled_norms_increase_to_periodic_everywhere() {
+    for (name, sp) in half_duplex_protocols() {
+        let l = 0.7;
+        let periodic = DelayDigraph::periodic(&sp).norm(l, Default::default());
+        let mut prev = 0.0;
+        for periods in 1..=4 {
+            let u = DelayDigraph::unrolled(&sp, periods * sp.s()).norm(l, Default::default());
+            assert!(u >= prev - 1e-9, "{name}: not monotone");
+            assert!(u <= periodic + 1e-7, "{name}: fold must dominate");
+            prev = u;
+        }
+    }
+}
+
+#[test]
+fn concrete_lambda_star_at_least_closed_form_fixpoint() {
+    // Lemma 4.3: ‖M(λ)‖ ≤ f(s, λ), hence the concrete λ* (where the real
+    // norm reaches 1) is ≥ the closed-form fixpoint (where the bound
+    // reaches 1).
+    use systolic_gossip::sg_bounds::lambda_star as closed_form_lambda;
+    use systolic_gossip::sg_delay::bound::lambda_star as matrix_lambda;
+    for (name, sp) in half_duplex_protocols() {
+        let dg = DelayDigraph::periodic(&sp);
+        if let Some(ls) = matrix_lambda(&dg, BoundOpts::default()) {
+            let cf = closed_form_lambda(BoundMode::HalfDuplex, Period::Systolic(sp.s()));
+            assert!(
+                ls >= cf - 1e-6,
+                "{name}: matrix λ* = {ls} below closed-form fixpoint {cf}"
+            );
+        }
+    }
+}
+
+#[test]
+fn path_protocol_meets_closed_form_exactly() {
+    // The RRLL path protocol is "locally optimal": every interior vertex
+    // has the balanced pattern (2,2), so its delay-matrix norm converges
+    // to the closed form and λ* equals the Fig. 4 fixpoint for s = 4.
+    use systolic_gossip::sg_bounds::lambda_star as closed_form_lambda;
+    use systolic_gossip::sg_delay::bound::lambda_star as matrix_lambda;
+    let sp = builders::path_rrll(24);
+    let dg = DelayDigraph::periodic(&sp);
+    let ls = matrix_lambda(&dg, BoundOpts::default()).expect("bound exists");
+    let cf = closed_form_lambda(BoundMode::HalfDuplex, Period::Systolic(4));
+    assert!(
+        (ls - cf).abs() < 1e-3,
+        "path λ* = {ls} should equal the s=4 fixpoint {cf}"
+    );
+}
+
+#[test]
+fn theorem_4_1_bounds_scale_with_log_n() {
+    // Doubling n adds ~e·log2(2) = e rounds to the first-order bound.
+    let b1 = theorem_4_1_bound(&builders::path_rrll(16), 16, BoundOpts::default()).unwrap();
+    let b2 = theorem_4_1_bound(&builders::path_rrll(16), 32, BoundOpts::default()).unwrap();
+    let delta = b2.first_order_rounds - b1.first_order_rounds;
+    let e = 1.0 / b1.log_inv_lambda;
+    assert!((delta - e).abs() < 1e-6, "delta = {delta}, e = {e}");
+}
