@@ -1,0 +1,303 @@
+//! `sg-bench` — the single CLI over the scenario registry, replacing the
+//! former per-figure binaries (`fig4` … `fig8`, `curves`,
+//! `diameter_bounds`, `experiments`, `fig_matrices`, `validate`).
+//!
+//! ```bash
+//! sg-bench list                        # enumerate the named scenarios
+//! sg-bench run fig5 curves             # run scenarios through the batch executor
+//! sg-bench run all --format json       # everything, one JSON object per row
+//! sg-bench sweep --task bound --mode half-duplex --net wbf:2,5 --net db:2,7 \
+//!                --periods 3..8 --nonsystolic
+//! ```
+
+use sg_scenario::{registry, run_batch, BatchOptions, Scenario, Task, WeightScheme};
+use systolic_gossip::sg_bounds::pfun::Period;
+use systolic_gossip::sg_protocol::mode::Mode;
+use systolic_gossip::{to_csv, to_json_line, Network};
+
+const USAGE: &str = "\
+sg-bench — systolic-gossip scenario runner
+
+USAGE:
+  sg-bench list
+      Enumerate the named scenarios of the registry.
+
+  sg-bench run <name>... | all [OPTIONS]
+      Run named scenarios through the parallel batch executor.
+
+  sg-bench sweep --task <bound|simulate|compare> --mode <directed|half-duplex|full-duplex>
+                 --net <family:params> [--net ...] [--periods LO..HI] [--nonsystolic]
+                 [--degrees D,D,...] [OPTIONS]
+      Run an ad-hoc scenario assembled from the command line. Each --net
+      takes one spec: path:32, cycle:32, complete:16, tree:2,4, grid:6x6,
+      torus:8x8, hypercube:7, bf:2,4, wbf:2,5, wbfdir:2,5, db:2,7,
+      dbdir:2,8, kautz:2,6, kautzdir:2,7, se:6, ccc:4, knodel:6,64,
+      rr:64,3[,seed]
+
+OPTIONS:
+  --threads N          worker threads (default: one per core, max 16)
+  --format FMT         text | json | csv   (default text)
+  --stats              print cache statistics after the run
+  -h, --help           this message
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `sg-bench --help` for usage");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Csv,
+}
+
+struct CommonFlags {
+    threads: usize,
+    format: Format,
+    stats: bool,
+}
+
+fn run_cli(args: &[String]) -> Result<i32, String> {
+    let Some(command) = args.first() else {
+        println!("{USAGE}");
+        return Ok(2);
+    };
+    match command.as_str() {
+        "-h" | "--help" | "help" => {
+            println!("{USAGE}");
+            Ok(0)
+        }
+        "list" => {
+            let reg = registry();
+            println!("{:<26} {:<9} summary", "name", "task");
+            println!("{}", "-".repeat(100));
+            for s in &reg {
+                println!("{:<26} {:<9} {}", s.name, s.task.name(), s.summary);
+            }
+            println!(
+                "\n{} scenarios. `sg-bench run <name>` or `sg-bench run all`.",
+                reg.len()
+            );
+            Ok(0)
+        }
+        "run" => {
+            let (names, flags) = split_flags(&args[1..], false)?;
+            if names.is_empty() {
+                return Err("run: give scenario names, or `all`".into());
+            }
+            let scenarios: Vec<Scenario> = if names.len() == 1 && names[0] == "all" {
+                registry()
+            } else {
+                let reg = registry();
+                names
+                    .iter()
+                    .map(|n| {
+                        reg.iter()
+                            .find(|s| s.name == *n)
+                            .cloned()
+                            .ok_or_else(|| format!("unknown scenario `{n}` (see `sg-bench list`)"))
+                    })
+                    .collect::<Result<_, _>>()?
+            };
+            execute(&scenarios, &flags)
+        }
+        "sweep" => {
+            let scenario = parse_sweep(&args[1..])?;
+            let (_, flags) = split_flags(&args[1..], true)?;
+            execute(&[scenario], &flags)
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Separates positional arguments from the common flags. Sweep-specific
+/// flags are handled by [`parse_sweep`] and only *allowed* (skipped)
+/// here when `sweep` is set — `sg-bench run` rejects them rather than
+/// silently ignoring a user's attempted customization.
+fn split_flags(args: &[String], sweep: bool) -> Result<(Vec<String>, CommonFlags), String> {
+    let mut names = Vec::new();
+    let mut flags = CommonFlags {
+        threads: 0,
+        format: Format::Text,
+        stats: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                flags.threads = arg_value(args, i, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads takes an integer".to_string())?;
+            }
+            "--format" => {
+                i += 1;
+                flags.format = match arg_value(args, i, "--format")? {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--stats" => flags.stats = true,
+            f @ ("--task" | "--mode" | "--net" | "--periods" | "--degrees" | "--nonsystolic") => {
+                if !sweep {
+                    return Err(format!("`{f}` only applies to `sg-bench sweep`"));
+                }
+                if f != "--nonsystolic" {
+                    i += 1; // skip the flag's value; parse_sweep consumed it
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            name => names.push(name.to_string()),
+        }
+        i += 1;
+    }
+    Ok((names, flags))
+}
+
+fn arg_value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, String> {
+    args.get(i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_sweep(args: &[String]) -> Result<Scenario, String> {
+    let mut task = None;
+    let mut mode = None;
+    let mut networks: Vec<Network> = Vec::new();
+    let mut periods: Vec<Period> = Vec::new();
+    let mut degrees: Vec<usize> = Vec::new();
+    let mut nonsystolic = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--task" => {
+                i += 1;
+                task = Some(match arg_value(args, i, "--task")? {
+                    "bound" => Task::Bound,
+                    "simulate" => Task::Simulate,
+                    "compare" => Task::Compare,
+                    "matrices" => Task::Matrices,
+                    other => return Err(format!("unknown task `{other}`")),
+                });
+            }
+            "--mode" => {
+                i += 1;
+                mode = Some(match arg_value(args, i, "--mode")? {
+                    "directed" => Mode::Directed,
+                    "half-duplex" | "hd" => Mode::HalfDuplex,
+                    "full-duplex" | "fd" => Mode::FullDuplex,
+                    other => return Err(format!("unknown mode `{other}`")),
+                });
+            }
+            "--net" => {
+                i += 1;
+                networks.push(Network::from_spec(arg_value(args, i, "--net")?)?);
+            }
+            "--periods" => {
+                i += 1;
+                let v = arg_value(args, i, "--periods")?;
+                let (lo, hi) = v
+                    .split_once("..")
+                    .ok_or_else(|| format!("--periods takes LO..HI, got `{v}`"))?;
+                let lo: usize = lo.trim().parse().map_err(|_| "bad period".to_string())?;
+                let hi: usize = hi
+                    .trim()
+                    .trim_start_matches('=')
+                    .parse()
+                    .map_err(|_| "bad period".to_string())?;
+                if lo < 2 || hi < lo {
+                    return Err(format!("--periods: need 2 <= LO <= HI, got {lo}..{hi}"));
+                }
+                periods.extend((lo..=hi).map(Period::Systolic));
+            }
+            "--nonsystolic" => nonsystolic = true,
+            "--degrees" => {
+                i += 1;
+                for d in arg_value(args, i, "--degrees")?.split(',') {
+                    degrees.push(
+                        d.trim()
+                            .parse()
+                            .map_err(|_| format!("`{d}` is not a degree"))?,
+                    );
+                }
+            }
+            "--threads" | "--format" => i += 1,
+            "--stats" => {}
+            other => return Err(format!("sweep: unexpected argument `{other}`")),
+        }
+        i += 1;
+    }
+    if nonsystolic {
+        periods.push(Period::NonSystolic);
+    }
+    let task = task.ok_or("sweep: --task is required")?;
+    let mode = mode.ok_or("sweep: --mode is required")?;
+    if networks.is_empty() && degrees.is_empty() {
+        return Err("sweep: give at least one --net or --degrees".into());
+    }
+    if matches!(task, Task::Bound) && periods.is_empty() {
+        return Err("sweep: bound task needs --periods and/or --nonsystolic".into());
+    }
+    Ok(Scenario {
+        name: "sweep",
+        summary: "ad-hoc sweep assembled from the command line",
+        task,
+        mode,
+        networks,
+        degrees,
+        periods,
+        weights: WeightScheme::Unit,
+        checks: Vec::new(),
+    })
+}
+
+fn execute(scenarios: &[Scenario], flags: &CommonFlags) -> Result<i32, String> {
+    let opts = BatchOptions {
+        threads: flags.threads,
+        ..Default::default()
+    };
+    let started = std::time::Instant::now();
+    let report = run_batch(scenarios, &opts);
+    match flags.format {
+        Format::Text => {
+            for outcome in &report.outcomes {
+                println!("{}", outcome.render_text());
+            }
+            println!(
+                "{} scenario(s) in {:.2}s",
+                report.outcomes.len(),
+                started.elapsed().as_secs_f64()
+            );
+        }
+        Format::Json => {
+            for row in report.tagged_rows() {
+                println!("{}", to_json_line(&row));
+            }
+        }
+        Format::Csv => {
+            print!("{}", to_csv(&report.tagged_rows()));
+        }
+    }
+    if flags.stats {
+        eprintln!("cache: {}", report.cache);
+    }
+    if report.checks_ok() {
+        Ok(0)
+    } else {
+        eprintln!("paper-check MISMATCH — see output above");
+        Ok(1)
+    }
+}

@@ -1,4 +1,9 @@
-//! Shared helpers for the benchmark harness and the figure binaries.
+//! Shared helpers for the benchmark harness.
+//!
+//! The former per-figure binaries were replaced by the `sg-bench` CLI
+//! over [`sg_scenario::registry`]; what remains here is the hand-curated
+//! workload corpus the micro-benchmarks and the workload-validation test
+//! use. Prefer the scenario registry for anything user-facing.
 
 use systolic_gossip::prelude::*;
 
@@ -69,7 +74,8 @@ mod tests {
             .into_iter()
             .chain(full_duplex_workloads())
         {
-            sp.validate(&net.build()).unwrap_or_else(|e| panic!("{name}: {e}"));
+            sp.validate(&net.build())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 }

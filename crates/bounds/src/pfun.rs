@@ -14,9 +14,7 @@ use sg_linalg::poly::gossip_p_eval;
 /// `f(λ) = λ·√(p_{⌈s/2⌉}(λ))·√(p_{⌊s/2⌋}(λ))`.
 pub fn f_half_duplex(s: usize, lambda: f64) -> f64 {
     debug_assert!(s >= 2);
-    lambda
-        * gossip_p_eval(s.div_ceil(2), lambda).sqrt()
-        * gossip_p_eval(s / 2, lambda).sqrt()
+    lambda * gossip_p_eval(s.div_ceil(2), lambda).sqrt() * gossip_p_eval(s / 2, lambda).sqrt()
 }
 
 /// Lemma 6.1's bound for period `s` (full-duplex mode):

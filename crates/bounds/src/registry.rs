@@ -166,7 +166,12 @@ mod tests {
         for ub in upper_bounds_for("WBF(2,D)") {
             assert!(wbf_lb <= ub.coefficient + 1e-9, "{}", ub.source);
         }
-        let db_lb = e_separator(params_de_bruijn(2), BoundMode::HalfDuplex, Period::NonSystolic).e;
+        let db_lb = e_separator(
+            params_de_bruijn(2),
+            BoundMode::HalfDuplex,
+            Period::NonSystolic,
+        )
+        .e;
         for ub in upper_bounds_for("DB(2,D)") {
             assert!(db_lb <= ub.coefficient + 1e-9, "{}", ub.source);
         }
@@ -178,10 +183,17 @@ mod tests {
         // for DB) are achieved with small constant periods s >= 4; our
         // Fig. 5 lower bounds must stay below them there.
         for s in 4..=8 {
-            let wbf =
-                e_separator(params_wbf_undirected(2), BoundMode::HalfDuplex, Period::Systolic(s));
+            let wbf = e_separator(
+                params_wbf_undirected(2),
+                BoundMode::HalfDuplex,
+                Period::Systolic(s),
+            );
             assert!(wbf.e <= 2.5 + 1e-9, "s={s}");
-            let db = e_separator(params_de_bruijn(2), BoundMode::HalfDuplex, Period::Systolic(s));
+            let db = e_separator(
+                params_de_bruijn(2),
+                BoundMode::HalfDuplex,
+                Period::Systolic(s),
+            );
             assert!(db.e <= 2.0 + 1e-9, "s={s}");
             // …and above the old baseline (they are *improvements* over
             // what broadcasting gives for these degree-4 networks).
@@ -190,7 +202,11 @@ mod tests {
         // At s = 3 the general bound 2.8808 exceeds the [24] coefficient:
         // period-3 systolization of the DB protocol is provably more
         // expensive than the period the upper bound uses.
-        let db3 = e_separator(params_de_bruijn(2), BoundMode::HalfDuplex, Period::Systolic(3));
+        let db3 = e_separator(
+            params_de_bruijn(2),
+            BoundMode::HalfDuplex,
+            Period::Systolic(3),
+        );
         assert!(db3.e > 2.0);
         let _ = e_general_nonsystolic();
     }

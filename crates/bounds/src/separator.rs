@@ -76,8 +76,7 @@ pub fn e_separator_checked(
 ) -> SeparatorBound {
     let b = e_separator(params, mode, period);
     debug_assert!(
-        params.product() < 1.0 - 1e-9
-            || b.e >= e_coefficient(mode, period) - 1e-9,
+        params.product() < 1.0 - 1e-9 || b.e >= e_coefficient(mode, period) - 1e-9,
         "separator bound below general bound for alpha*ell = 1"
     );
     b
@@ -113,7 +112,11 @@ mod tests {
     /// for s = 4, WBF(2, D) ≥ 2.0218·log n and DB(2, D) ≥ 1.8133·log n.
     #[test]
     fn paper_spot_values_systolic_s4() {
-        let wbf = e_separator(params_wbf_undirected(2), BoundMode::HalfDuplex, Period::Systolic(4));
+        let wbf = e_separator(
+            params_wbf_undirected(2),
+            BoundMode::HalfDuplex,
+            Period::Systolic(4),
+        );
         assert!(
             (wbf.e - 2.0218).abs() < 5e-4,
             "WBF(2,D) s=4: got {:.4}, paper says 2.0218",
@@ -121,7 +124,11 @@ mod tests {
         );
         assert!(!wbf.at_boundary, "the WBF improvement is interior");
 
-        let db = e_separator(params_de_bruijn(2), BoundMode::HalfDuplex, Period::Systolic(4));
+        let db = e_separator(
+            params_de_bruijn(2),
+            BoundMode::HalfDuplex,
+            Period::Systolic(4),
+        );
         assert!(
             (db.e - 1.8133).abs() < 5e-4,
             "DB(2,D) s=4: got {:.4}, paper says 1.8133",
@@ -146,7 +153,11 @@ mod tests {
             "WBF(2,D) s=∞: got {:.4}, paper says 1.9750",
             wbf.e
         );
-        let db = e_separator(params_de_bruijn(2), BoundMode::HalfDuplex, Period::NonSystolic);
+        let db = e_separator(
+            params_de_bruijn(2),
+            BoundMode::HalfDuplex,
+            Period::NonSystolic,
+        );
         assert!(
             (db.e - 1.5876).abs() < 5e-4,
             "DB(2,D) s=∞: got {:.4}, paper says 1.5876",
@@ -191,7 +202,11 @@ mod tests {
     #[test]
     fn kautz_equals_de_bruijn_params() {
         let k = e_separator(params_kautz(3), BoundMode::HalfDuplex, Period::Systolic(5));
-        let d = e_separator(params_de_bruijn(3), BoundMode::HalfDuplex, Period::Systolic(5));
+        let d = e_separator(
+            params_de_bruijn(3),
+            BoundMode::HalfDuplex,
+            Period::Systolic(5),
+        );
         assert!((k.e - d.e).abs() < 1e-12);
     }
 
@@ -201,7 +216,11 @@ mod tests {
         // above the generic c(s−1)·log n.
         use crate::general::e_full_duplex;
         for s in 3..=8 {
-            let b = e_separator(params_butterfly(2), BoundMode::FullDuplex, Period::Systolic(s));
+            let b = e_separator(
+                params_butterfly(2),
+                BoundMode::FullDuplex,
+                Period::Systolic(s),
+            );
             assert!(
                 b.e >= e_full_duplex(s) - 1e-9,
                 "s={s}: {} < {}",
@@ -211,7 +230,11 @@ mod tests {
         }
         // And non-systolic: must be at least the diameter-ish coefficient
         // and strictly above the trivial 1.0.
-        let b = e_separator(params_butterfly(2), BoundMode::FullDuplex, Period::NonSystolic);
+        let b = e_separator(
+            params_butterfly(2),
+            BoundMode::FullDuplex,
+            Period::NonSystolic,
+        );
         assert!(b.e > 1.0);
     }
 

@@ -8,7 +8,7 @@
 //! convention in Figs. 5 and 8.
 
 use crate::diameter;
-use crate::general::{e_coefficient};
+use crate::general::e_coefficient;
 use crate::pfun::{BoundMode, Period};
 use crate::separator::e_separator;
 use sg_graphs::separator::{

@@ -7,7 +7,7 @@ use crate::network::Network;
 use crate::report::bound_mode;
 use sg_bounds::e_coefficient;
 use sg_bounds::pfun::Period;
-use sg_delay::bound::{theorem_4_1_bound, BoundOpts, ProtocolBound};
+use sg_delay::bound::{theorem_4_1_bound_from_digraph, BoundOpts, ProtocolBound};
 use sg_delay::digraph::DelayDigraph;
 use sg_protocol::protocol::SystolicProtocol;
 use sg_protocol::round::ProtocolError;
@@ -68,17 +68,49 @@ pub fn audit(
     opts: BoundOpts,
 ) -> ProtocolAudit {
     let g = network.build();
-    let n = g.vertex_count();
-    let validation = sp.validate(&g);
-    // Only execute protocols that passed validation: invalid arc sets
-    // could reference vertices outside the network.
-    let measured = validation
-        .is_ok()
-        .then(|| systolic_gossip_time(sp, n, max_rounds))
-        .flatten();
     let dg = DelayDigraph::periodic(sp);
+    audit_on(network, &g, sp, &dg, max_rounds, opts)
+}
+
+/// [`audit`] on an already-built digraph and delay digraph — the entry
+/// point the scenario batch executor uses so repeated λ-searches over one
+/// protocol share the delay structure instead of rebuilding it per sweep
+/// point.
+pub fn audit_on(
+    network: &Network,
+    g: &sg_graphs::digraph::Digraph,
+    sp: &SystolicProtocol,
+    dg: &DelayDigraph,
+    max_rounds: usize,
+    opts: BoundOpts,
+) -> ProtocolAudit {
+    // Only execute protocols that pass validation: invalid arc sets
+    // could reference vertices outside the network.
+    let measured = sp
+        .validate(g)
+        .is_ok()
+        .then(|| systolic_gossip_time(sp, g.vertex_count(), max_rounds))
+        .flatten();
+    audit_measured(network, g, sp, dg, measured, opts)
+}
+
+/// [`audit_on`] with the gossip time already measured elsewhere (e.g. by
+/// a completion-curve run over the same deterministic protocol), so
+/// callers that already simulated don't pay for a second execution.
+/// `measured` is ignored when the protocol fails validation.
+pub fn audit_measured(
+    network: &Network,
+    g: &sg_graphs::digraph::Digraph,
+    sp: &SystolicProtocol,
+    dg: &DelayDigraph,
+    measured: Option<usize>,
+    opts: BoundOpts,
+) -> ProtocolAudit {
+    let n = g.vertex_count();
+    let validation = sp.validate(g);
+    let measured = validation.is_ok().then_some(measured).flatten();
     let size = (dg.vertex_count(), dg.edge_count());
-    let matrix_bound = theorem_4_1_bound(sp, n, opts);
+    let matrix_bound = theorem_4_1_bound_from_digraph(dg, n, opts);
     // Section 4 special-cases s = 2: the activated arcs form a fixed
     // directed structure along which items move one arc per round, so the
     // bound is the *linear* n − 1, not a multiple of log n.

@@ -38,9 +38,11 @@ pub mod audit;
 pub mod network;
 pub mod report;
 
-pub use audit::{audit, ProtocolAudit};
+pub use audit::{audit, audit_measured, audit_on, ProtocolAudit};
 pub use network::Network;
-pub use report::{bound_mode, bound_report, BoundReport};
+pub use report::{
+    bound_mode, bound_report, bound_report_on, to_csv, to_json_line, BoundReport, Row, Value,
+};
 
 // Re-export the member crates under their own names for doc linking and
 // downstream use.

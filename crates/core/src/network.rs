@@ -116,6 +116,17 @@ pub enum Network {
         /// Number of vertices (even).
         n: usize,
     },
+    /// Random `d`-regular graph drawn deterministically from `seed`
+    /// (configuration model with rejection), so the descriptor names one
+    /// concrete graph.
+    RandomRegular {
+        /// Number of vertices (`n·d` even).
+        n: usize,
+        /// Degree.
+        d: usize,
+        /// Generator seed.
+        seed: u64,
+    },
 }
 
 impl Network {
@@ -139,6 +150,7 @@ impl Network {
             Network::ShuffleExchange { dd } => gen::shuffle_exchange(dd),
             Network::CubeConnectedCycles { k } => gen::cube_connected_cycles(k),
             Network::Knodel { delta, n } => gen::knodel(delta, n),
+            Network::RandomRegular { n, d, seed } => gen::random_regular_seeded(n, d, seed),
         }
     }
 
@@ -162,6 +174,7 @@ impl Network {
             Network::ShuffleExchange { dd } => format!("SE({dd})"),
             Network::CubeConnectedCycles { k } => format!("CCC({k})"),
             Network::Knodel { delta, n } => format!("W({delta},{n})"),
+            Network::RandomRegular { n, d, seed } => format!("RR({n},{d};{seed})"),
         }
     }
 
@@ -180,9 +193,7 @@ impl Network {
     pub fn separator_params(&self) -> Option<SeparatorParams> {
         match *self {
             Network::Butterfly { d, .. } => Some(separator::params_butterfly(d)),
-            Network::WrappedButterflyDirected { d, .. } => {
-                Some(separator::params_wbf_directed(d))
-            }
+            Network::WrappedButterflyDirected { d, .. } => Some(separator::params_wbf_directed(d)),
             Network::WrappedButterfly { d, .. } => Some(separator::params_wbf_undirected(d)),
             Network::DeBruijnDirected { d, .. } | Network::DeBruijn { d, .. } => {
                 Some(separator::params_de_bruijn(d))
@@ -202,9 +213,7 @@ impl Network {
             Network::WrappedButterflyDirected { d, dd } => {
                 Some(separator::concrete_wbf_directed(d, dd))
             }
-            Network::WrappedButterfly { d, dd } => {
-                Some(separator::concrete_wbf_undirected(d, dd))
-            }
+            Network::WrappedButterfly { d, dd } => Some(separator::concrete_wbf_undirected(d, dd)),
             Network::DeBruijnDirected { d, dd } => Some(separator::concrete_de_bruijn(d, dd)),
             Network::DeBruijn { d, dd } => Some(separator::concrete_de_bruijn_undirected(d, dd)),
             Network::KautzDirected { d, dd } => Some(separator::concrete_kautz(d, dd)),
@@ -241,6 +250,155 @@ impl Network {
             _ => b::edge_coloring_periodic(&self.build()),
         };
         Some(sp)
+    }
+
+    /// Parses a compact network spec, the format `sg-bench sweep` takes
+    /// on the command line: `family:params` with comma-separated integer
+    /// parameters, e.g. `path:32`, `grid:6x6`, `wbf:2,5`, `dbdir:2,8`,
+    /// `rr:64,3,1997` (seed optional, default 1).
+    pub fn from_spec(spec: &str) -> Result<Network, String> {
+        let (family, params) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("`{spec}`: expected family:params, e.g. path:32"))?;
+        let nums: Vec<usize> = params
+            .split([',', 'x'])
+            .map(|t| {
+                t.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("`{spec}`: `{t}` is not an integer"))
+            })
+            .collect::<Result<_, _>>()?;
+        let arity = |k: usize| -> Result<(), String> {
+            if nums.len() == k {
+                Ok(())
+            } else {
+                Err(format!(
+                    "`{spec}`: {family} takes {k} parameter(s), got {}",
+                    nums.len()
+                ))
+            }
+        };
+        let net = match family.to_ascii_lowercase().as_str() {
+            "path" => {
+                arity(1)?;
+                Network::Path { n: nums[0] }
+            }
+            "cycle" => {
+                arity(1)?;
+                Network::Cycle { n: nums[0] }
+            }
+            "complete" => {
+                arity(1)?;
+                Network::Complete { n: nums[0] }
+            }
+            "tree" => {
+                arity(2)?;
+                Network::DaryTree {
+                    d: nums[0],
+                    h: nums[1],
+                }
+            }
+            "grid" => {
+                arity(2)?;
+                Network::Grid2d {
+                    w: nums[0],
+                    h: nums[1],
+                }
+            }
+            "torus" => {
+                arity(2)?;
+                Network::Torus2d {
+                    w: nums[0],
+                    h: nums[1],
+                }
+            }
+            "hypercube" | "q" => {
+                arity(1)?;
+                Network::Hypercube { k: nums[0] }
+            }
+            "bf" => {
+                arity(2)?;
+                Network::Butterfly {
+                    d: nums[0],
+                    dd: nums[1],
+                }
+            }
+            "wbfdir" => {
+                arity(2)?;
+                Network::WrappedButterflyDirected {
+                    d: nums[0],
+                    dd: nums[1],
+                }
+            }
+            "wbf" => {
+                arity(2)?;
+                Network::WrappedButterfly {
+                    d: nums[0],
+                    dd: nums[1],
+                }
+            }
+            "dbdir" => {
+                arity(2)?;
+                Network::DeBruijnDirected {
+                    d: nums[0],
+                    dd: nums[1],
+                }
+            }
+            "db" => {
+                arity(2)?;
+                Network::DeBruijn {
+                    d: nums[0],
+                    dd: nums[1],
+                }
+            }
+            "kautzdir" => {
+                arity(2)?;
+                Network::KautzDirected {
+                    d: nums[0],
+                    dd: nums[1],
+                }
+            }
+            "kautz" => {
+                arity(2)?;
+                Network::Kautz {
+                    d: nums[0],
+                    dd: nums[1],
+                }
+            }
+            "se" => {
+                arity(1)?;
+                Network::ShuffleExchange { dd: nums[0] }
+            }
+            "ccc" => {
+                arity(1)?;
+                Network::CubeConnectedCycles { k: nums[0] }
+            }
+            "knodel" => {
+                arity(2)?;
+                Network::Knodel {
+                    delta: nums[0],
+                    n: nums[1],
+                }
+            }
+            "rr" => {
+                if nums.len() != 2 && nums.len() != 3 {
+                    return Err(format!("`{spec}`: rr takes n,d[,seed]"));
+                }
+                Network::RandomRegular {
+                    n: nums[0],
+                    d: nums[1],
+                    seed: nums.get(2).map_or(1, |&s| s as u64),
+                }
+            }
+            other => {
+                return Err(format!(
+                    "`{spec}`: unknown family `{other}` (try path, cycle, complete, tree, \
+                     grid, torus, hypercube, bf, wbf, wbfdir, db, dbdir, kautz, kautzdir, \
+                     se, ccc, knodel, rr)"
+                ))
+            }
+        };
+        Ok(net)
     }
 
     /// Human-readable vertex label in the paper's notation (digit words,
@@ -310,9 +468,13 @@ mod tests {
 
     #[test]
     fn separators_only_for_hypercubic_families() {
-        assert!(Network::Butterfly { d: 2, dd: 4 }.separator_params().is_some());
+        assert!(Network::Butterfly { d: 2, dd: 4 }
+            .separator_params()
+            .is_some());
         assert!(Network::Path { n: 9 }.separator_params().is_none());
-        assert!(Network::Kautz { d: 2, dd: 4 }.concrete_separator().is_some());
+        assert!(Network::Kautz { d: 2, dd: 4 }
+            .concrete_separator()
+            .is_some());
         assert!(Network::Hypercube { k: 3 }.concrete_separator().is_none());
     }
 
@@ -323,6 +485,59 @@ mod tests {
         assert!(bf.vertex_label(9).contains(", 1"));
         assert_eq!(Network::DeBruijn { d: 2, dd: 3 }.vertex_label(5), "101");
         assert_eq!(bf.name(), "BF(2,3)");
+    }
+
+    #[test]
+    fn random_regular_builds_and_has_reference_protocol() {
+        let net = Network::RandomRegular {
+            n: 32,
+            d: 3,
+            seed: 1997,
+        };
+        let g = net.build();
+        assert_eq!(g.vertex_count(), 32);
+        assert!(g.is_symmetric());
+        assert!(!net.is_directed());
+        // Deterministic: the descriptor names one concrete graph.
+        assert_eq!(g, net.build());
+        let sp = net.reference_protocol().expect("edge coloring applies");
+        sp.validate(&g).expect("valid");
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        let cases = [
+            ("path:32", Network::Path { n: 32 }),
+            ("grid:6x6", Network::Grid2d { w: 6, h: 6 }),
+            ("torus:4,8", Network::Torus2d { w: 4, h: 8 }),
+            ("wbf:2,5", Network::WrappedButterfly { d: 2, dd: 5 }),
+            ("dbdir:2,8", Network::DeBruijnDirected { d: 2, dd: 8 }),
+            ("CCC:4", Network::CubeConnectedCycles { k: 4 }),
+            ("knodel:6,64", Network::Knodel { delta: 6, n: 64 }),
+            (
+                "rr:64,3,1997",
+                Network::RandomRegular {
+                    n: 64,
+                    d: 3,
+                    seed: 1997,
+                },
+            ),
+            (
+                "rr:64,3",
+                Network::RandomRegular {
+                    n: 64,
+                    d: 3,
+                    seed: 1,
+                },
+            ),
+        ];
+        for (spec, want) in cases {
+            assert_eq!(Network::from_spec(spec), Ok(want), "{spec}");
+        }
+        assert!(Network::from_spec("path").is_err());
+        assert!(Network::from_spec("blob:3").is_err());
+        assert!(Network::from_spec("path:x").is_err());
+        assert!(Network::from_spec("wbf:2").is_err());
     }
 
     #[test]
@@ -344,10 +559,15 @@ mod tests {
         for net in nets {
             let g = net.build();
             let sp = net.reference_protocol().expect("reference exists");
-            sp.validate(&g).unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+            sp.validate(&g)
+                .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
             let n = g.vertex_count();
             let t = systolic_gossip_time(&sp, n, 1000 * n);
-            assert!(t.is_some(), "{}: reference protocol must gossip", net.name());
+            assert!(
+                t.is_some(),
+                "{}: reference protocol must gossip",
+                net.name()
+            );
         }
         // Directed shift networks have no deterministic reference.
         assert!(Network::DeBruijnDirected { d: 2, dd: 3 }

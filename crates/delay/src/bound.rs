@@ -93,7 +93,11 @@ fn solve_breakeven(a: f64, b: f64, c: f64) -> f64 {
 
 /// Theorem 4.1: a lower bound on the gossip time of any execution of `sp`
 /// on an `n`-vertex network. `None` when the delay matrix yields no bound.
-pub fn theorem_4_1_bound(sp: &SystolicProtocol, n: usize, opts: BoundOpts) -> Option<ProtocolBound> {
+pub fn theorem_4_1_bound(
+    sp: &SystolicProtocol,
+    n: usize,
+    opts: BoundOpts,
+) -> Option<ProtocolBound> {
     let dg = DelayDigraph::periodic(sp);
     theorem_4_1_bound_from_digraph(&dg, n, opts)
 }
@@ -269,8 +273,7 @@ mod tests {
         ];
         for (case, n) in cases {
             let sp = case.build();
-            let measured =
-                systolic_gossip_time(&sp, n, 200 * n).expect("completes") as f64;
+            let measured = systolic_gossip_time(&sp, n, 200 * n).expect("completes") as f64;
             if let Some(b) = theorem_4_1_bound(&sp, n, opts()) {
                 assert!(
                     b.rounds <= measured + 1e-9,
@@ -354,8 +357,8 @@ mod tests {
             };
             // Broadcast from every source must respect the bound.
             for src in [0usize, n / 2, n - 1] {
-                let t = systolic_broadcast_time(&sp, n, src, 10_000)
-                    .expect("broadcast completes") as f64;
+                let t = systolic_broadcast_time(&sp, n, src, 10_000).expect("broadcast completes")
+                    as f64;
                 assert!(
                     b.rounds <= t + 1e-9,
                     "broadcast bound {} > measured {t} (src {src})",

@@ -148,9 +148,7 @@ impl LocalMatrices {
 /// Lemma 4.3's uniform norm bound for period `s`:
 /// `λ·√(p_{⌈s/2⌉}(λ))·√(p_{⌊s/2⌋}(λ))`.
 pub fn local_norm_bound(s: usize, lambda: f64) -> f64 {
-    lambda
-        * gossip_p_eval(s.div_ceil(2), lambda).sqrt()
-        * gossip_p_eval(s / 2, lambda).sqrt()
+    lambda * gossip_p_eval(s.div_ceil(2), lambda).sqrt() * gossip_p_eval(s / 2, lambda).sqrt()
 }
 
 /// The pattern-specific norm bound `λ·√(p_{Σl}(λ))·√(p_{Σr}(λ))`
@@ -177,11 +175,11 @@ mod tests {
 
     fn patterns() -> Vec<BlockPattern> {
         vec![
-            BlockPattern::from_blocks(vec![2], vec![2]),          // s=4, k=1
-            BlockPattern::from_blocks(vec![1], vec![1]),          // s=2
-            BlockPattern::from_blocks(vec![1, 1], vec![1, 1]),    // s=4, k=2
-            BlockPattern::from_blocks(vec![2, 1], vec![1, 2]),    // s=6, k=2 (paper Fig. 1 shape)
-            BlockPattern::from_blocks(vec![3], vec![1]),          // unbalanced s=4
+            BlockPattern::from_blocks(vec![2], vec![2]), // s=4, k=1
+            BlockPattern::from_blocks(vec![1], vec![1]), // s=2
+            BlockPattern::from_blocks(vec![1, 1], vec![1, 1]), // s=4, k=2
+            BlockPattern::from_blocks(vec![2, 1], vec![1, 2]), // s=6, k=2 (paper Fig. 1 shape)
+            BlockPattern::from_blocks(vec![3], vec![1]), // unbalanced s=4
             BlockPattern::from_blocks(vec![1, 2, 1], vec![2, 1, 1]), // s=8, k=3
         ]
     }
@@ -215,7 +213,7 @@ mod tests {
         assert_eq!(lm.d(0, 0), 1);
         assert_eq!(lm.d(0, 1), 1 + 1 + 1); // r0 + l1
         assert_eq!(lm.d(1, 2), 1 + 2 + 2); // r1 + l2 (= l0)
-        // One full period of distance: d(i, i+k) − d(i, i) = s.
+                                           // One full period of distance: d(i, i+k) − d(i, i) = s.
         assert_eq!(lm.d(0, 2) - lm.d(0, 0), p_sum());
         fn p_sum() -> usize {
             2 + 1 + 1 + 2
@@ -251,18 +249,14 @@ mod tests {
                 let h = 4 * p.k();
                 let lm = LocalMatrices::new(p.clone(), h);
                 let e = lm.semi_eigenvector(l);
-                assert!(is_semi_eigenvector(
-                    &lm.nx(l),
-                    &e,
-                    lm.nx_semi_eigenvalue(l),
-                    1e-10
-                ), "Nx semi-eigenvector failed for {p:?} at λ={l}");
-                assert!(is_semi_eigenvector(
-                    &lm.ox(l),
-                    &e,
-                    lm.ox_semi_eigenvalue(l),
-                    1e-10
-                ), "Ox semi-eigenvector failed for {p:?} at λ={l}");
+                assert!(
+                    is_semi_eigenvector(&lm.nx(l), &e, lm.nx_semi_eigenvalue(l), 1e-10),
+                    "Nx semi-eigenvector failed for {p:?} at λ={l}"
+                );
+                assert!(
+                    is_semi_eigenvector(&lm.ox(l), &e, lm.ox_semi_eigenvalue(l), 1e-10),
+                    "Ox semi-eigenvector failed for {p:?} at λ={l}"
+                );
             }
         }
     }

@@ -172,8 +172,9 @@ mod tests {
         // The method is very weak on a cycle (norm ~1 only near λ = 1),
         // but must remain *sound*.
         let n = 12;
-        let arcs: Vec<(usize, usize, u32)> =
-            (0..n).map(|i| (i, (i + 1) % n, 1 + (i % 3) as u32)).collect();
+        let arcs: Vec<(usize, usize, u32)> = (0..n)
+            .map(|i| (i, (i + 1) % n, 1 + (i % 3) as u32))
+            .collect();
         let wg = WeightedDigraph::from_arcs(n, arcs);
         if let Some(b) = weighted_diameter_bound(&wg, opts()) {
             assert!(b.rounds <= wg.diameter().unwrap() as f64 + 1e-9);
@@ -195,8 +196,13 @@ mod tests {
         let g = generators::de_bruijn_directed(2, 6);
         let wg = WeightedDigraph::from_arcs(
             g.vertex_count(),
-            g.arcs()
-                .map(|a| (a.from as usize, a.to as usize, if a.to % 2 == 0 { 1 } else { 4 })),
+            g.arcs().map(|a| {
+                (
+                    a.from as usize,
+                    a.to as usize,
+                    if a.to % 2 == 0 { 1 } else { 4 },
+                )
+            }),
         );
         let b = weighted_diameter_bound(&wg, opts()).expect("bound exists");
         let true_diam = wg.diameter().unwrap() as f64;

@@ -131,7 +131,8 @@ impl Digraph {
     }
 
     fn compute_symmetric(&self) -> bool {
-        self.arcs().all(|a| self.has_arc(a.to as usize, a.from as usize))
+        self.arcs()
+            .all(|a| self.has_arc(a.to as usize, a.from as usize))
     }
 
     /// Number of vertices.
@@ -234,10 +235,7 @@ impl Digraph {
     /// The symmetric closure (adds the opposite of every arc) — turns a
     /// directed network into the undirected one it underlies.
     pub fn symmetric_closure(&self) -> Digraph {
-        Digraph::from_arcs(
-            self.n,
-            self.arcs().flat_map(|a| [a, a.reversed()]),
-        )
+        Digraph::from_arcs(self.n, self.arcs().flat_map(|a| [a, a.reversed()]))
     }
 
     /// Degree histogram keyed by out-degree; index `d` holds the number of
@@ -275,7 +273,12 @@ mod tests {
     fn self_loops_dropped_duplicates_collapsed() {
         let g = Digraph::from_arcs(
             2,
-            [Arc::new(0, 0), Arc::new(0, 1), Arc::new(0, 1), Arc::new(1, 1)],
+            [
+                Arc::new(0, 0),
+                Arc::new(0, 1),
+                Arc::new(0, 1),
+                Arc::new(1, 1),
+            ],
         );
         assert_eq!(g.arc_count(), 1);
         assert!(g.has_arc(0, 1));
@@ -311,7 +314,12 @@ mod tests {
     fn degrees() {
         let g = Digraph::from_arcs(
             4,
-            [Arc::new(0, 1), Arc::new(0, 2), Arc::new(0, 3), Arc::new(1, 0)],
+            [
+                Arc::new(0, 1),
+                Arc::new(0, 2),
+                Arc::new(0, 3),
+                Arc::new(1, 0),
+            ],
         );
         assert_eq!(g.out_degree(0), 3);
         assert_eq!(g.in_degree(0), 1);

@@ -22,18 +22,12 @@ pub fn cycle(n: usize) -> Digraph {
 /// Directed cycle (one arc per edge, all clockwise).
 pub fn directed_cycle(n: usize) -> Digraph {
     assert!(n >= 2);
-    Digraph::from_arcs(
-        n,
-        (0..n).map(|i| crate::digraph::Arc::new(i, (i + 1) % n)),
-    )
+    Digraph::from_arcs(n, (0..n).map(|i| crate::digraph::Arc::new(i, (i + 1) % n)))
 }
 
 /// Complete graph `K_n` (undirected).
 pub fn complete(n: usize) -> Digraph {
-    Digraph::from_edges(
-        n,
-        (0..n).flat_map(move |i| (i + 1..n).map(move |j| (i, j))),
-    )
+    Digraph::from_edges(n, (0..n).flat_map(move |i| (i + 1..n).map(move |j| (i, j))))
 }
 
 /// Star `S_n`: center `0` joined to `1..n`.
@@ -93,10 +87,12 @@ pub fn hypercube(k: usize) -> Digraph {
     let n = 1usize << k;
     Digraph::from_edges(
         n,
-        (0..n).flat_map(move |i| (0..k).filter_map(move |b| {
-            let j = i ^ (1 << b);
-            (i < j).then_some((i, j))
-        })),
+        (0..n).flat_map(move |i| {
+            (0..k).filter_map(move |b| {
+                let j = i ^ (1 << b);
+                (i < j).then_some((i, j))
+            })
+        }),
     )
 }
 

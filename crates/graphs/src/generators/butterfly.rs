@@ -67,7 +67,11 @@ pub fn wrapped_butterfly_directed(d: usize, dd: usize) -> Digraph {
             let v = bf_vertex(w, l, d, dd);
             // From level l we substitute digit (l − 1 mod D) and move to
             // level (l − 1 mod D).
-            let (pos, nl) = if l > 0 { (l - 1, l - 1) } else { (dd - 1, dd - 1) };
+            let (pos, nl) = if l > 0 {
+                (l - 1, l - 1)
+            } else {
+                (dd - 1, dd - 1)
+            };
             for a in 0..d {
                 let u = bf_vertex(with_digit(w, pos, d, a), nl, d, dd);
                 arcs.push(Arc::new(v, u));

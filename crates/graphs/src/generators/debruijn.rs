@@ -122,7 +122,7 @@ mod tests {
     fn kautz_counts() {
         let g = kautz_directed(2, 3);
         assert_eq!(g.vertex_count(), 3 * 4); // (d+1) d^{D−1}
-        // Kautz is exactly d-out-regular (no self-loops to lose).
+                                             // Kautz is exactly d-out-regular (no self-loops to lose).
         for v in 0..g.vertex_count() {
             assert_eq!(g.out_degree(v), 2);
             assert_eq!(g.in_degree(v), 2);

@@ -52,7 +52,10 @@ pub fn cube_connected_cycles(k: usize) -> Digraph {
 /// and `(2, (j + 2^k − 1) mod n/2)` for `k = 0..Δ−1`. The classic family of
 /// minimum-gossip-time graphs.
 pub fn knodel(delta: usize, n: usize) -> Digraph {
-    assert!(n >= 2 && n.is_multiple_of(2), "Knödel graphs need even order");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "Knödel graphs need even order"
+    );
     assert!(delta >= 1 && (1usize << delta) <= n, "need 2^delta <= n");
     let half = n / 2;
     let mut edges = Vec::with_capacity(delta * half);
@@ -90,6 +93,16 @@ pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Digraph {
         return Digraph::from_edges(n, edges);
     }
     panic!("random_regular: rejection sampling failed; parameters too dense");
+}
+
+/// Deterministic [`random_regular`]: derives the generator from `seed`,
+/// so a `(n, d, seed)` triple names one concrete graph. This is what lets
+/// random families participate in the scenario registry, where network
+/// descriptors must be plain comparable data.
+pub fn random_regular_seeded(n: usize, d: usize, seed: u64) -> Digraph {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    random_regular(n, d, &mut StdRng::seed_from_u64(seed))
 }
 
 /// Erdős–Rényi `G(n, p)` (undirected).
@@ -166,6 +179,16 @@ mod tests {
         assert_eq!(g.vertex_count(), 20);
         let hist = g.out_degree_histogram();
         assert_eq!(hist[3], 20);
+    }
+
+    #[test]
+    fn seeded_random_regular_is_deterministic() {
+        let a = random_regular_seeded(24, 3, 1997);
+        let b = random_regular_seeded(24, 3, 1997);
+        assert_eq!(a, b);
+        assert_eq!(a.out_degree_histogram()[3], 24);
+        let c = random_regular_seeded(24, 3, 1998);
+        assert_ne!(a, c, "different seeds should give different graphs");
     }
 
     #[test]

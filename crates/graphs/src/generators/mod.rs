@@ -15,7 +15,7 @@ pub use basic::{
 pub use butterfly::{
     bf_decode, bf_label, bf_vertex, butterfly, wrapped_butterfly, wrapped_butterfly_directed,
 };
-pub use debruijn::{
-    db_label, de_bruijn, de_bruijn_directed, kautz, kautz_directed, kautz_label,
+pub use debruijn::{db_label, de_bruijn, de_bruijn_directed, kautz, kautz_directed, kautz_label};
+pub use misc::{
+    cube_connected_cycles, gnp, knodel, random_regular, random_regular_seeded, shuffle_exchange,
 };
-pub use misc::{cube_connected_cycles, gnp, knodel, random_regular, shuffle_exchange};

@@ -95,7 +95,10 @@ pub fn greedy_edge_coloring(g: &Digraph) -> (usize, Vec<usize>) {
     // colors_at[v] is a bitmask of colors used at v (up to 64 colors, far
     // beyond any bounded-degree network here; fall back to a Vec otherwise).
     let max_colors = 2 * g.max_degree();
-    assert!(max_colors <= 64, "greedy_edge_coloring supports degree <= 32");
+    assert!(
+        max_colors <= 64,
+        "greedy_edge_coloring supports degree <= 32"
+    );
     let mut used_at = vec![0u64; n];
     let mut colors = Vec::with_capacity(edges.len());
     let mut color_count = 0usize;
@@ -148,18 +151,33 @@ mod tests {
 
     #[test]
     fn full_duplex_round_requires_opposite_pairs() {
-        let ok = [Arc::new(0, 1), Arc::new(1, 0), Arc::new(2, 3), Arc::new(3, 2)];
+        let ok = [
+            Arc::new(0, 1),
+            Arc::new(1, 0),
+            Arc::new(2, 3),
+            Arc::new(3, 2),
+        ];
         assert!(is_full_duplex_round(4, &ok));
         // Missing one direction.
         assert!(!is_full_duplex_round(4, &[Arc::new(0, 1)]));
         // Pairs sharing a vertex.
-        let bad = [Arc::new(0, 1), Arc::new(1, 0), Arc::new(1, 2), Arc::new(2, 1)];
+        let bad = [
+            Arc::new(0, 1),
+            Arc::new(1, 0),
+            Arc::new(1, 2),
+            Arc::new(2, 1),
+        ];
         assert!(!is_full_duplex_round(4, &bad));
     }
 
     #[test]
     fn full_duplex_rejects_duplicates() {
-        let dup = [Arc::new(0, 1), Arc::new(1, 0), Arc::new(0, 1), Arc::new(1, 0)];
+        let dup = [
+            Arc::new(0, 1),
+            Arc::new(1, 0),
+            Arc::new(0, 1),
+            Arc::new(1, 0),
+        ];
         assert!(!is_full_duplex_round(2, &dup));
     }
 

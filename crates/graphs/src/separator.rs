@@ -147,10 +147,7 @@ pub fn concrete_wbf_directed(d: usize, dd: usize) -> ConcreteSeparator {
 /// the undirected WBF / de Bruijn / Kautz constructions.
 pub fn constrained_positions(dd: usize) -> Vec<usize> {
     let h = (dd as f64).sqrt().ceil() as usize;
-    (0..)
-        .map(|j| h * j)
-        .take_while(|&p| p < dd)
-        .collect()
+    (0..).map(|j| h * j).take_while(|&p| p < dd).collect()
 }
 
 fn word_side(w: usize, d: usize, positions: &[usize], split: usize) -> Option<bool> {
@@ -406,7 +403,9 @@ mod tests {
             let directed = de_bruijn_directed(d, dd);
             let sep = concrete_de_bruijn(d, dd);
             assert!(!sep.v1.is_empty() && !sep.v2.is_empty());
-            let measured = sep.measured_distance(&directed).expect("strongly connected");
+            let measured = sep
+                .measured_distance(&directed)
+                .expect("strongly connected");
             assert_eq!(measured, dd as u32, "DB->({d},{dd})");
         }
     }
@@ -416,7 +415,10 @@ mod tests {
         for (d, dd) in [(2usize, 9usize), (2, 12), (3, 6)] {
             let g = de_bruijn(d, dd);
             let sep = concrete_de_bruijn_undirected(d, dd);
-            assert!(!sep.v1.is_empty() && !sep.v2.is_empty(), "DB({d},{dd}) empty side");
+            assert!(
+                !sep.v1.is_empty() && !sep.v2.is_empty(),
+                "DB({d},{dd}) empty side"
+            );
             let measured = sep.measured_distance(&g).expect("nonempty");
             assert!(
                 measured >= sep.claimed_distance,
@@ -431,7 +433,10 @@ mod tests {
         for (d, dd) in [(2usize, 4usize), (2, 6), (3, 4)] {
             let directed = kautz_directed(d, dd);
             let sep = concrete_kautz(d, dd);
-            assert!(!sep.v1.is_empty() && !sep.v2.is_empty(), "K({d},{dd}) empty side");
+            assert!(
+                !sep.v1.is_empty() && !sep.v2.is_empty(),
+                "K({d},{dd}) empty side"
+            );
             let measured = sep.measured_distance(&directed).expect("nonempty");
             assert_eq!(measured, dd as u32, "K->({d},{dd})");
             // Undirected distance is positive as well (sets are disjoint by

@@ -51,7 +51,11 @@ impl WeightedDigraph {
             out_ptr[i + 1] += out_ptr[i];
         }
         let out_adj = list.iter().map(|&(_, v, w)| (v, w)).collect();
-        Self { n, out_ptr, out_adj }
+        Self {
+            n,
+            out_ptr,
+            out_adj,
+        }
     }
 
     /// Lifts an unweighted digraph with unit weights.

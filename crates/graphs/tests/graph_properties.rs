@@ -12,12 +12,8 @@ use sg_graphs::traversal::{
 use sg_graphs::weighted::WeightedDigraph;
 
 fn arcs_strategy(n: usize) -> impl Strategy<Value = Vec<Arc>> {
-    proptest::collection::vec((0..n, 0..n), 0..3 * n).prop_map(|pairs| {
-        pairs
-            .into_iter()
-            .map(|(u, v)| Arc::new(u, v))
-            .collect()
-    })
+    proptest::collection::vec((0..n, 0..n), 0..3 * n)
+        .prop_map(|pairs| pairs.into_iter().map(|(u, v)| Arc::new(u, v)).collect())
 }
 
 proptest! {

@@ -117,7 +117,9 @@ impl DenseMatrix {
     /// Matrix–vector product.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, x.len());
-        (0..self.rows).map(|i| vector::dot(self.row(i), x)).collect()
+        (0..self.rows)
+            .map(|i| vector::dot(self.row(i), x))
+            .collect()
     }
 
     /// `self + rhs`.
@@ -168,10 +170,7 @@ impl DenseMatrix {
     /// Entry-wise `self ≤ rhs` (the partial order of norm property 4).
     pub fn le_entrywise(&self, rhs: &Self, tol: f64) -> bool {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        self.data
-            .iter()
-            .zip(&rhs.data)
-            .all(|(a, b)| *a <= *b + tol)
+        self.data.iter().zip(&rhs.data).all(|(a, b)| *a <= *b + tol)
     }
 
     /// Frobenius norm (`√Σ m_{ij}²`) — an upper bound on the spectral norm,
@@ -295,7 +294,10 @@ mod tests {
         let a = sample();
         let b = DenseMatrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
         let c = a.matmul(&b);
-        assert_eq!(c, DenseMatrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+        assert_eq!(
+            c,
+            DenseMatrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]])
+        );
     }
 
     #[test]

@@ -290,8 +290,6 @@ mod tests {
         // Norm property 4: M <= N entrywise (nonneg) implies ‖M‖ <= ‖N‖.
         let m = DenseMatrix::from_rows(&[vec![1.0, 0.5], vec![0.0, 1.0]]);
         let n = m.scale(1.5);
-        assert!(
-            spectral_norm_dense(&m, OPTS) <= spectral_norm_dense(&n, OPTS) + 1e-12
-        );
+        assert!(spectral_norm_dense(&m, OPTS) <= spectral_norm_dense(&n, OPTS) + 1e-12);
     }
 }

@@ -31,7 +31,11 @@ impl std::error::Error for RootError {}
 ///
 /// Requires `f(lo) ≤ 0 ≤ f(hi)`. Runs a fixed number of halvings (enough to
 /// resolve `f64`), so it cannot fail once the bracket holds.
-pub fn bisect_increasing(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64) -> Result<f64, RootError> {
+pub fn bisect_increasing(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+) -> Result<f64, RootError> {
     let (mut lo, mut hi) = (lo, hi);
     let flo = f(lo);
     let fhi = f(hi);

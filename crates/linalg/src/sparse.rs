@@ -49,8 +49,7 @@ impl CooBuilder {
 
     /// Finalizes into CSR form, summing duplicates and dropping exact zeros.
     pub fn build(mut self) -> CsrMatrix {
-        self.entries
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
         let mut row_ptr = Vec::with_capacity(self.rows + 1);
         let mut col_idx: Vec<u32> = Vec::with_capacity(self.entries.len());
         let mut vals: Vec<f64> = Vec::with_capacity(self.entries.len());

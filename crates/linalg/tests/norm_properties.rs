@@ -19,9 +19,8 @@ const OPTS: PowerIterOpts = PowerIterOpts {
 
 fn nonneg_matrix(max_dim: usize) -> impl Strategy<Value = DenseMatrix> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(0.0f64..2.0, r * c).prop_map(move |data| {
-            DenseMatrix::from_fn(r, c, |i, j| data[i * c + j])
-        })
+        proptest::collection::vec(0.0f64..2.0, r * c)
+            .prop_map(move |data| DenseMatrix::from_fn(r, c, |i, j| data[i * c + j]))
     })
 }
 

@@ -36,10 +36,7 @@ pub fn path_rrll(n: usize) -> SystolicProtocol {
                 .collect(),
         )
     };
-    SystolicProtocol::new(
-        vec![right(0), right(1), left(0), left(1)],
-        Mode::HalfDuplex,
-    )
+    SystolicProtocol::new(vec![right(0), right(1), left(0), left(1)], Mode::HalfDuplex)
 }
 
 /// Period-2 half-duplex protocol on an even cycle whose two rounds form a
@@ -95,7 +92,9 @@ pub fn hypercube_sweep(k: usize) -> SystolicProtocol {
     let rounds = (0..k)
         .map(|b| {
             Round::full_duplex_from_edges(
-                (0..n).filter(|x| x & (1 << b) == 0).map(|x| (x, x | (1 << b))),
+                (0..n)
+                    .filter(|x| x & (1 << b) == 0)
+                    .map(|x| (x, x | (1 << b))),
             )
         })
         .collect();
@@ -125,22 +124,18 @@ pub fn grid_traffic_light(w: usize, h: usize) -> SystolicProtocol {
     assert!(w >= 2 && h >= 2);
     let id = |x: usize, y: usize| y * w + x;
     let row = |parity: usize| {
-        Round::full_duplex_from_edges(
-            (0..h).flat_map(move |y| {
-                (0..w - 1)
-                    .filter(move |x| x % 2 == parity)
-                    .map(move |x| (id(x, y), id(x + 1, y)))
-            }),
-        )
+        Round::full_duplex_from_edges((0..h).flat_map(move |y| {
+            (0..w - 1)
+                .filter(move |x| x % 2 == parity)
+                .map(move |x| (id(x, y), id(x + 1, y)))
+        }))
     };
     let col = |parity: usize| {
-        Round::full_duplex_from_edges(
-            (0..w).flat_map(move |x| {
-                (0..h - 1)
-                    .filter(move |y| y % 2 == parity)
-                    .map(move |y| (id(x, y), id(x, y + 1)))
-            }),
-        )
+        Round::full_duplex_from_edges((0..w).flat_map(move |x| {
+            (0..h - 1)
+                .filter(move |y| y % 2 == parity)
+                .map(move |y| (id(x, y), id(x, y + 1)))
+        }))
     };
     SystolicProtocol::new(vec![row(0), row(1), col(0), col(1)], Mode::FullDuplex)
 }
@@ -210,7 +205,11 @@ pub fn wbf_shift_protocol(d: usize, dd: usize) -> SystolicProtocol {
     let mut rounds = Vec::with_capacity(dd * d);
     // Descend the levels so information pipelines around the level ring.
     for l in (0..dd).rev() {
-        let (pos, nl) = if l > 0 { (l - 1, l - 1) } else { (dd - 1, dd - 1) };
+        let (pos, nl) = if l > 0 {
+            (l - 1, l - 1)
+        } else {
+            (dd - 1, dd - 1)
+        };
         for k in 0..d {
             let arcs = (0..words)
                 .map(|w| {
@@ -246,7 +245,10 @@ pub fn path_two_sweep(n: usize) -> crate::protocol::Protocol {
 /// circle method produces `n − 1` perfect matchings, one per round;
 /// vertex `n − 1` stays fixed, the others rotate.
 pub fn complete_round_robin(n: usize) -> SystolicProtocol {
-    assert!(n >= 2 && n.is_multiple_of(2), "needs an even complete graph");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "needs an even complete graph"
+    );
     let m = n - 1;
     let rounds = (0..m)
         .map(|r| {

@@ -63,7 +63,10 @@ impl LocalSchedule {
                 }
             })
             .collect();
-        Self { vertex: v, per_round }
+        Self {
+            vertex: v,
+            per_round,
+        }
     }
 
     /// `true` when the vertex is active every round with a single
@@ -122,7 +125,11 @@ impl LocalSchedule {
             l.push(run_l);
             r.push(run_r);
         }
-        Some(BlockPattern { l, r, rotation: start })
+        Some(BlockPattern {
+            l,
+            r,
+            rotation: start,
+        })
     }
 }
 

@@ -97,7 +97,8 @@ impl Round {
         round_index: usize,
     ) -> Result<(), ProtocolError> {
         for a in &self.arcs {
-            let in_range = (a.from as usize) < g.vertex_count() && (a.to as usize) < g.vertex_count();
+            let in_range =
+                (a.from as usize) < g.vertex_count() && (a.to as usize) < g.vertex_count();
             if !in_range || !g.has_arc(a.from as usize, a.to as usize) {
                 return Err(ProtocolError::ArcNotInGraph {
                     round: round_index,
@@ -130,10 +131,7 @@ impl Round {
     pub fn arc_out_of(&self, v: usize) -> Option<Arc> {
         // Arcs are sorted by (from, to): binary search the block.
         let i = self.arcs.partition_point(|a| (a.from as usize) < v);
-        self.arcs
-            .get(i)
-            .copied()
-            .filter(|a| a.from as usize == v)
+        self.arcs.get(i).copied().filter(|a| a.from as usize == v)
     }
 }
 

@@ -1,0 +1,196 @@
+//! Cross-unit memoization for the batch executor.
+//!
+//! A period sweep evaluates one network at many periods, and several
+//! scenarios in a batch often touch the same networks; building a CSR
+//! digraph, measuring its diameter, and folding a protocol into its
+//! periodic delay digraph are the expensive, reusable parts. The cache
+//! shares them across all worker threads behind plain mutexes — every
+//! entry is built at most a handful of times (benign build races are
+//! tolerated rather than serialized) and read many times.
+
+use crate::descriptor::ProtocolKind;
+use sg_delay::digraph::DelayDigraph;
+use sg_graphs::digraph::Digraph;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use systolic_gossip::Network;
+
+/// Hit/build counters, for the `--stats` CLI surface and the tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Digraph cache hits.
+    pub graph_hits: usize,
+    /// Digraphs actually built.
+    pub graph_builds: usize,
+    /// Diameter cache hits.
+    pub diameter_hits: usize,
+    /// Diameters actually measured.
+    pub diameter_builds: usize,
+    /// Delay-digraph cache hits.
+    pub delay_hits: usize,
+    /// Delay digraphs actually folded.
+    pub delay_builds: usize,
+}
+
+/// Shared memo of built digraphs, measured diameters and periodic delay
+/// digraphs, keyed by the network descriptor (plus protocol kind for the
+/// delay structures).
+#[derive(Debug, Default)]
+pub struct BuildCache {
+    graphs: Mutex<HashMap<Network, Arc<Digraph>>>,
+    diameters: Mutex<HashMap<Network, Option<u32>>>,
+    delays: Mutex<HashMap<(Network, ProtocolKind), Arc<DelayDigraph>>>,
+    graph_hits: AtomicUsize,
+    graph_builds: AtomicUsize,
+    diameter_hits: AtomicUsize,
+    diameter_builds: AtomicUsize,
+    delay_hits: AtomicUsize,
+    delay_builds: AtomicUsize,
+}
+
+impl BuildCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built digraph of `net`, shared across threads.
+    pub fn digraph(&self, net: &Network) -> Arc<Digraph> {
+        if let Some(g) = self.graphs.lock().unwrap().get(net) {
+            self.graph_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(g);
+        }
+        // Build outside the lock: a concurrent duplicate build is cheaper
+        // than serializing every worker behind one construction.
+        let built = Arc::new(net.build());
+        self.graph_builds.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(self.graphs.lock().unwrap().entry(*net).or_insert(built))
+    }
+
+    /// The measured diameter of `net` (`None` when not strongly
+    /// connected), shared across threads.
+    pub fn diameter(&self, net: &Network) -> Option<u32> {
+        if let Some(d) = self.diameters.lock().unwrap().get(net) {
+            self.diameter_hits.fetch_add(1, Ordering::Relaxed);
+            return *d;
+        }
+        let g = self.digraph(net);
+        let d = sg_graphs::traversal::diameter(&g);
+        self.diameter_builds.fetch_add(1, Ordering::Relaxed);
+        *self.diameters.lock().unwrap().entry(*net).or_insert(d)
+    }
+
+    /// The periodic delay digraph of `net`'s protocol of `kind`, built by
+    /// `build` on first use and shared afterwards — this is what lets
+    /// repeated λ-searches across sweep points reuse one structure.
+    pub fn delay_digraph(
+        &self,
+        net: &Network,
+        kind: ProtocolKind,
+        build: impl FnOnce() -> DelayDigraph,
+    ) -> Arc<DelayDigraph> {
+        let key = (*net, kind);
+        if let Some(dg) = self.delays.lock().unwrap().get(&key) {
+            self.delay_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(dg);
+        }
+        let built = Arc::new(build());
+        self.delay_builds.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(self.delays.lock().unwrap().entry(key).or_insert(built))
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            graph_hits: self.graph_hits.load(Ordering::Relaxed),
+            graph_builds: self.graph_builds.load(Ordering::Relaxed),
+            diameter_hits: self.diameter_hits.load(Ordering::Relaxed),
+            diameter_builds: self.diameter_builds.load(Ordering::Relaxed),
+            delay_hits: self.delay_hits.load(Ordering::Relaxed),
+            delay_builds: self.delay_builds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "graphs {} built / {} hits; diameters {} built / {} hits; delay digraphs {} built / {} hits",
+            self.graph_builds,
+            self.graph_hits,
+            self.diameter_builds,
+            self.diameter_hits,
+            self.delay_builds,
+            self.delay_hits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::protocol_for;
+    use sg_protocol::mode::Mode;
+
+    #[test]
+    fn digraph_and_diameter_are_shared() {
+        let cache = BuildCache::new();
+        let net = Network::DeBruijn { d: 2, dd: 4 };
+        let a = cache.digraph(&net);
+        let b = cache.digraph(&net);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.diameter(&net), cache.diameter(&net));
+        let s = cache.stats();
+        assert_eq!(s.graph_builds, 1);
+        assert!(s.graph_hits >= 1);
+        assert_eq!(s.diameter_builds, 1);
+        assert_eq!(s.diameter_hits, 1);
+    }
+
+    #[test]
+    fn delay_digraphs_memoize_per_protocol_kind() {
+        let cache = BuildCache::new();
+        let net = Network::Path { n: 10 };
+        let g = cache.digraph(&net);
+        let (kind, sp) = protocol_for(&net, &g, Mode::HalfDuplex).unwrap();
+        let a = cache.delay_digraph(&net, kind, || DelayDigraph::periodic(&sp));
+        let b = cache.delay_digraph(&net, kind, || panic!("must not rebuild"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!(s.delay_builds, 1);
+        assert_eq!(s.delay_hits, 1);
+    }
+
+    #[test]
+    fn distinct_networks_do_not_collide() {
+        let cache = BuildCache::new();
+        let a = cache.digraph(&Network::Path { n: 10 });
+        let b = cache.digraph(&Network::Cycle { n: 10 });
+        assert_ne!(a.arc_count(), b.arc_count());
+        assert_eq!(cache.stats().graph_builds, 2);
+    }
+
+    #[test]
+    fn threads_share_one_build() {
+        let cache = BuildCache::new();
+        let net = Network::Hypercube { k: 6 };
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _ = cache.digraph(&net);
+                    let _ = cache.diameter(&net);
+                });
+            }
+        });
+        let stats = cache.stats();
+        // Benign races may build a duplicate, but the common case is one
+        // build; either way every thread got an answer.
+        assert!(stats.graph_builds >= 1);
+        assert!(
+            stats.graph_builds + stats.graph_hits >= 4,
+            "all lookups accounted: {stats:?}"
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! The [`Scenario`] descriptor: one named, declarative experiment.
+//!
+//! A scenario captures *what* to run — network list, communication mode,
+//! period/degree sweep, task — as plain data. The batch executor in
+//! [`crate::runner`] decides *how*: it expands every scenario into
+//! independent work units, fans them out across a thread pool, and
+//! memoizes built digraphs and periodic delay digraphs across sweep
+//! points.
+
+use sg_bounds::pfun::Period;
+use sg_protocol::builders::full_duplex_coloring_periodic;
+use sg_protocol::mode::Mode;
+use sg_protocol::protocol::SystolicProtocol;
+use systolic_gossip::Network;
+
+/// What a scenario computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Lower-bound tables and per-network [`systolic_gossip::BoundReport`]s
+    /// over the period sweep (the paper's Figs. 4, 5, 6, 8).
+    Bound,
+    /// Run each network's protocol, audit it against the theory, and
+    /// record the per-round completion curve.
+    Simulate,
+    /// Measured executions / exact values vs bounds: protocol audits,
+    /// greedy upper bounds, BFS-verified separators, weighted-diameter
+    /// comparisons on directed shift networks.
+    Compare,
+    /// The matrix-construction figures (Figs. 1–3 and 7).
+    Matrices,
+}
+
+impl Task {
+    /// Stable lowercase name (CLI surface).
+    pub fn name(self) -> &'static str {
+        match self {
+            Task::Bound => "bound",
+            Task::Simulate => "simulate",
+            Task::Compare => "compare",
+            Task::Matrices => "matrices",
+        }
+    }
+}
+
+/// Arc-weight assignment for the Section 7 weighted-diameter comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightScheme {
+    /// Every arc weighs 1.
+    Unit,
+    /// Weight 1 into even vertices, 3 into odd ones (the contrast case of
+    /// the old `diameter_bounds` binary).
+    ParityOneThree,
+}
+
+/// A value the paper states, re-derived and diffed on every run.
+#[derive(Clone)]
+pub struct PaperCheck {
+    /// What the paper calls it.
+    pub label: &'static str,
+    /// The stated value.
+    pub expected: f64,
+    /// Allowed absolute deviation (the figures print 4 decimals).
+    pub tol: f64,
+    /// Recomputes the value from the engine.
+    pub compute: fn() -> f64,
+}
+
+impl std::fmt::Debug for PaperCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PaperCheck")
+            .field("label", &self.label)
+            .field("expected", &self.expected)
+            .field("tol", &self.tol)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One named, declarative experiment.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Registry name (`sg-bench run <name>`).
+    pub name: &'static str,
+    /// One-line description (`sg-bench list`).
+    pub summary: &'static str,
+    /// What to compute.
+    pub task: Task,
+    /// Communication mode the scenario analyzes.
+    pub mode: Mode,
+    /// Concrete networks to run on (may be empty for pure-table
+    /// scenarios).
+    pub networks: Vec<Network>,
+    /// Degree sweep for the separator-family tables (Figs. 5, 6, 8 rows);
+    /// empty means only the general "any network" row.
+    pub degrees: Vec<usize>,
+    /// Period sweep (Figs. 4–8 columns; ignored by [`Task::Simulate`],
+    /// which uses each protocol's own period).
+    pub periods: Vec<Period>,
+    /// Arc weights for directed-network diameter comparisons.
+    pub weights: WeightScheme,
+    /// Paper-stated values re-derived on every run.
+    pub checks: Vec<PaperCheck>,
+}
+
+impl Scenario {
+    /// A scenario skeleton with the given identity; fill the sweep fields
+    /// with the builder methods.
+    pub fn new(name: &'static str, summary: &'static str, task: Task, mode: Mode) -> Self {
+        Self {
+            name,
+            summary,
+            task,
+            mode,
+            networks: Vec::new(),
+            degrees: Vec::new(),
+            periods: Vec::new(),
+            weights: WeightScheme::Unit,
+            checks: Vec::new(),
+        }
+    }
+
+    /// Sets the network list.
+    pub fn networks(mut self, nets: impl IntoIterator<Item = Network>) -> Self {
+        self.networks = nets.into_iter().collect();
+        self
+    }
+
+    /// Sets the degree sweep.
+    pub fn degrees(mut self, ds: impl IntoIterator<Item = usize>) -> Self {
+        self.degrees = ds.into_iter().collect();
+        self
+    }
+
+    /// Sets the period sweep.
+    pub fn periods(mut self, ps: impl IntoIterator<Item = Period>) -> Self {
+        self.periods = ps.into_iter().collect();
+        self
+    }
+
+    /// Sets the weight scheme.
+    pub fn weights(mut self, w: WeightScheme) -> Self {
+        self.weights = w;
+        self
+    }
+
+    /// Attaches paper checks.
+    pub fn checks(mut self, cs: impl IntoIterator<Item = PaperCheck>) -> Self {
+        self.checks = cs.into_iter().collect();
+        self
+    }
+}
+
+/// Which deterministic protocol a network runs under — also the delay-
+/// digraph memoization key, since each kind names one protocol per
+/// network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// The network's hand-built reference protocol.
+    Reference,
+    /// The universal half-duplex edge-coloring periodic protocol.
+    EdgeColoring,
+    /// The full-duplex coloring periodic protocol.
+    FullDuplexColoring,
+}
+
+/// Picks the executable protocol for `net` in a scenario running under
+/// `mode`. Directed and half-duplex scenarios take the network's
+/// reference protocol (which already falls back to the universal
+/// edge-coloring protocol on undirected networks); full-duplex scenarios
+/// take the reference protocol only when it actually *is* full-duplex,
+/// and otherwise the full-duplex coloring protocol — a half-duplex
+/// protocol must never stand in for a full-duplex analysis. `None` for
+/// directed shift networks, which have no deterministic protocol (the
+/// executor falls back to weighted-diameter comparisons there).
+pub fn protocol_for(
+    net: &Network,
+    g: &sg_graphs::digraph::Digraph,
+    mode: Mode,
+) -> Option<(ProtocolKind, SystolicProtocol)> {
+    if mode == Mode::FullDuplex {
+        if let Some(sp) = net.reference_protocol() {
+            if sp.mode() == Mode::FullDuplex {
+                return Some((ProtocolKind::Reference, sp));
+            }
+        }
+        if net.is_directed() {
+            return None;
+        }
+        return Some((
+            ProtocolKind::FullDuplexColoring,
+            full_duplex_coloring_periodic(g),
+        ));
+    }
+    net.reference_protocol()
+        .map(|sp| (ProtocolKind::Reference, sp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let s = Scenario::new("t", "test", Task::Bound, Mode::HalfDuplex)
+            .networks([Network::Path { n: 8 }])
+            .degrees([2, 3])
+            .periods([Period::Systolic(4), Period::NonSystolic])
+            .weights(WeightScheme::ParityOneThree);
+        assert_eq!(s.networks.len(), 1);
+        assert_eq!(s.degrees, vec![2, 3]);
+        assert_eq!(s.periods.len(), 2);
+        assert_eq!(s.weights, WeightScheme::ParityOneThree);
+        assert_eq!(s.task.name(), "bound");
+    }
+
+    #[test]
+    fn protocol_for_prefers_reference_then_coloring() {
+        let path = Network::Path { n: 8 };
+        let g = path.build();
+        let (kind, _) = protocol_for(&path, &g, Mode::HalfDuplex).unwrap();
+        assert_eq!(kind, ProtocolKind::Reference);
+
+        // Shuffle-exchange has no hand-built protocol: the half-duplex
+        // reference falls back to edge coloring inside
+        // `reference_protocol`, so this is still Reference…
+        let se = Network::ShuffleExchange { dd: 4 };
+        let g = se.build();
+        let got = protocol_for(&se, &g, Mode::HalfDuplex).unwrap();
+        let sp = got.1;
+        sp.validate(&g).expect("valid");
+
+        // …while directed shift networks have none at all.
+        let dbd = Network::DeBruijnDirected { d: 2, dd: 4 };
+        let g = dbd.build();
+        assert!(protocol_for(&dbd, &g, Mode::HalfDuplex).is_none());
+        assert!(protocol_for(&dbd, &g, Mode::FullDuplex).is_none());
+    }
+
+    #[test]
+    fn full_duplex_scenarios_never_get_half_duplex_protocols() {
+        // Knödel's reference protocol is full-duplex: taken as-is.
+        let knodel = Network::Knodel { delta: 4, n: 16 };
+        let g = knodel.build();
+        let (kind, sp) = protocol_for(&knodel, &g, Mode::FullDuplex).unwrap();
+        assert_eq!(kind, ProtocolKind::Reference);
+        assert_eq!(sp.mode(), Mode::FullDuplex);
+
+        // Shuffle-exchange's reference is the *half-duplex* coloring:
+        // a full-duplex scenario must get the full-duplex coloring
+        // protocol instead, never the half-duplex one.
+        let se = Network::ShuffleExchange { dd: 4 };
+        let g = se.build();
+        let (kind, sp) = protocol_for(&se, &g, Mode::FullDuplex).unwrap();
+        assert_eq!(kind, ProtocolKind::FullDuplexColoring);
+        assert_eq!(sp.mode(), Mode::FullDuplex);
+        sp.validate(&g).expect("valid");
+    }
+}

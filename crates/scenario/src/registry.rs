@@ -1,0 +1,342 @@
+//! The named-scenario registry: every paper figure, the validation and
+//! comparison suites of the former ad-hoc binaries, and the new topology
+//! families the uniform harness unlocks.
+
+use crate::descriptor::{PaperCheck, Scenario, Task, WeightScheme};
+use sg_bounds::pfun::{BoundMode, Period};
+use sg_bounds::tables::standard_periods;
+use sg_bounds::{c_broadcast, e_coefficient, e_separator};
+use sg_graphs::separator::{params_de_bruijn, params_wbf_undirected};
+use sg_protocol::mode::Mode;
+use systolic_gossip::Network;
+
+fn systolic(range: std::ops::RangeInclusive<usize>) -> Vec<Period> {
+    range.map(Period::Systolic).collect()
+}
+
+fn check(label: &'static str, expected: f64, compute: fn() -> f64) -> PaperCheck {
+    PaperCheck {
+        label,
+        expected,
+        tol: 1.2e-4,
+        compute,
+    }
+}
+
+/// Every named scenario, in presentation order.
+pub fn registry() -> Vec<Scenario> {
+    vec![
+        // ——— The paper's figures ———
+        Scenario::new(
+            "fig4",
+            "Fig. 4 — general lower bound e(s), directed & half-duplex",
+            Task::Bound,
+            Mode::HalfDuplex,
+        )
+        .periods(standard_periods())
+        .checks([
+            check("Fig.4 e(3)", 2.8808, || {
+                e_coefficient(BoundMode::HalfDuplex, Period::Systolic(3))
+            }),
+            check("Fig.4 e(4)", 1.8133, || {
+                e_coefficient(BoundMode::HalfDuplex, Period::Systolic(4))
+            }),
+            check("Fig.4 e(5)", 1.6502, || {
+                e_coefficient(BoundMode::HalfDuplex, Period::Systolic(5))
+            }),
+            check("Fig.4 e(6)", 1.5363, || {
+                e_coefficient(BoundMode::HalfDuplex, Period::Systolic(6))
+            }),
+            check("Fig.4 e(7)", 1.5021, || {
+                e_coefficient(BoundMode::HalfDuplex, Period::Systolic(7))
+            }),
+            check("Fig.4 e(8)", 1.4721, || {
+                e_coefficient(BoundMode::HalfDuplex, Period::Systolic(8))
+            }),
+            check("Fig.4 e(∞)", 1.4404, || {
+                e_coefficient(BoundMode::HalfDuplex, Period::NonSystolic)
+            }),
+        ]),
+        Scenario::new(
+            "fig5",
+            "Fig. 5 — systolic half-duplex lower bounds for specific networks",
+            Task::Bound,
+            Mode::HalfDuplex,
+        )
+        .degrees([2, 3])
+        .periods(systolic(3..=8))
+        .checks([
+            check("Fig.5 WBF(2,D) s=4", 2.0218, || {
+                e_separator(
+                    params_wbf_undirected(2),
+                    BoundMode::HalfDuplex,
+                    Period::Systolic(4),
+                )
+                .e
+            }),
+            check("Fig.5 DB(2,D) s=4", 1.8133, || {
+                e_separator(
+                    params_de_bruijn(2),
+                    BoundMode::HalfDuplex,
+                    Period::Systolic(4),
+                )
+                .e
+            }),
+        ]),
+        Scenario::new(
+            "fig5-highdeg",
+            "Fig. 5 extension — degrees 4, 5 up to s = 14 (improvements only for s > 8)",
+            Task::Bound,
+            Mode::HalfDuplex,
+        )
+        .degrees([4, 5])
+        .periods(systolic(3..=14)),
+        Scenario::new(
+            "fig6",
+            "Fig. 6 — non-systolic half-duplex lower bounds with the diameter column",
+            Task::Bound,
+            Mode::HalfDuplex,
+        )
+        .degrees([2, 3])
+        .periods([Period::NonSystolic])
+        .checks([
+            check("Fig.6 WBF(2,D) s=∞", 1.9750, || {
+                e_separator(
+                    params_wbf_undirected(2),
+                    BoundMode::HalfDuplex,
+                    Period::NonSystolic,
+                )
+                .e
+            }),
+            check("Fig.6 DB(2,D) s=∞", 1.5876, || {
+                e_separator(
+                    params_de_bruijn(2),
+                    BoundMode::HalfDuplex,
+                    Period::NonSystolic,
+                )
+                .e
+            }),
+        ]),
+        Scenario::new(
+            "fig8",
+            "Fig. 8 — full-duplex lower bounds; general row = broadcast constants c(s−1)",
+            Task::Bound,
+            Mode::FullDuplex,
+        )
+        .degrees([2, 3])
+        .periods(standard_periods())
+        .checks([
+            check("c(2) of [22,2]", 1.4404, || c_broadcast(2)),
+            check("c(3) of [22,2]", 1.1374, || c_broadcast(3)),
+            check("c(4) of [22,2]", 1.0562, || c_broadcast(4)),
+        ]),
+        Scenario::new(
+            "fig-matrices",
+            "Figs. 1–3 and 7 — the local delay-matrix constructions",
+            Task::Matrices,
+            Mode::HalfDuplex,
+        ),
+        // ——— The former validation / comparison binaries ———
+        Scenario::new(
+            "curves",
+            "Completion curves of the reference protocols vs their lower bounds",
+            Task::Simulate,
+            Mode::HalfDuplex,
+        )
+        .networks([
+            Network::Hypercube { k: 6 },
+            Network::WrappedButterfly { d: 2, dd: 4 },
+            Network::DeBruijn { d: 2, dd: 6 },
+        ]),
+        Scenario::new(
+            "diameter-bounds",
+            "Section 7 — weighted-diameter matrix bounds vs exact Dijkstra diameters",
+            Task::Compare,
+            Mode::Directed,
+        )
+        .networks([
+            Network::DeBruijnDirected { d: 2, dd: 8 },
+            Network::DeBruijnDirected { d: 3, dd: 5 },
+            Network::KautzDirected { d: 2, dd: 7 },
+            Network::WrappedButterflyDirected { d: 2, dd: 5 },
+        ]),
+        Scenario::new(
+            "diameter-bounds-weighted",
+            "Section 7 on non-unit weights (1 into even vertices, 3 into odd)",
+            Task::Compare,
+            Mode::Directed,
+        )
+        .networks([Network::DeBruijnDirected { d: 2, dd: 7 }])
+        .weights(WeightScheme::ParityOneThree),
+        Scenario::new(
+            "validate",
+            "Audits, greedy upper bounds and BFS-verified separators across the workload zoo",
+            Task::Compare,
+            Mode::HalfDuplex,
+        )
+        .networks([
+            Network::Path { n: 32 },
+            Network::Cycle { n: 32 },
+            Network::WrappedButterfly { d: 2, dd: 5 },
+            Network::DeBruijn { d: 2, dd: 7 },
+            Network::Kautz { d: 2, dd: 6 },
+            Network::Butterfly { d: 2, dd: 4 },
+            Network::Hypercube { k: 7 },
+            Network::Knodel { delta: 7, n: 128 },
+            Network::Grid2d { w: 10, h: 10 },
+        ]),
+        // ——— New topology families ———
+        Scenario::new(
+            "torus-sweep",
+            "2-D tori under the edge-coloring protocol, growing sizes",
+            Task::Simulate,
+            Mode::HalfDuplex,
+        )
+        .networks([
+            Network::Torus2d { w: 8, h: 8 },
+            Network::Torus2d { w: 12, h: 12 },
+            Network::Torus2d { w: 16, h: 16 },
+        ]),
+        Scenario::new(
+            "ccc-tour",
+            "Cube-connected cycles CCC(3..5): constant-degree hypercube derivatives",
+            Task::Simulate,
+            Mode::HalfDuplex,
+        )
+        .networks([
+            Network::CubeConnectedCycles { k: 3 },
+            Network::CubeConnectedCycles { k: 4 },
+            Network::CubeConnectedCycles { k: 5 },
+        ]),
+        Scenario::new(
+            "shuffle-exchange",
+            "Shuffle-exchange networks SE(5..7) under the universal coloring protocol",
+            Task::Simulate,
+            Mode::HalfDuplex,
+        )
+        .networks([
+            Network::ShuffleExchange { dd: 5 },
+            Network::ShuffleExchange { dd: 6 },
+            Network::ShuffleExchange { dd: 7 },
+        ]),
+        Scenario::new(
+            "random-regular",
+            "Seeded random regular graphs: audits and greedy bounds off the structured zoo",
+            Task::Compare,
+            Mode::HalfDuplex,
+        )
+        .networks([
+            Network::RandomRegular {
+                n: 64,
+                d: 3,
+                seed: 1997,
+            },
+            Network::RandomRegular {
+                n: 128,
+                d: 4,
+                seed: 1997,
+            },
+            Network::RandomRegular {
+                n: 256,
+                d: 3,
+                seed: 2026,
+            },
+        ]),
+        Scenario::new(
+            "knodel-family",
+            "Knödel graphs W(Δ, n): the classical minimum-gossip-time family",
+            Task::Simulate,
+            Mode::FullDuplex,
+        )
+        .networks([
+            Network::Knodel { delta: 4, n: 32 },
+            Network::Knodel { delta: 5, n: 64 },
+            Network::Knodel { delta: 6, n: 128 },
+        ]),
+        Scenario::new(
+            "zoo-bounds",
+            "Bound reports (s = 4 and non-systolic) across the whole undirected zoo",
+            Task::Bound,
+            Mode::HalfDuplex,
+        )
+        .networks([
+            Network::Path { n: 32 },
+            Network::Cycle { n: 32 },
+            Network::Complete { n: 16 },
+            Network::DaryTree { d: 2, h: 4 },
+            Network::Grid2d { w: 6, h: 6 },
+            Network::Torus2d { w: 6, h: 6 },
+            Network::Hypercube { k: 6 },
+            Network::ShuffleExchange { dd: 6 },
+            Network::CubeConnectedCycles { k: 4 },
+            Network::Knodel { delta: 5, n: 64 },
+            Network::Butterfly { d: 2, dd: 4 },
+            Network::WrappedButterfly { d: 2, dd: 4 },
+            Network::DeBruijn { d: 2, dd: 6 },
+            Network::Kautz { d: 2, dd: 5 },
+            Network::RandomRegular {
+                n: 64,
+                d: 3,
+                seed: 1997,
+            },
+        ])
+        .periods([Period::Systolic(4), Period::NonSystolic]),
+    ]
+}
+
+/// Looks a scenario up by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_least_twelve_scenarios_with_unique_names() {
+        let reg = registry();
+        assert!(reg.len() >= 12, "{} scenarios", reg.len());
+        let mut names: Vec<&str> = reg.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len(), "duplicate scenario names");
+    }
+
+    #[test]
+    fn every_paper_figure_is_registered() {
+        for name in ["fig4", "fig5", "fig6", "fig8", "fig-matrices"] {
+            assert!(find(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn new_families_are_registered() {
+        for name in [
+            "torus-sweep",
+            "ccc-tour",
+            "shuffle-exchange",
+            "random-regular",
+            "knodel-family",
+        ] {
+            assert!(find(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn find_is_exact() {
+        assert!(find("fig5").is_some());
+        assert!(find("fig7").is_none());
+        assert_eq!(find("curves").unwrap().task, Task::Simulate);
+    }
+
+    #[test]
+    fn scenario_networks_build() {
+        for sc in registry() {
+            for net in &sc.networks {
+                let g = net.build();
+                assert!(g.vertex_count() > 0, "{}: {}", sc.name, net.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,699 @@
+//! The parallel batch executor.
+//!
+//! [`run_batch`] expands every scenario into independent work units (one
+//! family-table row, one network × task, one check set, …), fans the
+//! units out across a `std::thread::scope` worker pool behind an atomic
+//! cursor — the same disjoint-ownership idiom as
+//! `sg_sim::parallel::apply_round_parallel` — and reassembles the
+//! per-unit results into deterministic, scenario-ordered outcomes.
+//! Expensive intermediates (built digraphs, measured diameters, periodic
+//! delay digraphs) are shared across all units through a
+//! [`crate::cache::BuildCache`], so a period sweep pays for its network
+//! once and repeated λ-searches share one delay structure.
+
+use crate::cache::{BuildCache, CacheStats};
+use crate::descriptor::{protocol_for, PaperCheck, Scenario, Task, WeightScheme};
+use crate::tables::{assemble_table, family_row, family_specs, FamilySpec};
+use sg_bounds::pfun::Period;
+use sg_bounds::tables::{FigRow, FigTable};
+use sg_bounds::{c_broadcast, e_general_nonsystolic};
+use sg_delay::bound::BoundOpts;
+use sg_delay::digraph::DelayDigraph;
+use sg_delay::fullduplex::full_duplex_mx;
+use sg_delay::local::LocalMatrices;
+use sg_delay::weighted::weighted_diameter_bound;
+use sg_graphs::weighted::WeightedDigraph;
+use sg_protocol::local::BlockPattern;
+use sg_protocol::mode::Mode;
+use sg_sim::greedy::greedy_gossip;
+use sg_sim::trace::knowledge_curve;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use systolic_gossip::{audit_measured, audit_on, bound_report_on, Network, Row};
+
+/// Knobs of one batch run.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Worker threads (`0` = one per available core, capped at 16).
+    pub threads: usize,
+    /// Options for every λ-search / norm evaluation.
+    pub bound_opts: BoundOpts,
+    /// Simulation round budget per protocol execution.
+    pub sim_budget: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            bound_opts: BoundOpts::default(),
+            sim_budget: 1_000_000,
+        }
+    }
+}
+
+impl BatchOptions {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16)
+    }
+}
+
+/// One re-derived paper value.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// What the paper calls it.
+    pub label: String,
+    /// The stated value.
+    pub expected: f64,
+    /// What the engine computes.
+    pub got: f64,
+    /// Within tolerance?
+    pub ok: bool,
+}
+
+/// Everything one scenario produced.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// One-line description.
+    pub summary: String,
+    /// Streamable result rows (JSON/CSV surface).
+    pub rows: Vec<Row>,
+    /// The assembled family table, when the task produces one.
+    pub table: Option<FigTable>,
+    /// Human-readable per-unit blocks, unit order.
+    pub text: Vec<String>,
+    /// Paper-check results.
+    pub checks: Vec<CheckOutcome>,
+}
+
+impl ScenarioOutcome {
+    /// `true` when every paper check matched.
+    pub fn checks_ok(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    /// The scenario as a human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("== {} — {} ==\n", self.name, self.summary);
+        if let Some(t) = &self.table {
+            out.push('\n');
+            out.push_str(&t.render());
+        }
+        for block in &self.text {
+            out.push('\n');
+            out.push_str(block);
+            if !block.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        if !self.checks.is_empty() {
+            out.push_str("\npaper checks:\n");
+            for c in &self.checks {
+                out.push_str(&format!(
+                    "  {:<24} paper {:<8.4} computed {:<8.4} {}\n",
+                    c.label,
+                    c.expected,
+                    c.got,
+                    if c.ok { "match" } else { "MISMATCH" }
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The result of [`run_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-scenario outcomes, in input order.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Memoization counters for the whole batch.
+    pub cache: CacheStats,
+}
+
+impl BatchReport {
+    /// `true` when every scenario's paper checks matched.
+    pub fn checks_ok(&self) -> bool {
+        self.outcomes.iter().all(|o| o.checks_ok())
+    }
+
+    /// All rows of all scenarios, each tagged with its scenario name.
+    pub fn tagged_rows(&self) -> Vec<Row> {
+        let mut out = Vec::new();
+        for o in &self.outcomes {
+            for r in &o.rows {
+                let mut tagged = Row::new().with("scenario", o.name.as_str());
+                tagged.fields.extend(r.fields.iter().cloned());
+                out.push(tagged);
+            }
+        }
+        out
+    }
+}
+
+/// One independent work unit.
+enum Unit {
+    FamilyRow { spec: FamilySpec },
+    NetworkBounds { net: Network },
+    Simulate { net: Network },
+    Compare { net: Network },
+    Matrices,
+    Checks { checks: Vec<PaperCheck> },
+}
+
+/// What one unit produced.
+#[derive(Default)]
+struct UnitOut {
+    rows: Vec<Row>,
+    fig_row: Option<FigRow>,
+    text: Option<String>,
+    checks: Vec<CheckOutcome>,
+}
+
+/// Expands `scenario` into its independent units.
+fn units_of(scenario: &Scenario) -> Vec<Unit> {
+    let mut units = Vec::new();
+    match scenario.task {
+        Task::Bound => {
+            // A family table when there is a degree sweep (Figs. 5, 6, 8)
+            // or nothing but the general row to show (Fig. 4); scenarios
+            // that only list concrete networks get per-network reports.
+            let family_table = !scenario.periods.is_empty()
+                && (!scenario.degrees.is_empty() || scenario.networks.is_empty());
+            if family_table {
+                for spec in family_specs(scenario.mode, &scenario.degrees) {
+                    units.push(Unit::FamilyRow { spec });
+                }
+            }
+            for &net in &scenario.networks {
+                units.push(Unit::NetworkBounds { net });
+            }
+        }
+        Task::Simulate => {
+            for &net in &scenario.networks {
+                units.push(Unit::Simulate { net });
+            }
+        }
+        Task::Compare => {
+            for &net in &scenario.networks {
+                units.push(Unit::Compare { net });
+            }
+        }
+        Task::Matrices => units.push(Unit::Matrices),
+    }
+    if !scenario.checks.is_empty() {
+        units.push(Unit::Checks {
+            checks: scenario.checks.clone(),
+        });
+    }
+    units
+}
+
+/// Runs a batch of scenarios across a worker pool, reusing built
+/// structures through one shared cache.
+pub fn run_batch(scenarios: &[Scenario], opts: &BatchOptions) -> BatchReport {
+    let cache = BuildCache::new();
+    // Flatten: (scenario index, unit index within scenario, unit).
+    let mut work: Vec<(usize, usize, Unit)> = Vec::new();
+    for (si, sc) in scenarios.iter().enumerate() {
+        for (ui, unit) in units_of(sc).into_iter().enumerate() {
+            work.push((si, ui, unit));
+        }
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, usize, UnitOut)>> = Mutex::new(Vec::with_capacity(work.len()));
+    let threads = opts.effective_threads().min(work.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some((si, ui, unit)) = work.get(i) else {
+                    break;
+                };
+                let out = run_unit(unit, &scenarios[*si], &cache, opts);
+                done.lock().unwrap().push((*si, *ui, out));
+            });
+        }
+    });
+
+    let mut finished = done.into_inner().unwrap();
+    finished.sort_by_key(|(si, ui, _)| (*si, *ui));
+
+    let mut outcomes: Vec<ScenarioOutcome> = scenarios
+        .iter()
+        .map(|sc| ScenarioOutcome {
+            name: sc.name.to_string(),
+            summary: sc.summary.to_string(),
+            ..Default::default()
+        })
+        .collect();
+    let mut fig_rows: Vec<Vec<FigRow>> = vec![Vec::new(); scenarios.len()];
+    for (si, _, out) in finished {
+        let o = &mut outcomes[si];
+        o.rows.extend(out.rows);
+        if let Some(r) = out.fig_row {
+            fig_rows[si].push(r);
+        }
+        if let Some(t) = out.text {
+            o.text.push(t);
+        }
+        o.checks.extend(out.checks);
+    }
+    for (si, rows) in fig_rows.into_iter().enumerate() {
+        if !rows.is_empty() {
+            outcomes[si].table = Some(assemble_table(
+                scenarios[si].summary,
+                &scenarios[si].periods,
+                rows,
+            ));
+        }
+    }
+    BatchReport {
+        outcomes,
+        cache: cache.stats(),
+    }
+}
+
+fn run_unit(unit: &Unit, scenario: &Scenario, cache: &BuildCache, opts: &BatchOptions) -> UnitOut {
+    match unit {
+        Unit::FamilyRow { spec } => family_row_unit(spec, scenario),
+        Unit::NetworkBounds { net } => network_bounds_unit(net, scenario, cache),
+        Unit::Simulate { net } => simulate_unit(net, scenario, cache, opts),
+        Unit::Compare { net } => compare_unit(net, scenario, cache, opts),
+        Unit::Matrices => matrices_unit(),
+        Unit::Checks { checks } => checks_unit(checks),
+    }
+}
+
+fn family_row_unit(spec: &FamilySpec, scenario: &Scenario) -> UnitOut {
+    let row = family_row(spec, scenario.mode, &scenario.periods);
+    let mut rows = Vec::new();
+    for (p, cell) in scenario.periods.iter().zip(&row.cells) {
+        rows.push(
+            Row::new()
+                .with("kind", "table")
+                .with("family", spec.label.as_str())
+                .with("mode", scenario.mode.name())
+                .with("period", p.label())
+                .with("e", cell.value)
+                .with("starred", cell.starred),
+        );
+    }
+    UnitOut {
+        rows,
+        fig_row: Some(row),
+        ..Default::default()
+    }
+}
+
+fn network_bounds_unit(net: &Network, scenario: &Scenario, cache: &BuildCache) -> UnitOut {
+    let g = cache.digraph(net);
+    let diameter = cache.diameter(net);
+    let mut rows = Vec::new();
+    let mut text = String::new();
+    for &p in &scenario.periods {
+        let report = bound_report_on(net, &g, diameter, scenario.mode, p);
+        text.push_str(&format!("{report}\n"));
+        rows.push(report.row().with("kind", "bound"));
+    }
+    UnitOut {
+        rows,
+        text: Some(text),
+        ..Default::default()
+    }
+}
+
+fn simulate_unit(
+    net: &Network,
+    scenario: &Scenario,
+    cache: &BuildCache,
+    opts: &BatchOptions,
+) -> UnitOut {
+    let g = cache.digraph(net);
+    let n = g.vertex_count();
+    let Some((kind, sp)) = protocol_for(net, &g, scenario.mode) else {
+        return UnitOut {
+            text: Some(format!(
+                "{}: no deterministic protocol in {} mode — skipped",
+                net.name(),
+                scenario.mode
+            )),
+            ..Default::default()
+        };
+    };
+    if let Err(e) = sp.validate(&g) {
+        return UnitOut {
+            text: Some(format!("{}: invalid protocol — {e}", net.name())),
+            ..Default::default()
+        };
+    }
+    let dg = cache.delay_digraph(net, kind, || DelayDigraph::periodic(&sp));
+    let report = bound_report_on(
+        net,
+        &g,
+        cache.diameter(net),
+        sp.mode(),
+        Period::Systolic(sp.s()),
+    );
+    // One simulation serves both the completion curve and the audit's
+    // measured gossip time (the engine is deterministic).
+    let curve = knowledge_curve(&sp, n, opts.sim_budget);
+    let measured = curve.last().filter(|s| s.min == n).map(|s| s.round);
+    let audit = audit_measured(net, &g, &sp, &dg, measured, opts.bound_opts);
+
+    let mut rows = vec![Row::new()
+        .with("kind", "audit")
+        .with("network", net.name())
+        .with("n", n)
+        .with("s", audit.s)
+        .with("protocol_mode", sp.mode().name())
+        .with("measured_rounds", audit.measured_rounds)
+        .with(
+            "thm41_rounds",
+            audit.matrix_bound.as_ref().map(|b| b.rounds),
+        )
+        .with(
+            "lambda_star",
+            audit.matrix_bound.as_ref().map(|b| b.lambda_star),
+        )
+        .with("closed_form_rounds", audit.closed_form_rounds)
+        .with("best_bound_rounds", report.best_rounds)
+        .with("sound", audit.is_sound())];
+
+    let mut text = format!(
+        "{} — n = {}, s = {}, strongest lower bound {:.1} rounds\n",
+        net.name(),
+        n,
+        sp.s(),
+        report.best_rounds
+    );
+    text.push_str(&format!(
+        "{:>6} {:>8} {:>8} {:>10}\n",
+        "round", "min", "max", "mean"
+    ));
+    let step = (curve.len() / 25).max(1);
+    for (i, s) in curve.iter().enumerate() {
+        let sampled = i % step == 0 || i + 1 == curve.len();
+        if sampled {
+            text.push_str(&format!(
+                "{:>6} {:>8} {:>8} {:>10.1}\n",
+                s.round, s.min, s.max, s.mean
+            ));
+            rows.push(
+                Row::new()
+                    .with("kind", "curve")
+                    .with("network", net.name())
+                    .with("round", s.round)
+                    .with("min", s.min)
+                    .with("max", s.max)
+                    .with("mean", s.mean),
+            );
+        }
+    }
+    if let Some(last) = curve.last() {
+        if last.min == n {
+            text.push_str(&format!(
+                "completed at round {}; bound/measured ratio {:.2}\n",
+                last.round,
+                report.best_rounds / last.round as f64
+            ));
+        } else {
+            text.push_str(&format!(
+                "did not complete within {} rounds\n",
+                opts.sim_budget
+            ));
+        }
+    }
+    UnitOut {
+        rows,
+        text: Some(text),
+        ..Default::default()
+    }
+}
+
+/// Stable per-network seed so compare units are deterministic and
+/// order-independent under any thread schedule.
+fn net_seed(net: &Network) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in net.name().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ 1997
+}
+
+fn compare_unit(
+    net: &Network,
+    scenario: &Scenario,
+    cache: &BuildCache,
+    opts: &BatchOptions,
+) -> UnitOut {
+    let g = cache.digraph(net);
+    let n = g.vertex_count();
+    let mut rows = Vec::new();
+    let mut text = String::new();
+
+    match protocol_for(net, &g, scenario.mode) {
+        Some((kind, sp)) => {
+            // 1. Audit the deterministic protocol against every bound.
+            let dg = cache.delay_digraph(net, kind, || DelayDigraph::periodic(&sp));
+            let audit = audit_on(net, &g, &sp, &dg, opts.sim_budget, opts.bound_opts);
+            let sound = audit.is_sound();
+            text.push_str(&format!(
+                "{:<16} n {:>6}  s {:>3}  measured {:>7}  Thm4.1 {:>8}  Cor4.4 {:>8.1}  {}\n",
+                net.name(),
+                n,
+                audit.s,
+                audit.measured_rounds.map_or("—".into(), |t| t.to_string()),
+                audit
+                    .matrix_bound
+                    .as_ref()
+                    .map_or("—".into(), |b| format!("{:.1}", b.rounds)),
+                audit.closed_form_rounds,
+                if sound { "sound" } else { "VIOLATION" }
+            ));
+            rows.push(
+                Row::new()
+                    .with("kind", "audit")
+                    .with("network", net.name())
+                    .with("n", n)
+                    .with("s", audit.s)
+                    .with("measured_rounds", audit.measured_rounds)
+                    .with(
+                        "thm41_rounds",
+                        audit.matrix_bound.as_ref().map(|b| b.rounds),
+                    )
+                    .with("closed_form_rounds", audit.closed_form_rounds)
+                    .with("sound", sound),
+            );
+
+            // 2. Greedy (non-systolic) upper bound vs the 1.4404·log n
+            //    general bound and the diameter.
+            if !net.is_directed() {
+                let mut rng =
+                    <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(net_seed(net));
+                if let Some(out) = greedy_gossip(&g, Mode::HalfDuplex, 200 * n, &mut rng) {
+                    let t = out.rounds as f64;
+                    let bound = e_general_nonsystolic() * (n as f64).log2();
+                    let slack = 2.0 * t.max(2.0).log2();
+                    let diam = cache.diameter(net);
+                    let sound =
+                        bound - slack <= t + 1e-9 && diam.is_none_or(|d| out.rounds >= d as usize);
+                    text.push_str(&format!(
+                        "{:<16} greedy {:>5} rounds vs 1.4404·log n = {:>6.1}, diam {:>4}  {}\n",
+                        net.name(),
+                        out.rounds,
+                        bound,
+                        diam.map_or("∞".into(), |d| d.to_string()),
+                        if sound { "sound" } else { "VIOLATION" }
+                    ));
+                    rows.push(
+                        Row::new()
+                            .with("kind", "greedy")
+                            .with("network", net.name())
+                            .with("n", n)
+                            .with("greedy_rounds", out.rounds)
+                            .with("nonsystolic_bound", bound)
+                            .with("diameter", diam)
+                            .with("sound", sound),
+                    );
+                }
+            }
+        }
+        None => {
+            // Directed shift network: Section 7 weighted-diameter bound
+            // vs the exact Dijkstra diameter.
+            let wg = match scenario.weights {
+                WeightScheme::Unit => WeightedDigraph::unit_weights(&g),
+                WeightScheme::ParityOneThree => WeightedDigraph::from_arcs(
+                    n,
+                    g.arcs().map(|a| {
+                        (
+                            a.from as usize,
+                            a.to as usize,
+                            if a.to % 2 == 0 { 1 } else { 3 },
+                        )
+                    }),
+                ),
+            };
+            let bound = weighted_diameter_bound(&wg, opts.bound_opts);
+            let diam = wg.diameter();
+            match (bound, diam) {
+                (Some(b), Some(d)) => {
+                    let sound = b.rounds <= d as f64 + 1e-9;
+                    text.push_str(&format!(
+                        "{:<16} n {:>6}  λ* {:>7.4}  bound {:>8.2}  true diam {:>6}  {}\n",
+                        net.name(),
+                        n,
+                        b.lambda_star,
+                        b.rounds,
+                        d,
+                        if sound { "sound" } else { "VIOLATION" }
+                    ));
+                    rows.push(
+                        Row::new()
+                            .with("kind", "diameter")
+                            .with("network", net.name())
+                            .with("n", n)
+                            .with("lambda_star", b.lambda_star)
+                            .with("bound_rounds", b.rounds)
+                            .with("true_diameter", d as i64)
+                            .with("sound", sound),
+                    );
+                }
+                _ => {
+                    text.push_str(&format!(
+                        "{:<16} — no bound / not strongly connected\n",
+                        net.name()
+                    ));
+                }
+            }
+        }
+    }
+
+    // 3. BFS-verify the Lemma 3.1 separator where one exists.
+    if let Some(sep) = net.concrete_separator() {
+        if let Some(measured) = sep.measured_distance(&g) {
+            let ok = measured >= sep.claimed_distance;
+            text.push_str(&format!(
+                "{:<16} separator |V1| {:>5} |V2| {:>5}  dist {:>4} ≥ claimed {:>4}  {}\n",
+                net.name(),
+                sep.v1.len(),
+                sep.v2.len(),
+                measured,
+                sep.claimed_distance,
+                if ok { "ok" } else { "VIOLATION" }
+            ));
+            rows.push(
+                Row::new()
+                    .with("kind", "separator")
+                    .with("network", net.name())
+                    .with("v1", sep.v1.len())
+                    .with("v2", sep.v2.len())
+                    .with("measured_distance", measured)
+                    .with("claimed_distance", sep.claimed_distance)
+                    .with("sound", ok),
+            );
+        }
+    }
+
+    UnitOut {
+        rows,
+        text: Some(text),
+        ..Default::default()
+    }
+}
+
+fn matrices_unit() -> UnitOut {
+    // The paper's Fig. 1 uses a k = 2 local pattern; take
+    // (l0, r0, l1, r1) = (2, 1, 1, 2), s = 6, h = 3 block repetitions.
+    let pattern = BlockPattern::from_blocks(vec![2, 1], vec![1, 2]);
+    let lm = LocalMatrices::new(pattern.clone(), 3);
+    let lambda = 0.6;
+
+    let mut text = format!(
+        "Fig. 1 — Mx(λ) for k = 2, pattern l = {:?}, r = {:?}, λ = {lambda}\n\n",
+        pattern.l, pattern.r
+    );
+    text.push_str(&lm.mx(lambda).render(4));
+    text.push_str(&format!(
+        "\nFig. 2 — block structure: d(0,0) = {}, d(0,1) = {}, d(1,2) = {}\n",
+        lm.d(0, 0),
+        lm.d(0, 1),
+        lm.d(1, 2)
+    ));
+    text.push_str(&format!("\nFig. 3 — Nx({lambda}):\n"));
+    text.push_str(&lm.nx(lambda).render(4));
+    text.push_str(&format!("\nOx({lambda}):\n"));
+    text.push_str(&lm.ox(lambda).render(4));
+    text.push_str(&format!(
+        "\nsemi-eigenvalues: Nx → {:.6}, Ox → {:.6}\n",
+        lm.nx_semi_eigenvalue(lambda),
+        lm.ox_semi_eigenvalue(lambda)
+    ));
+    text.push_str(&format!(
+        "\nFig. 7 — full-duplex Mx(λ) for s = 4 over 8 rounds, λ = {lambda}:\n"
+    ));
+    text.push_str(&full_duplex_mx(4, 8, lambda).render(4));
+
+    let rows = vec![Row::new()
+        .with("kind", "matrices")
+        .with("pattern_l", format!("{:?}", pattern.l))
+        .with("pattern_r", format!("{:?}", pattern.r))
+        .with("lambda", lambda)
+        .with("d_0_0", i64::try_from(lm.d(0, 0)).unwrap_or(i64::MAX))
+        .with("d_0_1", i64::try_from(lm.d(0, 1)).unwrap_or(i64::MAX))
+        .with("nx_semi_eigenvalue", lm.nx_semi_eigenvalue(lambda))
+        .with("ox_semi_eigenvalue", lm.ox_semi_eigenvalue(lambda))];
+    UnitOut {
+        rows,
+        text: Some(text),
+        ..Default::default()
+    }
+}
+
+fn checks_unit(checks: &[PaperCheck]) -> UnitOut {
+    let outcomes: Vec<CheckOutcome> = checks
+        .iter()
+        .map(|c| {
+            let got = (c.compute)();
+            CheckOutcome {
+                label: c.label.to_string(),
+                expected: c.expected,
+                got,
+                ok: (got - c.expected).abs() <= c.tol,
+            }
+        })
+        .collect();
+    let rows = outcomes
+        .iter()
+        .map(|c| {
+            Row::new()
+                .with("kind", "check")
+                .with("label", c.label.as_str())
+                .with("paper", c.expected)
+                .with("computed", c.got)
+                .with("ok", c.ok)
+        })
+        .collect();
+    UnitOut {
+        rows,
+        checks: outcomes,
+        ..Default::default()
+    }
+}
+
+// Re-export used by the CLI for "broadcast constants check" style notes.
+#[doc(hidden)]
+pub fn broadcast_constant(d: usize) -> f64 {
+    c_broadcast(d)
+}

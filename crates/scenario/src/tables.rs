@@ -1,0 +1,190 @@
+//! Generic family tables: one builder behind Figs. 4, 5, 6 and 8.
+//!
+//! The paper's four numeric tables are all instances of one shape — rows
+//! are network families (plus the "any network" general row), columns are
+//! periods (plus a diameter column in the non-systolic comparison) — so
+//! the scenario subsystem generates them from `(mode, degrees, periods)`
+//! instead of keeping four bespoke builders. The cell values come from
+//! the same `sg_bounds` engine as `tables::fig4()` … `fig8()`, so the
+//! numbers are identical (property-tested in `tests/registry.rs`).
+
+use sg_bounds::diameter;
+use sg_bounds::pfun::{BoundMode, Period};
+use sg_bounds::tables::{Cell, FigRow, FigTable};
+use sg_bounds::{e_coefficient, e_separator};
+use sg_graphs::separator::{
+    params_butterfly, params_de_bruijn, params_kautz, params_wbf_directed, params_wbf_undirected,
+    SeparatorParams,
+};
+use sg_protocol::mode::Mode;
+use systolic_gossip::bound_mode;
+
+/// One row of a family table: the general bound (no separator) or a
+/// separator family at a fixed degree.
+#[derive(Debug, Clone)]
+pub struct FamilySpec {
+    /// Row label in the paper's notation.
+    pub label: String,
+    /// Separator parameters; `None` for the general "any network" row.
+    pub params: Option<SeparatorParams>,
+    /// The family's diameter coefficient (Fig. 6 comparison column).
+    pub diam_coeff: Option<f64>,
+}
+
+/// The rows of a family table for `mode` and `degrees`: the general row
+/// when `degrees` is empty or the mode is full-duplex (Fig. 4's only row,
+/// Fig. 8's first row), then the five Lemma 3.1 families per degree —
+/// minus the directed wrapped butterfly in full-duplex mode, which has no
+/// full-duplex variant.
+pub fn family_specs(mode: Mode, degrees: &[usize]) -> Vec<FamilySpec> {
+    let full_duplex = matches!(mode, Mode::FullDuplex);
+    let mut rows = Vec::new();
+    if degrees.is_empty() || full_duplex {
+        rows.push(FamilySpec {
+            label: "any network".into(),
+            params: None,
+            diam_coeff: None,
+        });
+    }
+    for &d in degrees {
+        rows.push(FamilySpec {
+            label: format!("BF({d},D)"),
+            params: Some(params_butterfly(d)),
+            diam_coeff: Some(diameter::diam_coeff_butterfly(d)),
+        });
+        if !full_duplex {
+            rows.push(FamilySpec {
+                label: format!("WBF->({d},D)"),
+                params: Some(params_wbf_directed(d)),
+                diam_coeff: Some(diameter::diam_coeff_wbf_directed(d)),
+            });
+        }
+        rows.push(FamilySpec {
+            label: format!("WBF({d},D)"),
+            params: Some(params_wbf_undirected(d)),
+            diam_coeff: Some(diameter::diam_coeff_wbf_undirected(d)),
+        });
+        rows.push(FamilySpec {
+            label: format!("DB({d},D)"),
+            params: Some(params_de_bruijn(d)),
+            diam_coeff: Some(diameter::diam_coeff_de_bruijn(d)),
+        });
+        rows.push(FamilySpec {
+            label: format!("K({d},D)"),
+            params: Some(params_kautz(d)),
+            diam_coeff: Some(diameter::diam_coeff_kautz(d)),
+        });
+    }
+    rows
+}
+
+/// `true` when the table gets the Fig. 6 diameter comparison column: the
+/// sweep is exactly the non-systolic limit.
+pub fn with_diameter_column(periods: &[Period]) -> bool {
+    periods == [Period::NonSystolic]
+}
+
+/// Computes one row of the family table.
+pub fn family_row(spec: &FamilySpec, mode: Mode, periods: &[Period]) -> FigRow {
+    let bm: BoundMode = bound_mode(mode);
+    let mut cells: Vec<Cell> = periods
+        .iter()
+        .map(|&p| match spec.params {
+            None => Cell {
+                value: e_coefficient(bm, p),
+                starred: false,
+            },
+            Some(params) => {
+                let b = e_separator(params, bm, p);
+                Cell {
+                    value: b.e,
+                    starred: b.at_boundary,
+                }
+            }
+        })
+        .collect();
+    if with_diameter_column(periods) {
+        cells.push(Cell {
+            value: spec.diam_coeff.unwrap_or(f64::NAN),
+            starred: false,
+        });
+    }
+    FigRow {
+        label: spec.label.clone(),
+        cells,
+    }
+}
+
+/// Assembles a rendered table from precomputed rows.
+pub fn assemble_table(title: &str, periods: &[Period], rows: Vec<FigRow>) -> FigTable {
+    let mut columns: Vec<String> = periods.iter().map(|p| p.label()).collect();
+    if with_diameter_column(periods) {
+        columns.push("diam.".into());
+    }
+    FigTable {
+        title: title.to_string(),
+        columns,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_bounds::tables;
+
+    fn std_periods() -> Vec<Period> {
+        tables::standard_periods()
+    }
+
+    fn table_for(mode: Mode, degrees: &[usize], periods: &[Period]) -> FigTable {
+        let rows = family_specs(mode, degrees)
+            .iter()
+            .map(|spec| family_row(spec, mode, periods))
+            .collect();
+        assemble_table("t", periods, rows)
+    }
+
+    fn assert_tables_equal(a: &FigTable, b: &FigTable) {
+        assert_eq!(a.rows.len(), b.rows.len(), "row count");
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.label, rb.label);
+            assert_eq!(ra.cells.len(), rb.cells.len(), "{}", ra.label);
+            for (ca, cb) in ra.cells.iter().zip(&rb.cells) {
+                assert!(
+                    (ca.value - cb.value).abs() < 1e-12,
+                    "{}: {} vs {}",
+                    ra.label,
+                    ca.value,
+                    cb.value
+                );
+                assert_eq!(ca.starred, cb.starred, "{}", ra.label);
+            }
+        }
+    }
+
+    #[test]
+    fn reproduces_fig4() {
+        let got = table_for(Mode::HalfDuplex, &[], &std_periods());
+        assert_tables_equal(&got, &tables::fig4());
+    }
+
+    #[test]
+    fn reproduces_fig5() {
+        let periods: Vec<Period> = (3..=8).map(Period::Systolic).collect();
+        let got = table_for(Mode::HalfDuplex, &[2, 3], &periods);
+        assert_tables_equal(&got, &tables::fig5());
+    }
+
+    #[test]
+    fn reproduces_fig6() {
+        let got = table_for(Mode::HalfDuplex, &[2, 3], &[Period::NonSystolic]);
+        assert_tables_equal(&got, &tables::fig6());
+    }
+
+    #[test]
+    fn reproduces_fig8() {
+        let got = table_for(Mode::FullDuplex, &[2, 3], &std_periods());
+        assert_tables_equal(&got, &tables::fig8());
+    }
+}

@@ -28,11 +28,7 @@ pub struct BroadcastOutcome {
 /// uninformed out-neighbour, and each uninformed vertex hears from at
 /// most one informer). Returns `None` when some vertex is unreachable
 /// within `max_rounds`.
-pub fn greedy_broadcast(
-    g: &Digraph,
-    source: usize,
-    max_rounds: usize,
-) -> Option<BroadcastOutcome> {
+pub fn greedy_broadcast(g: &Digraph, source: usize, max_rounds: usize) -> Option<BroadcastOutcome> {
     let n = g.vertex_count();
     // Half-duplex on undirected networks, plain directed mode otherwise.
     let mode = if g.is_symmetric() {

@@ -10,8 +10,8 @@
 //! protocols.
 
 use crate::bitset::Knowledge;
-use sg_protocol::round::Round;
 use sg_protocol::protocol::{Protocol, SystolicProtocol};
+use sg_protocol::round::Round;
 
 /// Outcome of running a protocol to (attempted) gossip completion.
 #[derive(Debug, Clone, PartialEq, Eq)]

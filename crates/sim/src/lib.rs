@@ -6,7 +6,7 @@
 //! round — and measures gossip and broadcast completion times. The
 //! [`greedy`] module generates executable upper-bound protocols for
 //! networks without hand-built ones; [`parallel`] provides a
-//! crossbeam-parallel engine for large instances (bit-identical to the
+//! thread-parallel engine for large instances (bit-identical to the
 //! sequential one); [`trace`] records completion curves.
 
 pub mod bitset;

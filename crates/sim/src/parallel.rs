@@ -1,4 +1,4 @@
-//! Crossbeam-parallel round application for large instances.
+//! Thread-parallel round application for large instances.
 //!
 //! One gossip round writes each *target* row exactly once (targets are
 //! pairwise distinct under the matching condition of Definition 3.1), so
@@ -55,11 +55,11 @@ pub fn apply_round_parallel(k: &mut Knowledge, round: &Round, threads: usize) ->
     let changed = AtomicBool::new(false);
     let table = RowTablePtr(k.bits_mut().as_mut_ptr());
     let chunk = arcs.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for part in arcs.chunks(chunk) {
             let changed = &changed;
             let lookup = &lookup;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let table = table;
                 let mut local_changed = false;
                 for a in part {
@@ -69,9 +69,8 @@ pub fn apply_round_parallel(k: &mut Knowledge, round: &Round, threads: usize) ->
                     // across all arcs of the round (targets verified
                     // distinct above), and the snapshots are private
                     // copies, so no aliasing occurs.
-                    let dst: &mut [u64] = unsafe {
-                        std::slice::from_raw_parts_mut(table.0.add(v * words), words)
-                    };
+                    let dst: &mut [u64] =
+                        unsafe { std::slice::from_raw_parts_mut(table.0.add(v * words), words) };
                     for (d, s) in dst.iter_mut().zip(src) {
                         let before = *d;
                         *d |= s;
@@ -83,8 +82,7 @@ pub fn apply_round_parallel(k: &mut Knowledge, round: &Round, threads: usize) ->
                 }
             });
         }
-    })
-    .expect("simulation worker panicked");
+    });
     changed.load(Ordering::Relaxed)
 }
 

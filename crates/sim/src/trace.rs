@@ -69,7 +69,13 @@ mod tests {
         let curve = knowledge_curve(&sp, 32, 100);
         let mut prev = 1usize;
         for s in &curve {
-            assert!(s.max <= prev * 2, "round {}: {} > 2*{}", s.round, s.max, prev);
+            assert!(
+                s.max <= prev * 2,
+                "round {}: {} > 2*{}",
+                s.round,
+                s.max,
+                prev
+            );
             prev = s.max;
         }
     }

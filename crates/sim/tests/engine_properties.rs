@@ -64,7 +64,7 @@ proptest! {
         }
     }
 
-    /// The crossbeam-parallel engine is bit-identical to the sequential
+    /// The thread-parallel engine is bit-identical to the sequential
     /// one, including on rounds with duplicate targets (where it must
     /// fall back).
     #[test]
@@ -79,6 +79,87 @@ proptest! {
             apply_round(&mut seq, &round);
             apply_round_parallel(&mut par, &round, 4);
         }
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Distinct-target rounds with ≥ 64 arcs take the unsafe
+    /// disjoint-row fast path (not the sequential fallback); it must
+    /// still agree with the sequential engine bit for bit, for any
+    /// thread count.
+    #[test]
+    fn parallel_fast_path_matches_sequential(
+        perm_seed in 0u64..10_000,
+        threads in 2usize..9,
+        rounds in 1usize..5,
+    ) {
+        // n = 96 ≥ 64 arcs per round: every round is a permutation
+        // σ(v) ← v (all targets distinct), so the parallel fast path is
+        // exercised, never the fallback.
+        let n = 96;
+        let mut seq = Knowledge::initial(n);
+        let mut par = Knowledge::initial(n);
+        let mut state = perm_seed;
+        for _ in 0..rounds {
+            let mut targets: Vec<usize> = (0..n).collect();
+            // Deterministic Fisher–Yates from the seed.
+            for i in (1..n).rev() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                targets.swap(i, j);
+            }
+            let arcs: Vec<Arc> = (0..n)
+                .filter(|&v| targets[v] != v)
+                .map(|v| Arc::new(v, targets[v]))
+                .collect();
+            prop_assert!(arcs.len() >= 64, "permutation with too many fixpoints");
+            let round = Round::new(arcs);
+            apply_round(&mut seq, &round);
+            apply_round_parallel(&mut par, &round, threads);
+        }
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Large rounds with a guaranteed duplicate target must take the
+    /// sequential fallback inside `apply_round_parallel` and still agree
+    /// with `apply_round`.
+    #[test]
+    fn parallel_duplicate_target_fallback_matches_sequential(
+        arcs in arcs_strategy(80),
+        dup_target in 0usize..80,
+    ) {
+        let n = 80;
+        // Extend to ≥ 64 arcs so the size gate passes, then force a
+        // duplicate target so the disjointness check must reject.
+        let mut arcs = arcs;
+        let mut v = 0usize;
+        while arcs.len() < 66 {
+            if v != dup_target {
+                arcs.push(Arc::new(v, dup_target));
+            }
+            v += 1;
+        }
+        let far = (dup_target + 40) % n;
+        arcs.push(Arc::new(far, dup_target));
+        let another = (dup_target + 41) % n;
+        if another != dup_target {
+            arcs.push(Arc::new(another, dup_target));
+        }
+        let round = Round::new(arcs);
+        // The round really does carry a duplicate target after Round::new
+        // dedups exact-duplicate arcs.
+        let mut seen = vec![0usize; n];
+        for a in round.arcs() {
+            seen[a.to as usize] += 1;
+        }
+        prop_assert!(seen[dup_target] >= 2, "no duplicate target survived");
+        prop_assert!(round.arcs().len() >= 64);
+
+        let mut seq = Knowledge::initial(n);
+        let mut par = Knowledge::initial(n);
+        apply_round(&mut seq, &round);
+        apply_round_parallel(&mut par, &round, 4);
         prop_assert_eq!(seq, par);
     }
 

@@ -1,24 +1,25 @@
-//! Regenerates every numeric table of the paper from the public API.
+//! Regenerates every numeric table of the paper through the scenario
+//! registry.
 //!
 //! ```bash
 //! cargo run --release --example bound_tables
 //! ```
 //!
-//! Prints Figs. 4, 5, 6 and 8 (see also the `sg-bench` binaries `fig4`,
-//! `fig5`, `fig6`, `fig8`, which emit the same tables one at a time).
+//! Equivalent CLI: `sg-bench run fig4 fig5 fig6 fig8`.
 
-use systolic_gossip::sg_bounds::tables;
+use sg_scenario::{find, run_batch, BatchOptions};
 
 fn main() {
-    for table in [
-        tables::fig4(),
-        tables::fig5(),
-        tables::fig6(),
-        tables::fig8(),
-    ] {
-        println!("{}", table.render());
+    let scenarios: Vec<_> = ["fig4", "fig5", "fig6", "fig8"]
+        .iter()
+        .map(|n| find(n).expect("registered figure scenario"))
+        .collect();
+    let report = run_batch(&scenarios, &BatchOptions::default());
+    for outcome in &report.outcomes {
+        println!("{}", outcome.render_text());
     }
     println!("'∗' marks entries where the separator optimizer sits on the feasibility");
     println!("boundary f(λ) = 1 — there the bound coincides with the general one, as in");
     println!("the paper's figures.");
+    assert!(report.checks_ok(), "paper checks must match");
 }

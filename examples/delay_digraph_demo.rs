@@ -44,7 +44,10 @@ fn main() {
         b.lambda_star, b.rounds
     );
     let measured = systolic_gossip_time(&sp, n, 100 * n).expect("completes");
-    println!("measured gossip time: {measured} rounds  (sound: {})", measured as f64 > b.rounds);
+    println!(
+        "measured gossip time: {measured} rounds  (sound: {})",
+        measured as f64 > b.rounds
+    );
 
     // The local matrices of Figs. 1–3 at an interior vertex.
     let sched = LocalSchedule::of(&sp, n / 2);
@@ -63,5 +66,8 @@ fn main() {
     print!("{}", lm.nx(l).render(3));
     println!("\nOx({l}) — Fig. 3 right:");
     print!("{}", lm.ox(l).render(3));
-    println!("\nsemi-eigenvector e (Lemma 4.2): {:?}", lm.semi_eigenvector(l));
+    println!(
+        "\nsemi-eigenvector e (Lemma 4.2): {:?}",
+        lm.semi_eigenvector(l)
+    );
 }

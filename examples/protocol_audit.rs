@@ -79,7 +79,8 @@ fn main() {
         Network::WrappedButterfly { d: 2, dd: 5 },
         Network::DeBruijn { d: 2, dd: 7 },
     ] {
-        let sp = systolic_gossip::sg_protocol::builders::full_duplex_coloring_periodic(&net.build());
+        let sp =
+            systolic_gossip::sg_protocol::builders::full_duplex_coloring_periodic(&net.build());
         row(&audit(&net, &sp, 500_000, opts));
     }
 

@@ -1,54 +1,60 @@
-//! Quickstart: bounds and an executable protocol on one network.
+//! Quickstart: the scenario registry end to end on one network.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Builds the wrapped butterfly `WBF(2, 8)`, prints every lower bound the
-//! paper provides for it (general, separator-strengthened, diameter), then
-//! runs an actual systolic protocol on it and audits the execution against
-//! the theory.
+//! Lists the registry, then assembles a custom scenario for the wrapped
+//! butterfly `WBF(2, 8)` — the same descriptor `sg-bench sweep` builds
+//! from the command line — and runs it through the parallel batch
+//! executor: lower bounds at s = 4 and s = ∞, plus a simulated, audited
+//! protocol execution.
 
+use sg_scenario::{registry, run_batch, BatchOptions, Scenario, Task};
 use systolic_gossip::prelude::*;
+use systolic_gossip::sg_bounds::pfun::Period as P;
 
 fn main() {
+    // 1. The named scenarios (also: `sg-bench list`).
+    println!("registered scenarios:");
+    for sc in registry() {
+        println!("  {:<26} [{}] {}", sc.name, sc.task.name(), sc.summary);
+    }
+
+    // 2. A custom scenario on one network: what the paper says about any
+    //    4-systolic and any unrestricted half-duplex protocol on WBF(2,8).
     let net = Network::WrappedButterfly { d: 2, dd: 8 };
+    let bounds = Scenario::new(
+        "quickstart-bounds",
+        "lower bounds on WBF(2,8)",
+        Task::Bound,
+        Mode::HalfDuplex,
+    )
+    .networks([net])
+    .periods([P::Systolic(4), P::NonSystolic]);
+
+    // 3. …and an executable protocol on the same network, audited
+    //    against the theory (Theorem 4.1 + Corollary 4.4).
+    let run = Scenario::new(
+        "quickstart-run",
+        "simulate & audit the reference protocol on WBF(2,8)",
+        Task::Simulate,
+        Mode::HalfDuplex,
+    )
+    .networks([net]);
+
+    let report = run_batch(&[bounds, run], &BatchOptions::default());
+    for outcome in &report.outcomes {
+        println!("\n{}", outcome.render_text());
+    }
+
+    // 4. A cheaper empirical upper bound: randomized greedy gossip (the
+    //    `compare` task runs this for whole network lists).
     let g = net.build();
-    println!(
-        "network {} — n = {}, arcs = {}, max degree = {}\n",
-        net,
-        g.vertex_count(),
-        g.arc_count(),
-        g.max_degree()
-    );
-
-    // 1. What the paper says about any 4-systolic half-duplex protocol.
-    let report = bound_report(&net, Mode::HalfDuplex, Period::Systolic(4));
-    println!("{report}\n");
-
-    // 2. And for unrestricted (non-systolic) protocols.
-    let report = bound_report(&net, Mode::HalfDuplex, Period::NonSystolic);
-    println!("{report}\n");
-
-    // 3. Run a real protocol: the universal edge-coloring systolic
-    //    protocol (Liestman–Richards style), and audit it.
-    let sp = builders::edge_coloring_periodic(&g);
-    println!(
-        "running the edge-coloring periodic protocol (s = {}) ...",
-        sp.s()
-    );
-    let audit = audit(&net, &sp, 100_000, BoundOpts::default());
-    println!("{audit}\n");
-
-    // 4. A cheaper empirical upper bound: randomized greedy gossip.
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
     let out = greedy_gossip(&g, Mode::HalfDuplex, 100_000, &mut rng).expect("connected");
     println!(
         "greedy half-duplex gossip completed in {} rounds (non-systolic upper bound)",
         out.rounds
-    );
-    println!(
-        "paper lower bound for non-systolic protocols: {:.1} rounds",
-        report.best_rounds
     );
 }

@@ -1,44 +1,26 @@
-//! Tour of the network zoo: structure, diameters and separators.
+//! Tour of the network zoo, driven by the scenario registry: structure,
+//! diameters and separators for every network the `zoo-bounds` scenario
+//! sweeps.
 //!
 //! ```bash
 //! cargo run --release --example topology_tour
 //! ```
-//!
-//! Prints, for every implemented family: size, degree, measured diameter,
-//! and — where Lemma 3.1 applies — the concrete separator (set sizes and
-//! BFS-verified distance vs the claim).
 
+use sg_scenario::find;
 use systolic_gossip::prelude::*;
 use systolic_gossip::sg_graphs::traversal;
 
 fn main() {
+    // The zoo is defined once, in the registry — the tour just walks it.
+    let zoo = find("zoo-bounds").expect("registered scenario");
+    println!("networks of the `{}` scenario:\n", zoo.name);
     println!(
         "{:<14} {:>6} {:>7} {:>7} {:>6}  {:<30}",
         "network", "n", "arcs", "maxdeg", "diam", "separator (|V1|,|V2|,dist,claim)"
     );
-    let nets = [
-        Network::Path { n: 32 },
-        Network::Cycle { n: 32 },
-        Network::Complete { n: 16 },
-        Network::DaryTree { d: 2, h: 4 },
-        Network::Grid2d { w: 6, h: 6 },
-        Network::Torus2d { w: 6, h: 6 },
-        Network::Hypercube { k: 6 },
-        Network::ShuffleExchange { dd: 6 },
-        Network::CubeConnectedCycles { k: 4 },
-        Network::Knodel { delta: 5, n: 64 },
-        Network::Butterfly { d: 2, dd: 4 },
-        Network::WrappedButterflyDirected { d: 2, dd: 4 },
-        Network::WrappedButterfly { d: 2, dd: 4 },
-        Network::DeBruijnDirected { d: 2, dd: 6 },
-        Network::DeBruijn { d: 2, dd: 6 },
-        Network::KautzDirected { d: 2, dd: 5 },
-        Network::Kautz { d: 2, dd: 5 },
-    ];
-    for net in nets {
+    for net in &zoo.networks {
         let g = net.build();
-        let diam = traversal::diameter(&g)
-            .map_or("∞".to_string(), |d| d.to_string());
+        let diam = traversal::diameter(&g).map_or("∞".to_string(), |d| d.to_string());
         let sep = match net.concrete_separator() {
             Some(s) => {
                 let measured = s

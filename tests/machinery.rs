@@ -51,7 +51,10 @@ fn lemma_4_3_dominates_real_half_duplex_delay_matrices() {
 #[test]
 fn lemma_6_1_dominates_real_full_duplex_delay_matrices() {
     let protocols = vec![
-        ("hypercube_sweep(4)".to_string(), builders::hypercube_sweep(4)),
+        (
+            "hypercube_sweep(4)".to_string(),
+            builders::hypercube_sweep(4),
+        ),
         ("knodel_sweep(4,16)".into(), builders::knodel_sweep(4, 16)),
         (
             "grid_traffic_light(4,4)".into(),

@@ -65,7 +65,10 @@ fn broadcasting_constants() {
 #[test]
 fn full_duplex_equals_broadcast() {
     for s in 3..=10 {
-        assert!((e_full_duplex(s) - c_broadcast(s - 1)).abs() < 1e-9, "s={s}");
+        assert!(
+            (e_full_duplex(s) - c_broadcast(s - 1)).abs() < 1e-9,
+            "s={s}"
+        );
     }
 }
 
@@ -103,8 +106,8 @@ fn tables_shape_and_stars() {
 /// λ·√(p_{⌈s/2⌉}(λ))·√(p_{⌊s/2⌋}(λ)) = 1.
 #[test]
 fn lambda_fixpoints_satisfy_equation() {
-    use systolic_gossip::sg_bounds::pfun::f_half_duplex;
     use systolic_gossip::sg_bounds::lambda_star;
+    use systolic_gossip::sg_bounds::pfun::f_half_duplex;
     for s in 3..=12 {
         let l = lambda_star(BoundMode::HalfDuplex, Period::Systolic(s));
         assert!((f_half_duplex(s, l) - 1.0).abs() < 1e-9, "s={s}");

@@ -30,7 +30,11 @@ fn hand_protocols_sound() {
         &builders::cycle_two_color_directed(16),
         2000,
     );
-    assert_audit_sound(&Network::Hypercube { k: 6 }, &builders::hypercube_sweep(6), 100);
+    assert_audit_sound(
+        &Network::Hypercube { k: 6 },
+        &builders::hypercube_sweep(6),
+        100,
+    );
     assert_audit_sound(
         &Network::Grid2d { w: 6, h: 5 },
         &builders::grid_traffic_light(6, 5),

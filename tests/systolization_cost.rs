@@ -60,7 +60,10 @@ fn period_3_is_qualitatively_more_expensive() {
     let n = 1usize << k;
     let measured = systolic_gossip_time(&sp, n, 10 * k).expect("completes") as f64;
     let measured_coeff = measured / (n as f64).log2();
-    assert!((measured_coeff - 1.0).abs() < 1e-9, "sweep coefficient is 1.0");
+    assert!(
+        (measured_coeff - 1.0).abs() < 1e-9,
+        "sweep coefficient is 1.0"
+    );
     let s3_coeff = e_full_duplex(3);
     assert!(
         measured_coeff < s3_coeff - 0.4,
