@@ -1,17 +1,79 @@
-//! Criterion benches for the dissemination engine: sequential vs
-//! crossbeam-parallel rounds (the DESIGN.md simulation ablation), greedy
-//! protocol generation, and full gossip executions on the paper's
-//! networks.
+//! Criterion-shim benches for the dissemination engine, and the start of
+//! the repo's perf trajectory: alongside the usual stdout report this
+//! harness serializes every recorded timing — plus
+//! reference-vs-optimized speedups — into `BENCH_sim.json` at the
+//! workspace root (override with `SG_BENCH_JSON`), so regressions in the
+//! simulation hot path become diffable.
+//!
+//! The headline ablation pits the four engines against each other on
+//! n ≥ 1024 gossip executions: the retained naive `reference` oracle,
+//! the `compiled` schedule hot path, the `frontier` delta engine, and
+//! the row-`parallel` engine. `SG_BENCH_FAST=1` shrinks sample counts
+//! for CI smoke runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::hint::black_box;
 use systolic_gossip::prelude::*;
+use systolic_gossip::sg_sim::frontier::systolic_gossip_time_frontier;
 use systolic_gossip::sg_sim::parallel::systolic_gossip_time_parallel;
+use systolic_gossip::sg_sim::reference::systolic_gossip_time_reference;
+
+fn fast_mode() -> bool {
+    std::env::var("SG_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+/// The engine ablation: one workload, four engines, identical results —
+/// only the wall time differs. Labels are `engine_ablation/<engine>/<n>`.
+fn bench_engine_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_ablation");
+    g.sample_size(if fast_mode() { 3 } else { 10 });
+
+    // Hypercube sweep, n = 2048: full-duplex dimension rounds, the
+    // snapshot-heavy case (every source is also a target).
+    let k = 11;
+    let n = 1usize << k;
+    let sp = builders::hypercube_sweep(k);
+    let budget = 4 * k;
+    g.bench_with_input(BenchmarkId::new("reference/hypercube", n), &sp, |b, sp| {
+        b.iter(|| black_box(systolic_gossip_time_reference(sp, n, budget)))
+    });
+    g.bench_with_input(BenchmarkId::new("compiled/hypercube", n), &sp, |b, sp| {
+        b.iter(|| black_box(systolic_gossip_time(sp, n, budget)))
+    });
+    g.bench_with_input(BenchmarkId::new("frontier/hypercube", n), &sp, |b, sp| {
+        b.iter(|| black_box(systolic_gossip_time_frontier(sp, n, budget)))
+    });
+    g.bench_with_input(BenchmarkId::new("parallel4/hypercube", n), &sp, |b, sp| {
+        b.iter(|| black_box(systolic_gossip_time_parallel(sp, n, budget, 4)))
+    });
+
+    // De Bruijn edge-coloring, n = 1024: half-duplex matchings, the
+    // snapshot-free case with a long round count.
+    let dd = 10;
+    let net = Network::DeBruijn { d: 2, dd };
+    let graph = net.build();
+    let sp = builders::edge_coloring_periodic(&graph);
+    let n = graph.vertex_count();
+    let budget = 200 * dd;
+    g.bench_with_input(BenchmarkId::new("reference/debruijn", n), &sp, |b, sp| {
+        b.iter(|| black_box(systolic_gossip_time_reference(sp, n, budget)))
+    });
+    g.bench_with_input(BenchmarkId::new("compiled/debruijn", n), &sp, |b, sp| {
+        b.iter(|| black_box(systolic_gossip_time(sp, n, budget)))
+    });
+    g.bench_with_input(BenchmarkId::new("frontier/debruijn", n), &sp, |b, sp| {
+        b.iter(|| black_box(systolic_gossip_time_frontier(sp, n, budget)))
+    });
+    g.bench_with_input(BenchmarkId::new("parallel4/debruijn", n), &sp, |b, sp| {
+        b.iter(|| black_box(systolic_gossip_time_parallel(sp, n, budget, 4)))
+    });
+    g.finish();
+}
 
 fn bench_gossip_executions(c: &mut Criterion) {
     let mut g = c.benchmark_group("gossip_execution");
+    g.sample_size(if fast_mode() { 3 } else { 30 });
     for k in [8usize, 10] {
         let sp = builders::hypercube_sweep(k);
         let n = 1usize << k;
@@ -31,26 +93,9 @@ fn bench_gossip_executions(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_parallel_ablation(c: &mut Criterion) {
-    let k = 11; // n = 2048
-    let sp = builders::hypercube_sweep(k);
-    let n = 1usize << k;
-    let mut g = c.benchmark_group("parallel_rounds");
-    g.sample_size(10);
-    g.bench_function("sequential", |b| {
-        b.iter(|| black_box(systolic_gossip_time(&sp, n, 4 * k)))
-    });
-    for threads in [2usize, 4] {
-        g.bench_with_input(BenchmarkId::new("crossbeam", threads), &threads, |b, &t| {
-            b.iter(|| black_box(systolic_gossip_time_parallel(&sp, n, 4 * k, t)))
-        });
-    }
-    g.finish();
-}
-
 fn bench_greedy(c: &mut Criterion) {
     let mut g = c.benchmark_group("greedy_generation");
-    g.sample_size(10);
+    g.sample_size(if fast_mode() { 2 } else { 10 });
     let net = Network::WrappedButterfly { d: 2, dd: 5 };
     let graph = net.build();
     g.bench_function("wbf25_half_duplex", |b| {
@@ -62,9 +107,80 @@ fn bench_greedy(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_gossip_executions, bench_parallel_ablation, bench_greedy
+/// Where the trajectory file goes: the workspace root, next to
+/// `Cargo.lock` (cargo runs benches with the package dir as CWD).
+fn json_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("SG_BENCH_JSON") {
+        return p.into();
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim.json")
 }
-criterion_main!(benches);
+
+fn median_of(c: &Criterion, name: &str) -> Option<u128> {
+    c.results()
+        .iter()
+        .find(|r| r.name == name)
+        .map(|r| r.median_ns)
+}
+
+fn write_bench_json(c: &Criterion) {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut out = String::from("{\n");
+    out.push_str("  \"suite\": \"sim\",\n");
+    out.push_str(&format!("  \"fast\": {},\n", fast_mode()));
+    out.push_str(&format!("  \"generated_unix\": {unix_secs},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in c.results().iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}{}\n",
+            r.name,
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.samples,
+            if i + 1 == c.results().len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // Reference-vs-optimized speedups on the n >= 1024 workloads.
+    let mut speedups = Vec::new();
+    for workload in ["hypercube/2048", "debruijn/1024"] {
+        let Some(reference) = median_of(c, &format!("engine_ablation/reference/{workload}")) else {
+            continue;
+        };
+        for engine in ["compiled", "frontier", "parallel4"] {
+            if let Some(t) = median_of(c, &format!("engine_ablation/{engine}/{workload}")) {
+                speedups.push((workload, engine, reference as f64 / t.max(1) as f64));
+            }
+        }
+    }
+    out.push_str("  \"speedups\": [\n");
+    for (i, (workload, engine, s)) in speedups.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{workload}\", \"baseline\": \"reference\", \"engine\": \"{engine}\", \"speedup_median\": {s:.3}}}{}\n",
+            if i + 1 == speedups.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = json_path();
+    std::fs::write(&path, &out).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("\nwrote {}", path.display());
+    for (workload, engine, s) in &speedups {
+        println!("  {engine:>9} vs reference on {workload}: {s:.2}x");
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_engine_ablation(&mut criterion);
+    if !fast_mode() {
+        bench_gossip_executions(&mut criterion);
+        bench_greedy(&mut criterion);
+    }
+    write_bench_json(&criterion);
+}

@@ -121,6 +121,59 @@ impl Round {
         Ok(())
     }
 
+    /// The highest vertex index any arc of this round touches, or `None`
+    /// for an empty round. Engines use it to size per-round scratch
+    /// without knowing the network size.
+    pub fn max_vertex(&self) -> Option<usize> {
+        self.arcs
+            .iter()
+            .map(|a| (a.from as usize).max(a.to as usize))
+            .max()
+    }
+
+    /// The sorted, distinct sources of this round that are *also* targets
+    /// of the round. Exactly these rows need a beginning-of-round snapshot
+    /// under the semantics of Definition 3.1 (every other source row is
+    /// immutable for the whole round), so this is the schedule compiler's
+    /// key per-round datum. Empty for every half-duplex matching round.
+    pub fn snapshot_sources(&self) -> Vec<usize> {
+        let Some(max_v) = self.max_vertex() else {
+            return Vec::new();
+        };
+        let mut is_target = vec![false; max_v + 1];
+        for a in &self.arcs {
+            is_target[a.to as usize] = true;
+        }
+        // Arcs are sorted by (from, to): the `from` stream is
+        // non-decreasing, so consecutive dedup yields a sorted set.
+        let mut out = Vec::new();
+        for a in &self.arcs {
+            let u = a.from as usize;
+            if is_target[u] && out.last() != Some(&u) {
+                out.push(u);
+            }
+        }
+        out
+    }
+
+    /// `true` when some vertex is the target of two or more arcs — the
+    /// round then violates the matching condition and row-parallel
+    /// engines must fall back to sequential application.
+    pub fn has_duplicate_targets(&self) -> bool {
+        let Some(max_v) = self.max_vertex() else {
+            return false;
+        };
+        let mut seen = vec![false; max_v + 1];
+        for a in &self.arcs {
+            let t = a.to as usize;
+            if seen[t] {
+                return true;
+            }
+            seen[t] = true;
+        }
+        false
+    }
+
     /// The arc entering `v` in this round, if any. Under the matching
     /// condition there is at most one (full-duplex included).
     pub fn arc_into(&self, v: usize) -> Option<Arc> {
@@ -194,6 +247,34 @@ mod tests {
         assert_eq!(r.arc_into(0), None);
         assert_eq!(r.arc_out_of(3), Some(Arc::new(3, 2)));
         assert_eq!(r.arc_out_of(2), None);
+    }
+
+    #[test]
+    fn snapshot_sources_are_sources_that_are_also_targets() {
+        // 0→1, 1→2: 1 is both a source and a target; 0 is not a target.
+        let r = Round::new(vec![Arc::new(0, 1), Arc::new(1, 2)]);
+        assert_eq!(r.snapshot_sources(), vec![1]);
+        // Full-duplex pair: both endpoints send and receive.
+        let fd = Round::full_duplex_from_edges([(0, 1)]);
+        assert_eq!(fd.snapshot_sources(), vec![0, 1]);
+        // A matching round needs no snapshots at all.
+        let m = Round::new(vec![Arc::new(0, 1), Arc::new(2, 3)]);
+        assert!(m.snapshot_sources().is_empty());
+        assert!(Round::empty().snapshot_sources().is_empty());
+    }
+
+    #[test]
+    fn duplicate_target_detection() {
+        assert!(!Round::new(vec![Arc::new(0, 1), Arc::new(2, 3)]).has_duplicate_targets());
+        assert!(Round::new(vec![Arc::new(0, 2), Arc::new(1, 2)]).has_duplicate_targets());
+        assert!(!Round::empty().has_duplicate_targets());
+    }
+
+    #[test]
+    fn max_vertex_bounds_the_round() {
+        assert_eq!(Round::empty().max_vertex(), None);
+        let r = Round::new(vec![Arc::new(0, 7), Arc::new(3, 1)]);
+        assert_eq!(r.max_vertex(), Some(7));
     }
 
     #[test]

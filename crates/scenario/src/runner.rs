@@ -10,6 +10,13 @@
 //! delay digraphs) are shared across all units through a
 //! [`crate::cache::BuildCache`], so a period sweep pays for its network
 //! once and repeated λ-searches share one delay structure.
+//!
+//! One global thread budget covers both levels of parallelism: when there
+//! are fewer units than budgeted threads, the leftover threads go *into*
+//! the units — simulate and compare units split each round's row writes
+//! across workers (`sg_sim::parallel::systolic_gossip_time_parallel` /
+//! `knowledge_curve_parallel`), so a batch of three big simulations on a
+//! 16-thread budget runs 3 units × 5 row-workers instead of 3 × 1.
 
 use crate::cache::{BuildCache, CacheStats};
 use crate::descriptor::{protocol_for, PaperCheck, Scenario, Task, WeightScheme};
@@ -26,16 +33,22 @@ use sg_graphs::weighted::WeightedDigraph;
 use sg_protocol::local::BlockPattern;
 use sg_protocol::mode::Mode;
 use sg_sim::greedy::greedy_gossip;
-use sg_sim::trace::knowledge_curve;
+use sg_sim::parallel::systolic_gossip_time_parallel;
+use sg_sim::trace::knowledge_curve_parallel;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use systolic_gossip::{audit_measured, audit_on, bound_report_on, Network, Row};
+use systolic_gossip::{audit_measured, bound_report_on, Network, Row};
 
 /// Knobs of one batch run.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchOptions {
-    /// Worker threads (`0` = one per available core, capped at 16).
+    /// Worker threads — the global budget shared by unit-level fan-out
+    /// and within-unit row parallelism (`0` = one per available core,
+    /// capped at 16).
     pub threads: usize,
+    /// Row-parallel workers per simulate/compare unit (`0` = derive:
+    /// leftover budget when there are fewer units than threads).
+    pub sim_threads: usize,
     /// Options for every λ-search / norm evaluation.
     pub bound_opts: BoundOpts,
     /// Simulation round budget per protocol execution.
@@ -46,6 +59,7 @@ impl Default for BatchOptions {
     fn default() -> Self {
         Self {
             threads: 0,
+            sim_threads: 0,
             bound_opts: BoundOpts::default(),
             sim_budget: 1_000_000,
         }
@@ -61,6 +75,33 @@ impl BatchOptions {
             .map(|n| n.get())
             .unwrap_or(4)
             .min(16)
+    }
+
+    /// Splits the global budget: with `units` work items and `outer`
+    /// unit-level workers, each simulate/compare unit may use
+    /// `budget / outer` threads for row-parallel rounds, so the total
+    /// stays within the budget.
+    fn within_unit_threads(&self, units: usize) -> usize {
+        if self.sim_threads > 0 {
+            return self.sim_threads;
+        }
+        let budget = self.effective_threads();
+        let outer = budget.min(units.max(1));
+        (budget / outer.max(1)).max(1)
+    }
+}
+
+/// Below this network size, within-unit row parallelism loses: the
+/// per-round thread-scope spawn outweighs the row work (BENCH_sim.json
+/// shows the parallel engine behind the compiled one up to n = 2048), so
+/// smaller units stay on the sequential compiled hot path.
+const WITHIN_UNIT_PARALLEL_MIN_N: usize = 4096;
+
+fn effective_sim_threads(n: usize, sim_threads: usize) -> usize {
+    if n >= WITHIN_UNIT_PARALLEL_MIN_N {
+        sim_threads
+    } else {
+        1
     }
 }
 
@@ -232,6 +273,7 @@ pub fn run_batch(scenarios: &[Scenario], opts: &BatchOptions) -> BatchReport {
     let cursor = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, usize, UnitOut)>> = Mutex::new(Vec::with_capacity(work.len()));
     let threads = opts.effective_threads().min(work.len().max(1));
+    let sim_threads = opts.within_unit_threads(work.len());
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -239,7 +281,7 @@ pub fn run_batch(scenarios: &[Scenario], opts: &BatchOptions) -> BatchReport {
                 let Some((si, ui, unit)) = work.get(i) else {
                     break;
                 };
-                let out = run_unit(unit, &scenarios[*si], &cache, opts);
+                let out = run_unit(unit, &scenarios[*si], &cache, opts, sim_threads);
                 done.lock().unwrap().push((*si, *ui, out));
             });
         }
@@ -283,12 +325,18 @@ pub fn run_batch(scenarios: &[Scenario], opts: &BatchOptions) -> BatchReport {
     }
 }
 
-fn run_unit(unit: &Unit, scenario: &Scenario, cache: &BuildCache, opts: &BatchOptions) -> UnitOut {
+fn run_unit(
+    unit: &Unit,
+    scenario: &Scenario,
+    cache: &BuildCache,
+    opts: &BatchOptions,
+    sim_threads: usize,
+) -> UnitOut {
     match unit {
         Unit::FamilyRow { spec } => family_row_unit(spec, scenario),
         Unit::NetworkBounds { net } => network_bounds_unit(net, scenario, cache),
-        Unit::Simulate { net } => simulate_unit(net, scenario, cache, opts),
-        Unit::Compare { net } => compare_unit(net, scenario, cache, opts),
+        Unit::Simulate { net } => simulate_unit(net, scenario, cache, opts, sim_threads),
+        Unit::Compare { net } => compare_unit(net, scenario, cache, opts, sim_threads),
         Unit::Matrices => matrices_unit(),
         Unit::Checks { checks } => checks_unit(checks),
     }
@@ -337,6 +385,7 @@ fn simulate_unit(
     scenario: &Scenario,
     cache: &BuildCache,
     opts: &BatchOptions,
+    sim_threads: usize,
 ) -> UnitOut {
     let g = cache.digraph(net);
     let n = g.vertex_count();
@@ -365,8 +414,15 @@ fn simulate_unit(
         Period::Systolic(sp.s()),
     );
     // One simulation serves both the completion curve and the audit's
-    // measured gossip time (the engine is deterministic).
-    let curve = knowledge_curve(&sp, n, opts.sim_budget);
+    // measured gossip time (the engine is deterministic). Big units split
+    // each round's row writes across the leftover thread budget; the
+    // parallel engine is bit-identical, so outputs don't depend on it.
+    let curve = knowledge_curve_parallel(
+        &sp,
+        n,
+        opts.sim_budget,
+        effective_sim_threads(n, sim_threads),
+    );
     let measured = curve.last().filter(|s| s.min == n).map(|s| s.round);
     let audit = audit_measured(net, &g, &sp, &dg, measured, opts.bound_opts);
 
@@ -456,6 +512,7 @@ fn compare_unit(
     scenario: &Scenario,
     cache: &BuildCache,
     opts: &BatchOptions,
+    sim_threads: usize,
 ) -> UnitOut {
     let g = cache.digraph(net);
     let n = g.vertex_count();
@@ -464,9 +521,24 @@ fn compare_unit(
 
     match protocol_for(net, &g, scenario.mode) {
         Some((kind, sp)) => {
-            // 1. Audit the deterministic protocol against every bound.
+            // 1. Audit the deterministic protocol against every bound,
+            //    measuring the gossip time through the row-parallel
+            //    engine (bit-identical to sequential, shares the global
+            //    thread budget).
             let dg = cache.delay_digraph(net, kind, || DelayDigraph::periodic(&sp));
-            let audit = audit_on(net, &g, &sp, &dg, opts.sim_budget, opts.bound_opts);
+            let measured = sp
+                .validate(&g)
+                .is_ok()
+                .then(|| {
+                    systolic_gossip_time_parallel(
+                        &sp,
+                        n,
+                        opts.sim_budget,
+                        effective_sim_threads(n, sim_threads),
+                    )
+                })
+                .flatten();
+            let audit = audit_measured(net, &g, &sp, &dg, measured, opts.bound_opts);
             let sound = audit.is_sound();
             text.push_str(&format!(
                 "{:<16} n {:>6}  s {:>3}  measured {:>7}  Thm4.1 {:>8}  Cor4.4 {:>8.1}  {}\n",

@@ -5,11 +5,17 @@
 //! *at the beginning of that round*. Under the half-duplex matching
 //! condition no vertex both sends and receives in one round, so in-place
 //! updates are safe; full-duplex rounds (and unvalidated arc sets) need
-//! beginning-of-round snapshots of the sources that are also targets. The
-//! engine snapshots exactly those, which costs nothing for half-duplex
-//! protocols.
+//! beginning-of-round snapshots of the sources that are also targets.
+//!
+//! The runners here compile their round sequence once
+//! ([`crate::schedule::CompiledSchedule`]) and replay it with zero
+//! per-round allocation; [`apply_round`] remains as the one-shot entry
+//! point for callers that build rounds on the fly (greedy generation,
+//! broadcast scheduling, property tests). The original naive engine
+//! survives as the conformance oracle in [`crate::reference`].
 
-use crate::bitset::Knowledge;
+use crate::bitset::{CompletionCursor, Knowledge};
+use crate::schedule::CompiledSchedule;
 use sg_protocol::protocol::{Protocol, SystolicProtocol};
 use sg_protocol::round::Round;
 
@@ -26,41 +32,38 @@ pub struct SimResult {
 
 /// Applies one round to the knowledge state. Returns `true` if anything
 /// changed anywhere.
+///
+/// One-shot form: it resolves the round's snapshot plan on the spot (two
+/// small allocations). Hot loops that replay the same rounds should
+/// compile them once instead ([`CompiledSchedule`]), which is what every
+/// runner in this module does.
 pub fn apply_round(k: &mut Knowledge, round: &Round) -> bool {
     let arcs = round.arcs();
     if arcs.is_empty() {
         return false;
     }
     // Sources that are also targets this round need a snapshot of their
-    // beginning-of-round row (full-duplex pairs, or arbitrary arc sets).
-    let mut target_flags = vec![false; k.n()];
-    for a in arcs {
-        target_flags[a.to as usize] = true;
+    // beginning-of-round row (full-duplex pairs, or arbitrary arc sets);
+    // every other source row is immutable for the whole round and can be
+    // OR-ed across directly.
+    let snap_sources = round.snapshot_sources();
+    let words = k.words();
+    let mut snap_buf = vec![0u64; snap_sources.len() * words];
+    for (slot, &u) in snap_sources.iter().enumerate() {
+        k.snapshot_into(u, &mut snap_buf[slot * words..(slot + 1) * words]);
     }
-    let mut snapshots: Vec<(usize, Vec<u64>)> = Vec::new();
-    for a in arcs {
-        let u = a.from as usize;
-        if target_flags[u] {
-            snapshots.push((u, k.snapshot(u)));
-        }
-    }
-    snapshots.sort_unstable_by_key(|(u, _)| *u);
-    snapshots.dedup_by_key(|(u, _)| *u);
-
     let mut changed = false;
     for a in arcs {
         let (u, v) = (a.from as usize, a.to as usize);
-        match snapshots.binary_search_by_key(&u, |(w, _)| *w) {
-            Ok(i) => {
-                let row = snapshots[i].1.clone();
-                changed |= k.absorb_row(v, &row);
+        if u == v {
+            continue; // self-loop: a no-op transfer
+        }
+        match snap_sources.binary_search(&u) {
+            Ok(slot) => {
+                changed |= k.absorb_row(v, &snap_buf[slot * words..(slot + 1) * words]);
             }
             Err(_) => {
-                // Source is not a target: its row is still the
-                // beginning-of-round state; borrow-split via copy of the
-                // row (rows are small: ⌈n/64⌉ words).
-                let row = k.snapshot(u);
-                changed |= k.absorb_row(v, &row);
+                changed |= k.absorb_from(v, u);
             }
         }
     }
@@ -70,39 +73,38 @@ pub fn apply_round(k: &mut Knowledge, round: &Round) -> bool {
 /// Runs a finite protocol from the gossip initial state. Stops early when
 /// gossip completes.
 pub fn run_protocol(p: &Protocol, n: usize, trace: bool) -> SimResult {
-    run_rounds(p.rounds().iter(), n, p.len(), trace)
+    let sched = CompiledSchedule::compile(p.rounds(), n);
+    run_compiled(sched, n, p.len(), trace)
 }
 
-/// Runs a systolic protocol for at most `max_rounds` rounds.
+/// Runs a systolic protocol for at most `max_rounds` rounds. The period
+/// is compiled once and replayed cyclically.
 pub fn run_systolic(sp: &SystolicProtocol, n: usize, max_rounds: usize, trace: bool) -> SimResult {
-    run_rounds(
-        (0..max_rounds).map(|i| sp.round_at(i)),
-        n,
-        max_rounds,
-        trace,
-    )
+    let sched = CompiledSchedule::compile(sp.period(), n);
+    run_compiled(sched, n, max_rounds, trace)
 }
 
-fn run_rounds<'a>(
-    rounds: impl Iterator<Item = &'a Round>,
+fn run_compiled(
+    mut sched: CompiledSchedule,
     n: usize,
     max_rounds: usize,
     trace: bool,
 ) -> SimResult {
     let mut k = Knowledge::initial(n);
     let mut trace_vec = Vec::new();
-    if k.all_complete() {
+    let mut cursor = CompletionCursor::new();
+    if cursor.complete(&k) {
         return SimResult {
             completed_at: Some(0),
             trace: trace_vec,
         };
     }
-    for (i, round) in rounds.enumerate().take(max_rounds) {
-        apply_round(&mut k, round);
+    for i in 0..max_rounds {
+        sched.apply(&mut k, i);
         if trace {
             trace_vec.push(k.min_count());
         }
-        if k.all_complete() {
+        if cursor.complete(&k) {
             return SimResult {
                 completed_at: Some(i + 1),
                 trace: trace_vec,
@@ -129,12 +131,13 @@ pub fn systolic_broadcast_time(
     source: usize,
     max_rounds: usize,
 ) -> Option<usize> {
+    let mut sched = CompiledSchedule::compile(sp.period(), n);
     let mut k = Knowledge::broadcast_initial(n, source);
     if k.all_know(source) {
         return Some(0);
     }
     for i in 0..max_rounds {
-        apply_round(&mut k, sp.round_at(i));
+        sched.apply(&mut k, i);
         if k.all_know(source) {
             return Some(i + 1);
         }
@@ -147,6 +150,7 @@ mod tests {
     use super::*;
     use sg_graphs::digraph::Arc;
     use sg_protocol::builders;
+    use sg_protocol::mode::Mode;
 
     #[test]
     fn beginning_of_round_semantics() {
@@ -260,17 +264,73 @@ mod tests {
         assert_eq!(*res.trace.last().unwrap(), 8);
     }
 
+    /// Checks that the `t`-round prefix of `sp` completes at exactly `t`
+    /// under [`run_protocol`], and — when `t >= 1` — that the one-round-
+    /// shorter prefix does not complete. Guards the `t == 0` case (a
+    /// protocol that is complete at round 0, e.g. n = 1) against the
+    /// `t - 1` underflow the old inline assertion had.
+    fn assert_prefix_minimality(sp: &SystolicProtocol, n: usize, t: usize) {
+        let p = sp.unroll(t);
+        assert_eq!(run_protocol(&p, n, false).completed_at, Some(t));
+        if let Some(shorter) = t.checked_sub(1) {
+            // One round fewer must not complete (t is minimal).
+            let p_short = sp.unroll(shorter);
+            assert_eq!(run_protocol(&p_short, n, false).completed_at, None);
+        }
+    }
+
     #[test]
     fn directed_protocol_on_unrolled_prefix() {
         // Protocol::run on a finite unrolled prefix matches the systolic
         // runner.
         let sp = builders::cycle_rrll(8);
         let t = systolic_gossip_time(&sp, 8, 200).expect("completes");
-        let p = sp.unroll(t);
-        let res = run_protocol(&p, 8, false);
-        assert_eq!(res.completed_at, Some(t));
-        // One round fewer must not complete.
-        let p_short = sp.unroll(t - 1);
-        assert_eq!(run_protocol(&p_short, 8, false).completed_at, None);
+        assert_prefix_minimality(&sp, 8, t);
+    }
+
+    #[test]
+    fn one_round_protocol_prefix_does_not_underflow() {
+        // Regression for the t − 1 underflow: a protocol that gossips in
+        // exactly ONE round (full-duplex pair on n = 2). The minimality
+        // check must compare against the empty prefix, not panic.
+        let sp = SystolicProtocol::new(
+            vec![Round::full_duplex_from_edges([(0, 1)])],
+            Mode::FullDuplex,
+        );
+        let t = systolic_gossip_time(&sp, 2, 10).expect("completes");
+        assert_eq!(t, 1);
+        assert_prefix_minimality(&sp, 2, t);
+    }
+
+    #[test]
+    fn zero_round_completion_does_not_underflow() {
+        // n = 1 is complete at round 0: t = 0, and the guard must skip
+        // the shorter-prefix assertion instead of computing 0 - 1.
+        let sp = SystolicProtocol::new(vec![Round::empty()], Mode::HalfDuplex);
+        let t = systolic_gossip_time(&sp, 1, 10).expect("trivially complete");
+        assert_eq!(t, 0);
+        assert_prefix_minimality(&sp, 1, t);
+    }
+
+    #[test]
+    fn broadcast_monotone_under_run_rounds() {
+        // From a broadcast initial state, repeatedly applying rounds can
+        // only grow every row (run_rounds-style loop over the period).
+        let sp = builders::path_rrll(9);
+        let mut k = Knowledge::broadcast_initial(9, 4);
+        let mut prev_total = k.total_count();
+        let mut prev_counts: Vec<usize> = (0..9).map(|v| k.count(v)).collect();
+        for i in 0..40 {
+            apply_round(&mut k, sp.round_at(i));
+            let total = k.total_count();
+            assert!(total >= prev_total, "total shrank at round {i}");
+            for (v, prev) in prev_counts.iter_mut().enumerate() {
+                let c = k.count(v);
+                assert!(c >= *prev, "row {v} shrank at round {i}");
+                *prev = c;
+            }
+            prev_total = total;
+        }
+        assert!(k.all_know(4), "path RRLL broadcasts within 40 rounds");
     }
 }

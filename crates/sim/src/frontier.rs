@@ -1,0 +1,354 @@
+//! Frontier (delta) propagation: skip arcs whose source rows are stale.
+//!
+//! In a long systolic execution most arcs quickly stop transferring
+//! anything new: once `v` has absorbed `u`'s row and `u` has not learned
+//! anything since, re-applying the arc `(u, v)` is a word-OR over
+//! identical bits. This engine tracks a per-vertex *row version* (bumped
+//! at the end of any round in which the row changed) and records, per
+//! compiled arc, the source version it last absorbed. An arc is re-scanned
+//! only when its source's version moved — i.e. only rows that changed
+//! since the arc's last application are propagated.
+//!
+//! Version bumps are deferred to the end of the round, so every version
+//! read during a round observes the *beginning-of-round* numbering; this
+//! is what makes skipping exact (bit-for-bit, property-tested against
+//! [`crate::reference`]) rather than approximate.
+//!
+//! A bonus of exact delta tracking: if a whole period passes without any
+//! change, the state is a fixed point of the period and can never
+//! complete, so the runner exits early instead of burning the remaining
+//! round budget (the recorded trace is padded with the now-constant
+//! minimum count, matching the reference engine's output exactly).
+
+use crate::bitset::{CompletionCursor, Knowledge};
+use crate::engine::SimResult;
+use crate::schedule::CompiledSchedule;
+use sg_protocol::protocol::SystolicProtocol;
+
+/// A compiled schedule plus the per-arc/per-vertex staleness state that
+/// lets rounds skip unchanged rows.
+///
+/// The staleness state is bound to **one monotone execution against one
+/// [`Knowledge`] instance**: versions only record what that state has
+/// absorbed. To run a second trial (or switch knowledge states), call
+/// [`FrontierEngine::reset`] first — otherwise every arc looks stale and
+/// gets skipped.
+#[derive(Debug, Clone)]
+pub struct FrontierEngine {
+    sched: CompiledSchedule,
+    /// Per-vertex row version; starts at 1 ("initial content"), bumped at
+    /// end-of-round when the row changed.
+    ver: Vec<u64>,
+    /// `seen[round][arc]`: source version last absorbed; 0 = never.
+    seen: Vec<Vec<u64>>,
+    /// `seen_pairs[round][pair]`: endpoint versions at the last merge;
+    /// (0, 0) = never.
+    seen_pairs: Vec<Vec<(u64, u64)>>,
+    /// Reusable per-round scratch: which arcs run this round.
+    active: Vec<bool>,
+    /// Reusable per-round scratch: which snapshot slots an active arc reads.
+    slot_needed: Vec<bool>,
+    /// Own snapshot buffer (the compiled schedule's is private to it).
+    snap_buf: Vec<u64>,
+    /// Reusable: targets whose rows changed this round (deduplicated).
+    changed_targets: Vec<u32>,
+    target_changed: Vec<bool>,
+}
+
+impl FrontierEngine {
+    /// Builds the engine for one systolic period over `n` processors.
+    pub fn new(sched: CompiledSchedule) -> Self {
+        let n = sched.n();
+        let seen: Vec<Vec<u64>> = (0..sched.round_count())
+            .map(|t| vec![0u64; sched.round(t).arcs.len()])
+            .collect();
+        let seen_pairs: Vec<Vec<(u64, u64)>> = (0..sched.round_count())
+            .map(|t| vec![(0u64, 0u64); sched.round(t).pairs.len()])
+            .collect();
+        let max_arcs = seen.iter().map(Vec::len).max().unwrap_or(0);
+        let max_slots = (0..sched.round_count())
+            .map(|t| sched.round(t).snap_sources.len())
+            .max()
+            .unwrap_or(0);
+        let words = sched.words();
+        Self {
+            sched,
+            ver: vec![1u64; n],
+            seen,
+            seen_pairs,
+            active: vec![false; max_arcs],
+            slot_needed: vec![false; max_slots],
+            snap_buf: vec![0u64; max_slots * words],
+            changed_targets: Vec::new(),
+            target_changed: vec![false; n],
+        }
+    }
+
+    /// Convenience: compile and wrap one systolic period.
+    pub fn for_protocol(sp: &SystolicProtocol, n: usize) -> Self {
+        Self::new(CompiledSchedule::compile(sp.period(), n))
+    }
+
+    /// The period length.
+    pub fn round_count(&self) -> usize {
+        self.sched.round_count()
+    }
+
+    /// Clears all staleness state so the engine can drive a fresh
+    /// execution (a new `Knowledge` instance) with the same compiled
+    /// schedule.
+    pub fn reset(&mut self) {
+        self.ver.fill(1);
+        for seen in &mut self.seen {
+            seen.fill(0);
+        }
+        for seen in &mut self.seen_pairs {
+            seen.fill((0, 0));
+        }
+        debug_assert!(self.changed_targets.is_empty());
+    }
+
+    /// Applies the round at `time`, re-scanning only arcs whose source row
+    /// changed since that arc last ran. Returns `true` if anything
+    /// changed.
+    pub fn apply(&mut self, k: &mut Knowledge, time: usize) -> bool {
+        debug_assert_eq!(k.n(), self.ver.len(), "knowledge/engine size mismatch");
+        if self.sched.round_count() == 0 {
+            return false;
+        }
+        let idx = time % self.sched.round_count();
+        let words = self.sched.words();
+        let r = self.sched.round(idx);
+        // Pass 0: the clean full-duplex pairs — live when either
+        // endpoint's row moved since the last merge. A merge leaves both
+        // ends equal to the union, so absorbing stale partners is free to
+        // skip. (Pairs touch no other arc of the round, so running them
+        // first cannot disturb the snapshot plan below.)
+        let seen_pairs = &mut self.seen_pairs[idx];
+        for (j, &(u, v)) in r.pairs.iter().enumerate() {
+            let vs = (self.ver[u as usize], self.ver[v as usize]);
+            if seen_pairs[j] == vs {
+                continue;
+            }
+            let (cu, cv) = k.merge_pair(u as usize, v as usize);
+            // Record the *post-round* versions: the merge itself is the
+            // only writer of u and v this round (clean-pair invariant),
+            // so each side's version will be bumped by exactly its
+            // changed flag. Both rows now hold the union, so the pair
+            // stays skippable until a third row feeds one of them.
+            seen_pairs[j] = (vs.0 + u64::from(cu), vs.1 + u64::from(cv));
+            if cu && !self.target_changed[u as usize] {
+                self.target_changed[u as usize] = true;
+                self.changed_targets.push(u);
+            }
+            if cv && !self.target_changed[v as usize] {
+                self.target_changed[v as usize] = true;
+                self.changed_targets.push(v);
+            }
+        }
+        let seen = &self.seen[idx];
+        // Pass 1: decide which arcs run, off beginning-of-round versions.
+        let mut any_active = false;
+        for (j, a) in r.arcs.iter().enumerate() {
+            let live = seen[j] != self.ver[a.from as usize];
+            self.active[j] = live;
+            any_active |= live;
+        }
+        if !any_active {
+            // Only the pair merges (if any) ran this round.
+            return self.finish_round();
+        }
+        // Pass 2: fill only the snapshot slots an active arc will read.
+        for flag in &mut self.slot_needed[..r.snap_sources.len()] {
+            *flag = false;
+        }
+        for (j, a) in r.arcs.iter().enumerate() {
+            if self.active[j] && a.needs_snapshot() {
+                self.slot_needed[a.slot as usize] = true;
+            }
+        }
+        for (slot, &u) in r.snap_sources.iter().enumerate() {
+            if self.slot_needed[slot] {
+                k.snapshot_into(
+                    u as usize,
+                    &mut self.snap_buf[slot * words..(slot + 1) * words],
+                );
+            }
+        }
+        // Pass 3: apply the active arcs.
+        let seen = &mut self.seen[idx];
+        for (j, a) in r.arcs.iter().enumerate() {
+            if !self.active[j] {
+                continue;
+            }
+            let v0 = self.ver[a.from as usize];
+            let changed = if a.needs_snapshot() {
+                let s = a.slot as usize;
+                k.absorb_row(a.to as usize, &self.snap_buf[s * words..(s + 1) * words])
+            } else {
+                k.absorb_from(a.to as usize, a.from as usize)
+            };
+            // The target now reflects the source's version-v0 content,
+            // whether or not new bits landed.
+            seen[j] = v0;
+            let t = a.to as usize;
+            if changed && !self.target_changed[t] {
+                self.target_changed[t] = true;
+                self.changed_targets.push(a.to);
+            }
+        }
+        self.finish_round()
+    }
+
+    /// End of round: bump versions of the rows that changed, reset the
+    /// scratch, and report whether anything changed.
+    fn finish_round(&mut self) -> bool {
+        let any_changed = !self.changed_targets.is_empty();
+        for &t in &self.changed_targets {
+            self.ver[t as usize] += 1;
+            self.target_changed[t as usize] = false;
+        }
+        self.changed_targets.clear();
+        any_changed
+    }
+}
+
+/// Runs a systolic protocol through the frontier engine; output is
+/// bit-identical to [`crate::reference::run_systolic_reference`] (and
+/// hence to the compiled engine), including the trace.
+pub fn run_systolic_frontier(
+    sp: &SystolicProtocol,
+    n: usize,
+    max_rounds: usize,
+    trace: bool,
+) -> SimResult {
+    let mut engine = FrontierEngine::for_protocol(sp, n);
+    let mut k = Knowledge::initial(n);
+    let mut trace_vec = Vec::new();
+    let mut cursor = CompletionCursor::new();
+    if cursor.complete(&k) {
+        return SimResult {
+            completed_at: Some(0),
+            trace: trace_vec,
+        };
+    }
+    let s = engine.round_count().max(1);
+    let mut idle_rounds = 0usize;
+    for i in 0..max_rounds {
+        let changed = engine.apply(&mut k, i);
+        if trace {
+            trace_vec.push(k.min_count());
+        }
+        if cursor.complete(&k) {
+            return SimResult {
+                completed_at: Some(i + 1),
+                trace: trace_vec,
+            };
+        }
+        idle_rounds = if changed { 0 } else { idle_rounds + 1 };
+        if idle_rounds >= s {
+            // A full period without change: fixed point, can never
+            // complete. Pad the trace with the constant minimum count the
+            // reference engine would keep recording.
+            if trace {
+                let stuck = k.min_count();
+                trace_vec.resize(max_rounds, stuck);
+            }
+            break;
+        }
+    }
+    SimResult {
+        completed_at: None,
+        trace: trace_vec,
+    }
+}
+
+/// Frontier variant of [`crate::engine::systolic_gossip_time`]; exact,
+/// only faster — and early-exiting on protocols that can never gossip.
+pub fn systolic_gossip_time_frontier(
+    sp: &SystolicProtocol,
+    n: usize,
+    max_rounds: usize,
+) -> Option<usize> {
+    run_systolic_frontier(sp, n, max_rounds, false).completed_at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{run_systolic_reference, systolic_gossip_time_reference};
+    use sg_graphs::digraph::Arc;
+    use sg_protocol::builders;
+    use sg_protocol::mode::Mode;
+    use sg_protocol::round::Round;
+
+    #[test]
+    fn frontier_matches_reference_on_builders() {
+        for (sp, n) in [
+            (builders::hypercube_sweep(5), 32usize),
+            (builders::path_rrll(9), 9),
+            (builders::cycle_two_color_directed(8), 8),
+            (builders::knodel_sweep(4, 16), 16),
+            (builders::grid_traffic_light(5, 4), 20),
+        ] {
+            let a = run_systolic_frontier(&sp, n, 20 * n, true);
+            let b = run_systolic_reference(&sp, n, 20 * n, true);
+            assert_eq!(a, b);
+            assert!(a.completed_at.is_some());
+        }
+    }
+
+    #[test]
+    fn frontier_skips_but_stays_exact_on_slow_protocols() {
+        // RRLL on a long path has many idle arcs per round once the wave
+        // passes; the frontier must still produce the exact gossip time.
+        let n = 24;
+        let sp = builders::path_rrll(n);
+        assert_eq!(
+            systolic_gossip_time_frontier(&sp, n, 10 * n),
+            systolic_gossip_time_reference(&sp, n, 10 * n)
+        );
+    }
+
+    #[test]
+    fn frontier_early_exits_on_fixed_points() {
+        // A single directed arc on 3 vertices never gossips; the frontier
+        // engine detects the fixed point instead of burning the budget,
+        // and the padded trace still matches the reference bit for bit.
+        let sp = SystolicProtocol::new(vec![Round::new(vec![Arc::new(0, 1)])], Mode::Directed);
+        let a = run_systolic_frontier(&sp, 3, 1000, true);
+        let b = run_systolic_reference(&sp, 3, 1000, true);
+        assert_eq!(a, b);
+        assert_eq!(a.completed_at, None);
+        assert_eq!(a.trace.len(), 1000);
+    }
+
+    #[test]
+    fn reset_allows_a_second_execution() {
+        let n = 16;
+        let sp = builders::hypercube_sweep(4);
+        let mut engine = FrontierEngine::for_protocol(&sp, n);
+        let mut first = Knowledge::initial(n);
+        for i in 0..4 {
+            engine.apply(&mut first, i);
+        }
+        assert!(first.all_complete());
+        // Without reset the stale versions would skip everything; after
+        // reset a fresh state replays identically.
+        engine.reset();
+        let mut second = Knowledge::initial(n);
+        for i in 0..4 {
+            assert!(engine.apply(&mut second, i), "round {i} skipped");
+        }
+        assert_eq!(second, first);
+    }
+
+    #[test]
+    fn budget_exhaustion_matches_reference() {
+        let sp = builders::path_rrll(10);
+        let a = run_systolic_frontier(&sp, 10, 3, true);
+        let b = run_systolic_reference(&sp, 10, 3, true);
+        assert_eq!(a, b);
+        assert_eq!(a.completed_at, None);
+    }
+}

@@ -3,25 +3,42 @@
 //!
 //! Executes protocols under the semantics of Definition 3.1 — every
 //! transfer of a round reads the knowledge state at the *beginning* of the
-//! round — and measures gossip and broadcast completion times. The
-//! [`greedy`] module generates executable upper-bound protocols for
-//! networks without hand-built ones; [`parallel`] provides a
-//! thread-parallel engine for large instances (bit-identical to the
-//! sequential one); [`trace`] records completion curves.
+//! round — and measures gossip and broadcast completion times.
+//!
+//! The hot path is the compiled-schedule engine: [`schedule`] precomputes
+//! each round's arc list, snapshot plan, and reusable buffers once per
+//! systolic period, so replaying a round allocates nothing. [`frontier`]
+//! adds exact delta propagation on top (only rows that changed since an
+//! arc's last application are re-scanned), and [`parallel`] splits a
+//! round's rows across threads. All three are bit-identical to the
+//! retained naive oracle in [`reference`], which the differential
+//! conformance suite (`tests/conformance.rs`) and the property tests
+//! enforce. The [`greedy`] module generates executable upper-bound
+//! protocols for networks without hand-built ones; [`trace`] records
+//! completion curves.
 
 pub mod bitset;
 pub mod broadcast;
 pub mod engine;
+pub mod frontier;
 pub mod greedy;
 pub mod parallel;
+pub mod reference;
+pub mod schedule;
 pub mod trace;
 
-pub use bitset::Knowledge;
+pub use bitset::{CompletionCursor, Knowledge};
 pub use broadcast::{greedy_broadcast, verify_broadcast, BroadcastOutcome};
 pub use engine::{
     apply_round, run_protocol, run_systolic, systolic_broadcast_time, systolic_gossip_time,
     SimResult,
 };
+pub use frontier::{run_systolic_frontier, systolic_gossip_time_frontier, FrontierEngine};
 pub use greedy::{greedy_gossip, GreedyOutcome};
 pub use parallel::{apply_round_parallel, systolic_gossip_time_parallel};
-pub use trace::{knowledge_curve, RoundStats};
+pub use reference::{
+    apply_round_reference, run_protocol_reference, run_systolic_reference,
+    systolic_gossip_time_reference,
+};
+pub use schedule::CompiledSchedule;
+pub use trace::{knowledge_curve, knowledge_curve_parallel, RoundStats};

@@ -32,14 +32,11 @@ pub fn apply_round_parallel(k: &mut Knowledge, round: &Round, threads: usize) ->
     if arcs.len() < 64 || threads <= 1 {
         return apply_round(k, round);
     }
-    // Verify target disjointness — the precondition of the unsafe writes.
-    let mut seen = vec![false; k.n()];
-    for a in arcs {
-        let t = a.to as usize;
-        if seen[t] {
-            return apply_round(k, round); // unvalidated round: stay safe
-        }
-        seen[t] = true;
+    // Preconditions of the unsafe writes: every endpoint in range (the
+    // sequential path panics safely on bad indices; the raw-pointer path
+    // must never see them) and pairwise-distinct targets.
+    if round.max_vertex().is_some_and(|m| m >= k.n()) || round.has_duplicate_targets() {
+        return apply_round(k, round); // unvalidated round: stay safe
     }
     // Snapshot all distinct sources (beginning-of-round rows).
     let words = k.words();
@@ -95,6 +92,11 @@ pub fn systolic_gossip_time_parallel(
     max_rounds: usize,
     threads: usize,
 ) -> Option<usize> {
+    if threads <= 1 {
+        // No workers to split rows across: the compiled sequential
+        // engine is strictly faster than per-round fallback dispatch.
+        return crate::engine::systolic_gossip_time(sp, n, max_rounds);
+    }
     let mut k = Knowledge::initial(n);
     if k.all_complete() {
         return Some(0);
@@ -144,6 +146,18 @@ mod tests {
         let seq = systolic_gossip_time(&sp, 6, 100);
         let par = systolic_gossip_time_parallel(&sp, 6, 100, 8);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_targets_never_reach_the_unsafe_path() {
+        // 64+ distinct targets, all beyond n: must take the safe
+        // sequential fallback and panic on the bounds check there,
+        // never the raw-pointer writes.
+        use sg_graphs::digraph::Arc;
+        let mut k = Knowledge::initial(4);
+        let round = Round::new((0..70).map(|i| Arc::new(0, 100 + i)).collect());
+        apply_round_parallel(&mut k, &round, 4);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! protocol is from the lower bounds.
 
 use crate::bitset::Knowledge;
-use crate::engine::apply_round;
+use crate::parallel::apply_round_parallel;
+use crate::schedule::CompiledSchedule;
 use sg_protocol::protocol::SystolicProtocol;
 
 /// Knowledge statistics after one round.
@@ -19,24 +20,64 @@ pub struct RoundStats {
     pub mean: f64,
 }
 
-/// Runs a systolic protocol for up to `max_rounds`, recording statistics
-/// after every round; stops as soon as gossip completes.
+fn stats_after(k: &Knowledge, round: usize) -> RoundStats {
+    let n = k.n();
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    for v in 0..n {
+        let c = k.count(v);
+        min = min.min(c);
+        max = max.max(c);
+        sum += c;
+    }
+    RoundStats {
+        round,
+        min: if n == 0 { 0 } else { min },
+        max,
+        mean: sum as f64 / n.max(1) as f64,
+    }
+}
+
+/// Runs a systolic protocol for up to `max_rounds` through the compiled
+/// engine, recording statistics after every round; stops as soon as
+/// gossip completes.
 pub fn knowledge_curve(sp: &SystolicProtocol, n: usize, max_rounds: usize) -> Vec<RoundStats> {
+    let mut sched = CompiledSchedule::compile(sp.period(), n);
     let mut k = Knowledge::initial(n);
     let mut out = Vec::new();
     for i in 0..max_rounds {
-        apply_round(&mut k, sp.round_at(i));
-        let counts: Vec<usize> = (0..n).map(|v| k.count(v)).collect();
-        let min = counts.iter().copied().min().unwrap_or(0);
-        let max = counts.iter().copied().max().unwrap_or(0);
-        let mean = counts.iter().sum::<usize>() as f64 / n.max(1) as f64;
-        out.push(RoundStats {
-            round: i + 1,
-            min,
-            max,
-            mean,
-        });
-        if min == n {
+        sched.apply(&mut k, i);
+        let s = stats_after(&k, i + 1);
+        out.push(s);
+        if s.min == n {
+            break;
+        }
+    }
+    out
+}
+
+/// [`knowledge_curve`] with each round's row writes split across
+/// `threads` workers — bit-identical output (the parallel round applier
+/// is exact), only faster for large `n`. Falls back to the sequential
+/// path per round when a round is too small or violates the matching
+/// condition.
+pub fn knowledge_curve_parallel(
+    sp: &SystolicProtocol,
+    n: usize,
+    max_rounds: usize,
+    threads: usize,
+) -> Vec<RoundStats> {
+    if threads <= 1 {
+        return knowledge_curve(sp, n, max_rounds);
+    }
+    let mut k = Knowledge::initial(n);
+    let mut out = Vec::new();
+    for i in 0..max_rounds {
+        apply_round_parallel(&mut k, sp.round_at(i), threads);
+        let s = stats_after(&k, i + 1);
+        out.push(s);
+        if s.min == n {
             break;
         }
     }
@@ -86,5 +127,20 @@ mod tests {
         for s in knowledge_curve(&sp, 16, 200) {
             assert!(s.min as f64 <= s.mean && s.mean <= s.max as f64);
         }
+    }
+
+    #[test]
+    fn parallel_curve_identical_to_sequential() {
+        // Large enough that rounds clear the parallel engine's size gate.
+        let sp = builders::hypercube_sweep(7);
+        let seq = knowledge_curve(&sp, 128, 50);
+        let par = knowledge_curve_parallel(&sp, 128, 50, 4);
+        assert_eq!(seq, par);
+        // And on a protocol whose rounds are tiny (fallback path).
+        let sp = builders::path_rrll(6);
+        assert_eq!(
+            knowledge_curve(&sp, 6, 100),
+            knowledge_curve_parallel(&sp, 6, 100, 4)
+        );
     }
 }

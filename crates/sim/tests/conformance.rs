@@ -1,0 +1,161 @@
+//! Differential conformance suite: every protocol of every scenario in
+//! the 16-entry registry, run through the compiled engine, the frontier
+//! engine, the parallel engine, and the retained naive reference — with
+//! identical `completed_at` AND identical knowledge traces required.
+//!
+//! The reference engine (`sg_sim::reference`) is the oracle: it is the
+//! original, allocation-heavy, obviously-correct implementation of
+//! Definition 3.1. The three optimized engines each take a different
+//! shortcut (precompiled snapshot plans, delta skipping, row-parallel
+//! writes), so agreement across all four on the whole workload zoo pins
+//! the semantics from three independent directions.
+
+use sg_protocol::protocol::SystolicProtocol;
+use sg_scenario::descriptor::protocol_for;
+use sg_scenario::registry;
+use sg_sim::engine::run_systolic;
+use sg_sim::frontier::run_systolic_frontier;
+use sg_sim::parallel::apply_round_parallel;
+use sg_sim::reference::run_systolic_reference;
+use sg_sim::{Knowledge, SimResult};
+
+/// Runs the parallel engine with the same tracing surface as the other
+/// three (there is no `run_systolic_parallel`; the loop is the runner's).
+fn run_systolic_parallel(
+    sp: &SystolicProtocol,
+    n: usize,
+    max_rounds: usize,
+    threads: usize,
+) -> SimResult {
+    let mut k = Knowledge::initial(n);
+    let mut trace = Vec::new();
+    if k.all_complete() {
+        return SimResult {
+            completed_at: Some(0),
+            trace,
+        };
+    }
+    for i in 0..max_rounds {
+        apply_round_parallel(&mut k, sp.round_at(i), threads);
+        trace.push(k.min_count());
+        if k.all_complete() {
+            return SimResult {
+                completed_at: Some(i + 1),
+                trace,
+            };
+        }
+    }
+    SimResult {
+        completed_at: None,
+        trace,
+    }
+}
+
+#[test]
+fn all_registry_protocols_agree_across_engines() {
+    let reg = registry();
+    assert_eq!(reg.len(), 16, "registry size drifted; update this suite");
+
+    let mut pairs_checked = 0usize;
+    let mut scenarios_with_protocols = 0usize;
+    for scenario in &reg {
+        let mut scenario_counted = false;
+        for net in &scenario.networks {
+            let g = net.build();
+            let n = g.vertex_count();
+            // Directed shift networks have no deterministic protocol;
+            // the batch runner falls back to diameter comparisons there.
+            let Some((_, sp)) = protocol_for(net, &g, scenario.mode) else {
+                continue;
+            };
+            sp.validate(&g)
+                .unwrap_or_else(|e| panic!("{}: invalid protocol — {e}", net.name()));
+            // Generous budget: every zoo protocol completes well within
+            // it, and a non-completing run must agree across engines too.
+            let budget = 40 * n + 200;
+
+            let oracle = run_systolic_reference(&sp, n, budget, true);
+            let compiled = run_systolic(&sp, n, budget, true);
+            let frontier = run_systolic_frontier(&sp, n, budget, true);
+            let parallel = run_systolic_parallel(&sp, n, budget, 4);
+
+            let label = format!("{} / {} (n = {n})", scenario.name, net.name());
+            assert_eq!(
+                compiled.completed_at, oracle.completed_at,
+                "{label}: compiled completed_at"
+            );
+            assert_eq!(
+                frontier.completed_at, oracle.completed_at,
+                "{label}: frontier completed_at"
+            );
+            assert_eq!(
+                parallel.completed_at, oracle.completed_at,
+                "{label}: parallel completed_at"
+            );
+            assert_eq!(compiled.trace, oracle.trace, "{label}: compiled trace");
+            assert_eq!(frontier.trace, oracle.trace, "{label}: frontier trace");
+            assert_eq!(parallel.trace, oracle.trace, "{label}: parallel trace");
+            assert!(
+                oracle.completed_at.is_some(),
+                "{label}: zoo protocol should gossip within {budget} rounds"
+            );
+            pairs_checked += 1;
+            if !scenario_counted {
+                scenario_counted = true;
+                scenarios_with_protocols += 1;
+            }
+        }
+    }
+    // The zoo currently yields protocols in every scenario that lists
+    // networks; guard against the suite silently going hollow.
+    assert!(
+        pairs_checked >= 30,
+        "only {pairs_checked} (scenario, network) pairs exercised"
+    );
+    assert!(
+        scenarios_with_protocols >= 9,
+        "only {scenarios_with_protocols} scenarios exercised"
+    );
+}
+
+#[test]
+fn final_knowledge_states_are_bit_identical() {
+    // Beyond min-count traces: the raw bit tables must match at every
+    // round for a representative slice of the zoo (one protocol per
+    // communication mode, including a full-duplex one).
+    use systolic_gossip::Network;
+    let cases = [
+        Network::Hypercube { k: 6 },
+        Network::Torus2d { w: 8, h: 8 },
+        Network::Knodel { delta: 5, n: 64 },
+        Network::DeBruijn { d: 2, dd: 6 },
+    ];
+    for net in cases {
+        let g = net.build();
+        let n = g.vertex_count();
+        let modes = [
+            sg_protocol::mode::Mode::HalfDuplex,
+            sg_protocol::mode::Mode::FullDuplex,
+        ];
+        for mode in modes {
+            let Some((_, sp)) = protocol_for(&net, &g, mode) else {
+                continue;
+            };
+            let mut oracle = Knowledge::initial(n);
+            let mut sched = sg_sim::CompiledSchedule::compile(sp.period(), n);
+            let mut compiled = Knowledge::initial(n);
+            let mut engine = sg_sim::FrontierEngine::for_protocol(&sp, n);
+            let mut frontier = Knowledge::initial(n);
+            let mut parallel = Knowledge::initial(n);
+            for i in 0..6 * sp.s() + 20 {
+                sg_sim::apply_round_reference(&mut oracle, sp.round_at(i));
+                sched.apply(&mut compiled, i);
+                engine.apply(&mut frontier, i);
+                apply_round_parallel(&mut parallel, sp.round_at(i), 3);
+                assert_eq!(compiled, oracle, "{}: compiled, round {i}", net.name());
+                assert_eq!(frontier, oracle, "{}: frontier, round {i}", net.name());
+                assert_eq!(parallel, oracle, "{}: parallel, round {i}", net.name());
+            }
+        }
+    }
+}

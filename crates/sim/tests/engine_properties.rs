@@ -6,7 +6,10 @@ use sg_graphs::digraph::Arc;
 use sg_protocol::round::Round;
 use sg_sim::bitset::Knowledge;
 use sg_sim::engine::apply_round;
+use sg_sim::frontier::FrontierEngine;
 use sg_sim::parallel::apply_round_parallel;
+use sg_sim::reference::apply_round_reference;
+use sg_sim::schedule::CompiledSchedule;
 use std::collections::HashSet;
 
 /// Naive reference: per-vertex `HashSet<usize>` with strict
@@ -27,6 +30,14 @@ fn arcs_strategy(n: usize) -> impl Strategy<Value = Vec<Arc>> {
             .map(|(u, v)| Arc::new(u, v))
             .collect()
     })
+}
+
+/// Fully arbitrary arc sets: duplicate targets, self-loops, and
+/// source-also-target chains all allowed — nothing resembling the
+/// matching condition of Definition 3.1 is assumed.
+fn wild_arcs_strategy(n: usize) -> impl Strategy<Value = Vec<Arc>> {
+    proptest::collection::vec((0..n, 0..n), 0..3 * n)
+        .prop_map(|pairs| pairs.into_iter().map(|(u, v)| Arc::new(u, v)).collect())
 }
 
 proptest! {
@@ -181,6 +192,69 @@ proptest! {
         }
     }
 
+    /// The compiled schedule is bit-for-bit the reference applier on
+    /// ARBITRARY arc sets — duplicate targets, self-loops, chains where a
+    /// source is also a target — replayed cyclically over several
+    /// periods. This pins the beginning-of-round semantics of
+    /// Definition 3.1 to the optimized hot path.
+    #[test]
+    fn compiled_schedule_matches_reference_on_wild_rounds(
+        period in proptest::collection::vec(wild_arcs_strategy(11), 1..5),
+        cycles in 1usize..4,
+    ) {
+        let n = 11;
+        let rounds: Vec<Round> = period.iter().cloned().map(Round::new).collect();
+        let mut sched = CompiledSchedule::compile(&rounds, n);
+        let mut fast = Knowledge::initial(n);
+        let mut oracle = Knowledge::initial(n);
+        for i in 0..cycles * rounds.len() {
+            let a = sched.apply(&mut fast, i);
+            let b = apply_round_reference(&mut oracle, &rounds[i % rounds.len()]);
+            prop_assert_eq!(a, b, "changed flag diverged at round {}", i);
+            prop_assert_eq!(&fast, &oracle, "state diverged at round {}", i);
+        }
+    }
+
+    /// The frontier engine — with its arc skipping — is also bit-for-bit
+    /// the reference applier on arbitrary arc sets over many periods
+    /// (skipping only pays off after the first cycle, so replay several).
+    #[test]
+    fn frontier_matches_reference_on_wild_rounds(
+        period in proptest::collection::vec(wild_arcs_strategy(11), 1..5),
+        cycles in 1usize..6,
+    ) {
+        let n = 11;
+        let rounds: Vec<Round> = period.iter().cloned().map(Round::new).collect();
+        let mut engine = FrontierEngine::new(CompiledSchedule::compile(&rounds, n));
+        let mut fast = Knowledge::initial(n);
+        let mut oracle = Knowledge::initial(n);
+        for i in 0..cycles * rounds.len() {
+            let a = engine.apply(&mut fast, i);
+            let b = apply_round_reference(&mut oracle, &rounds[i % rounds.len()]);
+            prop_assert_eq!(a, b, "changed flag diverged at round {}", i);
+            prop_assert_eq!(&fast, &oracle, "state diverged at round {}", i);
+        }
+    }
+
+    /// The one-shot `apply_round` equals the reference applier on
+    /// arbitrary arc sets (it shares the absorb machinery with the
+    /// compiled path, so divergence here would leak everywhere).
+    #[test]
+    fn apply_round_matches_reference_on_wild_rounds(
+        rounds in proptest::collection::vec(wild_arcs_strategy(13), 1..6)
+    ) {
+        let n = 13;
+        let mut fast = Knowledge::initial(n);
+        let mut oracle = Knowledge::initial(n);
+        for arcs in &rounds {
+            let round = Round::new(arcs.clone());
+            let a = apply_round(&mut fast, &round);
+            let b = apply_round_reference(&mut oracle, &round);
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(&fast, &oracle);
+        }
+    }
+
     /// Half-duplex doubling limit: under *matching* rounds each vertex
     /// can at most add the sender's knowledge, so the max count at most
     /// doubles per round.
@@ -201,5 +275,53 @@ proptest! {
             let after: usize = (0..n).map(|v| k.count(v)).max().unwrap();
             prop_assert!(after <= 2 * before);
         }
+    }
+}
+
+/// Deterministic pin of the nastiest single round: a chain where every
+/// source is also a target, plus a self-loop and a duplicate target. All
+/// engines must read strictly beginning-of-round state.
+#[test]
+fn chain_with_self_loop_and_duplicate_target_pins_semantics() {
+    let n = 5;
+    let round = Round::new(vec![
+        Arc::new(0, 1), // chain head
+        Arc::new(1, 2), // 1 is source AND target
+        Arc::new(2, 3), // 2 is source AND target
+        Arc::new(2, 2), // self-loop on a chain vertex
+        Arc::new(4, 3), // duplicate target 3
+    ]);
+    let mut oracle = Knowledge::initial(n);
+    apply_round_reference(&mut oracle, &round);
+    // Beginning-of-round: 1 learns {0}, 2 learns {1}, 3 learns {2, 4};
+    // nothing propagates two hops.
+    assert!(oracle.knows(1, 0) && oracle.knows(2, 1));
+    assert!(oracle.knows(3, 2) && oracle.knows(3, 4));
+    assert!(!oracle.knows(2, 0) && !oracle.knows(3, 1) && !oracle.knows(3, 0));
+
+    let mut one_shot = Knowledge::initial(n);
+    apply_round(&mut one_shot, &round);
+    assert_eq!(one_shot, oracle);
+
+    let rounds = vec![round.clone()];
+    let mut sched = CompiledSchedule::compile(&rounds, n);
+    let mut compiled = Knowledge::initial(n);
+    sched.apply(&mut compiled, 0);
+    assert_eq!(compiled, oracle);
+
+    let mut engine = FrontierEngine::new(CompiledSchedule::compile(&rounds, n));
+    let mut frontier = Knowledge::initial(n);
+    engine.apply(&mut frontier, 0);
+    assert_eq!(frontier, oracle);
+
+    // Replaying the same round until saturation keeps all four in step.
+    for i in 1..8 {
+        apply_round_reference(&mut oracle, &round);
+        apply_round(&mut one_shot, &round);
+        sched.apply(&mut compiled, i);
+        engine.apply(&mut frontier, i);
+        assert_eq!(one_shot, oracle);
+        assert_eq!(compiled, oracle);
+        assert_eq!(frontier, oracle);
     }
 }

@@ -10,46 +10,70 @@
 
 use std::time::Instant;
 
-/// Top-level harness state (`criterion::Criterion` subset).
+/// Recorded outcome of one benchmark — what real criterion would write
+/// into `target/criterion`; here it is kept in memory so harness mains
+/// can serialize a `BENCH_*.json` perf trajectory.
 #[derive(Debug, Clone)]
-pub struct Criterion {
-    sample_size: usize,
+pub struct BenchResult {
+    /// Full label, `group/name[/param]`.
+    pub name: String,
+    /// Fastest timed iteration, nanoseconds.
+    pub min_ns: u128,
+    /// Median timed iteration, nanoseconds.
+    pub median_ns: u128,
+    /// Mean timed iteration, nanoseconds.
+    pub mean_ns: u128,
+    /// Number of timed iterations.
+    pub samples: usize,
 }
 
-impl Default for Criterion {
-    fn default() -> Self {
-        Self { sample_size: 20 }
-    }
+/// Top-level harness state (`criterion::Criterion` subset).
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+    results: Vec<BenchResult>,
 }
 
 impl Criterion {
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(20)
+    }
+
     /// Sets the number of timed iterations per benchmark (builder form,
     /// as used in `criterion_group!` configs).
     pub fn sample_size(mut self, n: usize) -> Self {
-        self.sample_size = n.max(1);
+        self.sample_size = Some(n.max(1));
         self
     }
 
     /// Runs one named benchmark.
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        run_one(name, self.sample_size, &mut f);
+        let samples = self.effective_sample_size();
+        if let Some(r) = run_one(name, samples, &mut f) {
+            self.results.push(r);
+        }
         self
     }
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        let sample_size = self.sample_size;
+        let sample_size = self.effective_sample_size();
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: name.to_string(),
             sample_size,
         }
+    }
+
+    /// All results recorded so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 }
 
 /// A benchmark group (`criterion::BenchmarkGroup` subset).
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
 }
@@ -63,7 +87,10 @@ impl BenchmarkGroup<'_> {
 
     /// Runs one benchmark inside the group.
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        let label = format!("{}/{}", self.name, name);
+        if let Some(r) = run_one(&label, self.sample_size, &mut f) {
+            self.parent.results.push(r);
+        }
         self
     }
 
@@ -74,11 +101,10 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        run_one(
-            &format!("{}/{}", self.name, id.label),
-            self.sample_size,
-            &mut |b| f(b, input),
-        );
+        let label = format!("{}/{}", self.name, id.label);
+        if let Some(r) = run_one(&label, self.sample_size, &mut |b| f(b, input)) {
+            self.parent.results.push(r);
+        }
         self
     }
 
@@ -124,7 +150,7 @@ impl Bencher {
     }
 }
 
-fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) -> Option<BenchResult> {
     let mut b = Bencher {
         samples,
         timings_ns: Vec::new(),
@@ -132,7 +158,7 @@ fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     f(&mut b);
     if b.timings_ns.is_empty() {
         println!("{label:<44} (no iterations recorded)");
-        return;
+        return None;
     }
     b.timings_ns.sort_unstable();
     let min = b.timings_ns[0];
@@ -145,6 +171,13 @@ fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
         fmt_ns(mean),
         b.timings_ns.len()
     );
+    Some(BenchResult {
+        name: label.to_string(),
+        min_ns: min,
+        median_ns: median,
+        mean_ns: mean,
+        samples: b.timings_ns.len(),
+    })
 }
 
 fn fmt_ns(ns: u128) -> String {
@@ -215,6 +248,21 @@ mod tests {
         };
         b.iter(|| 42);
         assert_eq!(b.timings_ns.len(), 5);
+    }
+
+    #[test]
+    fn results_are_recorded_for_json_emission() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("alpha", |b| b.iter(|| 2 * 2));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("beta", 7), &7u64, |b, &n| b.iter(|| n + 1));
+        g.finish();
+        let names: Vec<&str> = c.results().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "grp/beta/7"]);
+        for r in c.results() {
+            assert_eq!(r.samples, 3);
+            assert!(r.min_ns <= r.median_ns);
+        }
     }
 
     #[test]
