@@ -19,11 +19,19 @@ const USAGE: &str = "\
 sg-bench — systolic-gossip scenario runner
 
 USAGE:
-  sg-bench list
+  sg-bench list [--filter SUBSTR]
       Enumerate the named scenarios of the registry.
 
-  sg-bench run <name>... | all [OPTIONS]
+  sg-bench run <name>... | all [--filter SUBSTR] [OPTIONS]
       Run named scenarios through the parallel batch executor.
+      With --filter, names may be omitted: every scenario whose name
+      contains SUBSTR runs.
+
+  sg-bench search [<name>...] [--filter SUBSTR] [--seed N] [--restarts N]
+                  [--iterations N] [OPTIONS]
+      Run the protocol-synthesis scenarios (sg-search): hunt for optimal
+      systolic schedules and certify them against the paper's lower
+      bounds. Without names, every search-task scenario runs.
 
   sg-bench sweep --task <bound|simulate|compare> --mode <directed|half-duplex|full-duplex>
                  --net <family:params> [--net ...] [--periods LO..HI] [--nonsystolic]
@@ -37,6 +45,7 @@ USAGE:
 OPTIONS:
   --threads N          worker threads (default: one per core, max 16)
   --format FMT         text | json | csv   (default text)
+  --filter SUBSTR      restrict list/run/search to matching scenario names
   --stats              print cache statistics after the run
   -h, --help           this message
 ";
@@ -64,6 +73,10 @@ struct CommonFlags {
     threads: usize,
     format: Format,
     stats: bool,
+    filter: Option<String>,
+    search_seed: Option<u64>,
+    search_restarts: Option<usize>,
+    search_iterations: Option<usize>,
 }
 
 fn run_cli(args: &[String]) -> Result<i32, String> {
@@ -77,37 +90,64 @@ fn run_cli(args: &[String]) -> Result<i32, String> {
             Ok(0)
         }
         "list" => {
-            let reg = registry();
+            let (names, flags) = split_flags(&args[1..], false)?;
+            if !names.is_empty() {
+                return Err(format!("list takes no scenario names, got `{}`", names[0]));
+            }
+            if flags.search_seed.is_some()
+                || flags.search_restarts.is_some()
+                || flags.search_iterations.is_some()
+            {
+                return Err(
+                    "--seed / --restarts / --iterations only apply to `sg-bench search`".into(),
+                );
+            }
+            let reg: Vec<Scenario> = apply_filter(registry(), flags.filter.as_deref());
             println!("{:<26} {:<9} summary", "name", "task");
             println!("{}", "-".repeat(100));
             for s in &reg {
                 println!("{:<26} {:<9} {}", s.name, s.task.name(), s.summary);
             }
-            println!(
-                "\n{} scenarios. `sg-bench run <name>` or `sg-bench run all`.",
-                reg.len()
-            );
+            match &flags.filter {
+                Some(f) => println!(
+                    "\n{} scenario(s) matching `{f}`. `sg-bench run --filter {f}` runs them all.",
+                    reg.len()
+                ),
+                None => println!(
+                    "\n{} scenarios. `sg-bench run <name>` or `sg-bench run all`.",
+                    reg.len()
+                ),
+            }
             Ok(0)
         }
         "run" => {
             let (names, flags) = split_flags(&args[1..], false)?;
-            if names.is_empty() {
-                return Err("run: give scenario names, or `all`".into());
+            if flags.search_seed.is_some()
+                || flags.search_restarts.is_some()
+                || flags.search_iterations.is_some()
+            {
+                return Err(
+                    "--seed / --restarts / --iterations only apply to `sg-bench search`".into(),
+                );
             }
-            let scenarios: Vec<Scenario> = if names.len() == 1 && names[0] == "all" {
-                registry()
-            } else {
-                let reg = registry();
-                names
-                    .iter()
-                    .map(|n| {
-                        reg.iter()
-                            .find(|s| s.name == *n)
-                            .cloned()
-                            .ok_or_else(|| format!("unknown scenario `{n}` (see `sg-bench list`)"))
-                    })
-                    .collect::<Result<_, _>>()?
-            };
+            let scenarios = select_scenarios(&names, &flags, None)?;
+            execute(&scenarios, &flags)
+        }
+        "search" => {
+            let (names, flags) = split_flags(&args[1..], false)?;
+            let mut scenarios = select_scenarios(&names, &flags, Some(Task::Search))?;
+            // Effort overrides apply uniformly to every selected search.
+            for sc in &mut scenarios {
+                if let Some(seed) = flags.search_seed {
+                    sc.search.seed = seed;
+                }
+                if let Some(r) = flags.search_restarts {
+                    sc.search.restarts = r;
+                }
+                if let Some(i) = flags.search_iterations {
+                    sc.search.iterations = i;
+                }
+            }
             execute(&scenarios, &flags)
         }
         "sweep" => {
@@ -117,6 +157,71 @@ fn run_cli(args: &[String]) -> Result<i32, String> {
         }
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// Keeps the scenarios whose name contains `filter` (all of them when no
+/// filter is given).
+fn apply_filter(scenarios: Vec<Scenario>, filter: Option<&str>) -> Vec<Scenario> {
+    match filter {
+        Some(f) => scenarios
+            .into_iter()
+            .filter(|s| s.name.contains(f))
+            .collect(),
+        None => scenarios,
+    }
+}
+
+/// Resolves the scenario selection of `run` / `search` from positional
+/// names, `--filter`, and (for `search`) the implicit task restriction.
+fn select_scenarios(
+    names: &[String],
+    flags: &CommonFlags,
+    only_task: Option<Task>,
+) -> Result<Vec<Scenario>, String> {
+    let everything = |reg: Vec<Scenario>| -> Vec<Scenario> {
+        match only_task {
+            Some(t) => reg.into_iter().filter(|s| s.task == t).collect(),
+            None => reg,
+        }
+    };
+    let selected: Vec<Scenario> = if names.len() == 1 && names[0] == "all" {
+        everything(registry())
+    } else if names.is_empty() {
+        if flags.filter.is_none() && only_task.is_none() {
+            return Err("run: give scenario names, `all`, or --filter".into());
+        }
+        everything(registry())
+    } else {
+        let reg = registry();
+        names
+            .iter()
+            .map(|n| {
+                reg.iter()
+                    .find(|s| s.name == *n)
+                    .cloned()
+                    .ok_or_else(|| format!("unknown scenario `{n}` (see `sg-bench list`)"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    if let Some(t) = only_task {
+        if let Some(bad) = selected.iter().find(|s| s.task != t) {
+            return Err(format!(
+                "`{}` is a {} scenario, not a {} one (see `sg-bench list --filter {}`)",
+                bad.name,
+                bad.task.name(),
+                t.name(),
+                t.name()
+            ));
+        }
+    }
+    let selected = apply_filter(selected, flags.filter.as_deref());
+    if selected.is_empty() {
+        return Err(match &flags.filter {
+            Some(f) => format!("no scenario matches `{f}` (see `sg-bench list`)"),
+            None => "no scenario selected".into(),
+        });
+    }
+    Ok(selected)
 }
 
 /// Separates positional arguments from the common flags. Sweep-specific
@@ -129,6 +234,10 @@ fn split_flags(args: &[String], sweep: bool) -> Result<(Vec<String>, CommonFlags
         threads: 0,
         format: Format::Text,
         stats: false,
+        filter: None,
+        search_seed: None,
+        search_restarts: None,
+        search_iterations: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -138,6 +247,36 @@ fn split_flags(args: &[String], sweep: bool) -> Result<(Vec<String>, CommonFlags
                 flags.threads = arg_value(args, i, "--threads")?
                     .parse()
                     .map_err(|_| "--threads takes an integer".to_string())?;
+            }
+            "--filter" => {
+                i += 1;
+                flags.filter = Some(arg_value(args, i, "--filter")?.to_string());
+            }
+            "--seed" => {
+                i += 1;
+                flags.search_seed = Some(
+                    arg_value(args, i, "--seed")?
+                        .parse()
+                        .map_err(|_| "--seed takes an integer".to_string())?,
+                );
+            }
+            "--restarts" => {
+                i += 1;
+                let r: usize = arg_value(args, i, "--restarts")?
+                    .parse()
+                    .map_err(|_| "--restarts takes an integer".to_string())?;
+                if r == 0 {
+                    return Err("--restarts must be at least 1".into());
+                }
+                flags.search_restarts = Some(r);
+            }
+            "--iterations" => {
+                i += 1;
+                flags.search_iterations = Some(
+                    arg_value(args, i, "--iterations")?
+                        .parse()
+                        .map_err(|_| "--iterations takes an integer".to_string())?,
+                );
             }
             "--format" => {
                 i += 1;
@@ -261,6 +400,7 @@ fn parse_sweep(args: &[String]) -> Result<Scenario, String> {
         periods,
         weights: WeightScheme::Unit,
         checks: Vec::new(),
+        search: sg_scenario::SearchSpec::default(),
     })
 }
 

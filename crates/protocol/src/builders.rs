@@ -105,7 +105,19 @@ pub fn hypercube_sweep(k: usize) -> SystolicProtocol {
 /// activates the dimension-`k` perfect matching. The classical protocol
 /// gossips in `≈ log₂ n` rounds for `Δ = ⌊log₂ n⌋`.
 pub fn knodel_sweep(delta: usize, n: usize) -> SystolicProtocol {
-    assert!(n.is_multiple_of(2) && delta >= 1 && (1usize << delta) <= n);
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "knodel_sweep: Knödel graphs are defined on an even number of \
+         vertices >= 2, got n = {n}"
+    );
+    assert!(
+        delta >= 1,
+        "knodel_sweep: the dimension sweep needs delta >= 1 matchings, got delta = 0"
+    );
+    assert!(
+        (1usize << delta) <= n,
+        "knodel_sweep: W(delta, n) needs 2^delta <= n, got delta = {delta}, n = {n}"
+    );
     let half = n / 2;
     let rounds = (0..delta)
         .map(|k| {
@@ -199,7 +211,15 @@ pub fn full_duplex_coloring_periodic(g: &Digraph) -> SystolicProtocol {
 /// half-duplex protocol) on the undirected one.
 pub fn wbf_shift_protocol(d: usize, dd: usize) -> SystolicProtocol {
     use sg_graphs::codec::{digit, pow, with_digit};
-    assert!(d >= 2 && dd >= 2);
+    assert!(
+        d >= 2,
+        "wbf_shift_protocol: the digit base d must be >= 2 (d = 0 has no \
+         digits and d = 1 degenerates to a cycle of levels), got d = {d}"
+    );
+    assert!(
+        dd >= 2,
+        "wbf_shift_protocol: the wrapped butterfly needs >= 2 levels, got D = {dd}"
+    );
     let words = pow(d, dd);
     let vertex = |w: usize, l: usize| l * words + w;
     let mut rounds = Vec::with_capacity(dd * d);
@@ -367,6 +387,36 @@ mod tests {
             let hd = SystolicProtocol::new(sp.period().to_vec(), Mode::HalfDuplex);
             hd.validate(&gu).expect("valid half-duplex protocol");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "even number of vertices")]
+    fn knodel_sweep_rejects_odd_n() {
+        let _ = knodel_sweep(3, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta >= 1")]
+    fn knodel_sweep_rejects_zero_delta() {
+        let _ = knodel_sweep(0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^delta <= n")]
+    fn knodel_sweep_rejects_oversized_delta() {
+        let _ = knodel_sweep(5, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "digit base d must be >= 2")]
+    fn wbf_shift_rejects_degenerate_base() {
+        let _ = wbf_shift_protocol(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 levels")]
+    fn wbf_shift_rejects_single_level() {
+        let _ = wbf_shift_protocol(2, 1);
     }
 
     #[test]

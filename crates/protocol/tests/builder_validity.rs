@@ -1,0 +1,125 @@
+//! Property audit of every builder in `sg_protocol::builders`: across a
+//! sweep of parameters, each builder must emit only arcs that are edges
+//! of its intended topology (plus the mode's matching condition — both
+//! enforced by `SystolicProtocol::validate`, the same audit the
+//! `sg-search` mutation kernel runs on every candidate) and must declare
+//! exactly the period it constructs.
+
+use proptest::prelude::*;
+use sg_graphs::digraph::Digraph;
+use sg_graphs::generators;
+use sg_protocol::builders;
+use sg_protocol::protocol::SystolicProtocol;
+
+/// The shared audit: valid on `g`, declared period `s`, and every arc of
+/// the period inside the graph's arc set (re-checked directly so the test
+/// does not rely on `validate` alone).
+fn audit(label: &str, g: &Digraph, sp: &SystolicProtocol, expect_s: usize) {
+    sp.validate(g)
+        .unwrap_or_else(|e| panic!("{label}: invalid — {e}"));
+    assert_eq!(sp.s(), expect_s, "{label}: declared period");
+    for (i, r) in sp.period().iter().enumerate() {
+        for a in r.arcs() {
+            assert!(
+                g.has_arc(a.from as usize, a.to as usize),
+                "{label}: round {i} activates {a}, not an arc of the topology"
+            );
+        }
+    }
+    // The declared period really is a period of the unrolled execution.
+    assert!(
+        sp.unroll(2 * expect_s).is_systolic_with_period(expect_s),
+        "{label}: unrolled protocol is not {expect_s}-systolic"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn path_rrll_valid_on_its_path(n in 2usize..40) {
+        audit("path_rrll", &generators::path(n), &builders::path_rrll(n), 4);
+    }
+
+    #[test]
+    fn cycle_builders_valid_on_their_cycle(half in 2usize..20) {
+        let n = 2 * half;
+        let g = generators::cycle(n);
+        audit("cycle_two_color_directed", &g, &builders::cycle_two_color_directed(n), 2);
+        audit("cycle_rrll", &g, &builders::cycle_rrll(n), 4);
+    }
+
+    #[test]
+    fn hypercube_sweep_valid_on_its_cube(k in 1usize..8) {
+        audit("hypercube_sweep", &generators::hypercube(k), &builders::hypercube_sweep(k), k);
+    }
+
+    #[test]
+    fn knodel_sweep_valid_on_its_graph(delta in 1usize..7, extra in 0usize..20) {
+        let n = (1usize << delta) + 2 * extra;
+        let g = generators::knodel(delta, n);
+        audit("knodel_sweep", &g, &builders::knodel_sweep(delta, n), delta);
+    }
+
+    #[test]
+    fn grid_traffic_light_valid_on_its_grid(w in 2usize..9, h in 2usize..9) {
+        audit(
+            "grid_traffic_light",
+            &generators::grid2d(w, h),
+            &builders::grid_traffic_light(w, h),
+            4,
+        );
+    }
+
+    #[test]
+    fn wbf_shift_valid_on_directed_wrapped_butterfly(d in 2usize..4, dd in 2usize..5) {
+        audit(
+            "wbf_shift_protocol",
+            &generators::wrapped_butterfly_directed(d, dd),
+            &builders::wbf_shift_protocol(d, dd),
+            d * dd,
+        );
+    }
+
+    #[test]
+    fn complete_round_robin_valid_on_its_clique(half in 1usize..12) {
+        let n = 2 * half;
+        audit(
+            "complete_round_robin",
+            &generators::complete(n),
+            &builders::complete_round_robin(n),
+            n - 1,
+        );
+    }
+
+    #[test]
+    fn coloring_protocols_valid_on_arbitrary_zoo_graphs(pick in 0usize..6, scale in 0usize..3) {
+        let g = match pick {
+            0 => generators::path(5 + 3 * scale),
+            1 => generators::cycle(5 + 2 * scale),
+            2 => generators::complete_dary_tree(2 + scale.min(1), 2 + scale),
+            3 => generators::de_bruijn(2, 3 + scale),
+            4 => generators::kautz(2, 3 + scale),
+            _ => generators::wrapped_butterfly(2, 3 + scale),
+        };
+        let hd = builders::edge_coloring_periodic(&g);
+        audit("edge_coloring_periodic", &g, &hd, hd.s());
+        let fd = builders::full_duplex_coloring_periodic(&g);
+        audit("full_duplex_coloring_periodic", &g, &fd, fd.s());
+        // The half-duplex protocol splits each full-duplex round in two.
+        prop_assert_eq!(hd.s(), 2 * fd.s());
+    }
+
+    #[test]
+    fn path_two_sweep_valid_and_sized(n in 2usize..40) {
+        let g = generators::path(n);
+        let p = builders::path_two_sweep(n);
+        p.validate(&g).expect("valid finite protocol");
+        prop_assert_eq!(p.len(), 2 * (n - 1));
+        for r in p.rounds() {
+            for a in r.arcs() {
+                prop_assert!(g.has_arc(a.from as usize, a.to as usize));
+            }
+        }
+    }
+}

@@ -28,6 +28,9 @@ pub enum Task {
     Compare,
     /// The matrix-construction figures (Figs. 1–3 and 7).
     Matrices,
+    /// Protocol synthesis: hunt for optimal systolic schedules with
+    /// `sg-search` and certify them against the lower bounds.
+    Search,
 }
 
 impl Task {
@@ -38,6 +41,32 @@ impl Task {
             Task::Simulate => "simulate",
             Task::Compare => "compare",
             Task::Matrices => "matrices",
+            Task::Search => "search",
+        }
+    }
+}
+
+/// Knobs of a [`Task::Search`] scenario: how hard each network × period
+/// search works. Kept separate from `sg_search::SearchConfig` so the
+/// descriptor stays plain data; the runner folds these into the full
+/// config (periods come from the scenario's period sweep, threads from
+/// the batch thread budget).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchSpec {
+    /// Independent annealing chains per period.
+    pub restarts: usize,
+    /// Mutation/evaluation steps per chain.
+    pub iterations: usize,
+    /// Master seed (chains derive their own streams deterministically).
+    pub seed: u64,
+}
+
+impl Default for SearchSpec {
+    fn default() -> Self {
+        Self {
+            restarts: 6,
+            iterations: 400,
+            seed: 1997,
         }
     }
 }
@@ -99,6 +128,8 @@ pub struct Scenario {
     pub weights: WeightScheme,
     /// Paper-stated values re-derived on every run.
     pub checks: Vec<PaperCheck>,
+    /// Effort knobs for [`Task::Search`] scenarios (ignored elsewhere).
+    pub search: SearchSpec,
 }
 
 impl Scenario {
@@ -115,6 +146,7 @@ impl Scenario {
             periods: Vec::new(),
             weights: WeightScheme::Unit,
             checks: Vec::new(),
+            search: SearchSpec::default(),
         }
     }
 
@@ -145,6 +177,12 @@ impl Scenario {
     /// Attaches paper checks.
     pub fn checks(mut self, cs: impl IntoIterator<Item = PaperCheck>) -> Self {
         self.checks = cs.into_iter().collect();
+        self
+    }
+
+    /// Sets the search effort knobs.
+    pub fn search_spec(mut self, spec: SearchSpec) -> Self {
+        self.search = spec;
         self
     }
 }

@@ -25,6 +25,8 @@ pub mod runner;
 pub mod tables;
 
 pub use cache::{BuildCache, CacheStats};
-pub use descriptor::{protocol_for, PaperCheck, ProtocolKind, Scenario, Task, WeightScheme};
+pub use descriptor::{
+    protocol_for, PaperCheck, ProtocolKind, Scenario, SearchSpec, Task, WeightScheme,
+};
 pub use registry::{find, registry};
 pub use runner::{run_batch, BatchOptions, BatchReport, CheckOutcome, ScenarioOutcome};

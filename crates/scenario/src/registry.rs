@@ -281,6 +281,55 @@ pub fn registry() -> Vec<Scenario> {
             },
         ])
         .periods([Period::Systolic(4), Period::NonSystolic]),
+        // ——— Protocol synthesis (sg-search) ———
+        Scenario::new(
+            "search-path",
+            "sg-search on P_8 — full-duplex schedules vs the n−1 diameter floor",
+            Task::Search,
+            Mode::FullDuplex,
+        )
+        .networks([Network::Path { n: 8 }])
+        .periods(systolic(2..=4)),
+        Scenario::new(
+            "search-cycle",
+            "sg-search on C_6/C_8 — full-duplex period sweep vs the n/2 diameter floor",
+            Task::Search,
+            Mode::FullDuplex,
+        )
+        .networks([Network::Cycle { n: 6 }, Network::Cycle { n: 8 }])
+        .periods(systolic(2..=3)),
+        Scenario::new(
+            "search-cycle-s2",
+            "sg-search on C_8 — half-duplex s = 2 against the paper's degenerate n−1 bound",
+            Task::Search,
+            Mode::HalfDuplex,
+        )
+        .networks([Network::Cycle { n: 8 }])
+        .periods([Period::Systolic(2)]),
+        Scenario::new(
+            "search-hypercube",
+            "sg-search on Q_2/Q_3 — full-duplex schedules vs the ⌈log₂ n⌉ doubling floor",
+            Task::Search,
+            Mode::FullDuplex,
+        )
+        .networks([Network::Hypercube { k: 2 }, Network::Hypercube { k: 3 }])
+        .periods(systolic(2..=3)),
+        Scenario::new(
+            "search-torus",
+            "sg-search on Torus(4×4) — full-duplex s = 4 vs the ⌈log₂ n⌉ doubling floor",
+            Task::Search,
+            Mode::FullDuplex,
+        )
+        .networks([Network::Torus2d { w: 4, h: 4 }])
+        .periods([Period::Systolic(4)]),
+        Scenario::new(
+            "search-knodel",
+            "sg-search on W(3,8) — can synthesis match the minimum-gossip family?",
+            Task::Search,
+            Mode::FullDuplex,
+        )
+        .networks([Network::Knodel { delta: 3, n: 8 }])
+        .periods([Period::Systolic(3)]),
     ]
 }
 
@@ -320,6 +369,37 @@ mod tests {
             "knodel-family",
         ] {
             assert!(find(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn search_scenarios_are_registered_with_exact_period_sweeps() {
+        for name in [
+            "search-path",
+            "search-cycle",
+            "search-cycle-s2",
+            "search-hypercube",
+            "search-torus",
+            "search-knodel",
+        ] {
+            let sc = find(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(sc.task, Task::Search, "{name}");
+            assert!(!sc.networks.is_empty(), "{name}: needs networks");
+            assert!(
+                !sc.periods.is_empty()
+                    && sc
+                        .periods
+                        .iter()
+                        .all(|p| matches!(p, Period::Systolic(s) if *s >= 2)),
+                "{name}: search sweeps exact systolic periods"
+            );
+            // Small n only: synthesis sweeps are exponential-ish in spirit.
+            for net in &sc.networks {
+                assert!(
+                    net.build().vertex_count() <= 16,
+                    "{name}: keep searches small"
+                );
+            }
         }
     }
 

@@ -208,6 +208,7 @@ enum Unit {
     Compare { net: Network },
     Matrices,
     Checks { checks: Vec<PaperCheck> },
+    Search { net: Network },
 }
 
 /// What one unit produced.
@@ -249,6 +250,11 @@ fn units_of(scenario: &Scenario) -> Vec<Unit> {
             }
         }
         Task::Matrices => units.push(Unit::Matrices),
+        Task::Search => {
+            for &net in &scenario.networks {
+                units.push(Unit::Search { net });
+            }
+        }
     }
     if !scenario.checks.is_empty() {
         units.push(Unit::Checks {
@@ -339,6 +345,114 @@ fn run_unit(
         Unit::Compare { net } => compare_unit(net, scenario, cache, opts, sim_threads),
         Unit::Matrices => matrices_unit(),
         Unit::Checks { checks } => checks_unit(checks),
+        Unit::Search { net } => search_unit(net, scenario, cache, sim_threads),
+    }
+}
+
+/// Runs `sg-search` for every exact period of the scenario's sweep and
+/// reports each best schedule with its certificate. The found-vs-bound
+/// relation is always surfaced — optimal, gap, or bound-slack — never
+/// silently dropped.
+fn search_unit(
+    net: &Network,
+    scenario: &Scenario,
+    cache: &BuildCache,
+    sim_threads: usize,
+) -> UnitOut {
+    use sg_search::{search_on, SearchConfig, Verdict};
+    let g = cache.digraph(net);
+    let diameter = cache.diameter(net);
+    let mut rows = Vec::new();
+    let mut text = String::new();
+    let mut periods: Vec<usize> = Vec::new();
+    for p in &scenario.periods {
+        match p {
+            Period::Systolic(s) => periods.push(*s),
+            Period::NonSystolic => {
+                // Synthesis needs a finite period to mutate; say so
+                // rather than dropping the sweep entry on the floor.
+                text.push_str(&format!(
+                    "{}: s = ∞ has no finite period to search — skipped\n",
+                    net.name()
+                ));
+                rows.push(
+                    Row::new()
+                        .with("kind", "search")
+                        .with("network", net.name())
+                        .with("n", g.vertex_count())
+                        .with("mode", scenario.mode.name())
+                        .with("s", "∞")
+                        .with("verdict", "skipped"),
+                );
+            }
+        }
+    }
+    for s in periods {
+        let cfg = SearchConfig {
+            min_period: s,
+            max_period: s,
+            restarts: scenario.search.restarts,
+            iterations: scenario.search.iterations,
+            seed: scenario.search.seed,
+            threads: sim_threads.max(1),
+            ..Default::default()
+        };
+        let out = search_on(net, &g, diameter, scenario.mode, &cfg);
+        match (&out.certificate, out.best_rounds) {
+            (Some(cert), Some(found)) => {
+                text.push_str(&format!("{cert}  [{} evals]\n", out.evaluations));
+                rows.push(
+                    Row::new()
+                        .with("kind", "search")
+                        .with("network", net.name())
+                        .with("n", cert.n)
+                        .with("mode", scenario.mode.name())
+                        .with("s", s)
+                        .with("found_rounds", found)
+                        .with("floor_rounds", cert.floor_rounds)
+                        .with("floor_source", cert.floor_source.label())
+                        .with("asymptotic_rounds", cert.asymptotic_rounds)
+                        .with("lambda_star", cert.lambda_star)
+                        .with("verdict", cert.verdict.label())
+                        .with("gap_rounds", cert.gap_rounds())
+                        .with(
+                            "bound_slack_rounds",
+                            match cert.verdict {
+                                Verdict::BoundSlack { asymptotic_rounds } => {
+                                    Some(asymptotic_rounds - found as f64)
+                                }
+                                _ => None,
+                            },
+                        )
+                        .with("evaluations", out.evaluations)
+                        .with("chains", out.chains),
+                );
+            }
+            _ => {
+                // No candidate completed — still reported, never dropped.
+                text.push_str(&format!(
+                    "{} s = {s}: no completing schedule within the budget ({} evals)\n",
+                    net.name(),
+                    out.evaluations
+                ));
+                rows.push(
+                    Row::new()
+                        .with("kind", "search")
+                        .with("network", net.name())
+                        .with("n", g.vertex_count())
+                        .with("mode", scenario.mode.name())
+                        .with("s", s)
+                        .with("found_rounds", Option::<usize>::None)
+                        .with("verdict", "incomplete")
+                        .with("evaluations", out.evaluations),
+                );
+            }
+        }
+    }
+    UnitOut {
+        rows,
+        text: Some(text),
+        ..Default::default()
     }
 }
 

@@ -1,0 +1,406 @@
+//! The multi-start simulated-annealing driver.
+//!
+//! The search space is the set of valid period-`p` round schedules for a
+//! `(network, mode)` pair; the driver runs one independent annealing
+//! chain per `(period, restart)` job, fanned out across a scoped worker
+//! pool behind an atomic cursor (the batch-runner idiom). Each chain is
+//! seeded deterministically from `(seed, period, restart)`, evaluates
+//! candidates through the compiled-schedule engine with an
+//! incumbent-based horizon cutoff
+//! ([`sg_sim::run_systolic_with_horizon`]), and never shares state with
+//! other chains — which is what makes the outcome bit-identical across
+//! any thread count (tested in `tests/determinism.rs`).
+
+use crate::candidate::Candidate;
+use crate::certificate::{certify, Certificate};
+use crate::kernel::MutationKernel;
+use crate::seeds::{fit_to_period, seed_protocols};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sg_graphs::digraph::Digraph;
+use sg_protocol::mode::Mode;
+use sg_protocol::protocol::SystolicProtocol;
+use sg_sim::{CompiledSchedule, CompletionCursor, Knowledge};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use systolic_gossip::Network;
+
+/// Knobs of one search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// Smallest period the search may visit (`>= 2`; the bound engine's
+    /// period taxonomy starts there).
+    pub min_period: usize,
+    /// Largest period (equal to `min_period` for an exact-period search).
+    pub max_period: usize,
+    /// Independent annealing chains per period.
+    pub restarts: usize,
+    /// Mutation/evaluation steps per chain.
+    pub iterations: usize,
+    /// Master seed; every chain derives its own stream from
+    /// `(seed, period, restart)`.
+    pub seed: u64,
+    /// Initial annealing temperature, in rounds of gossip time.
+    pub init_temperature: f64,
+    /// Geometric cooling factor per iteration.
+    pub cooling: f64,
+    /// Rounds past the incumbent a candidate may run before the horizon
+    /// aborts it (the SA still needs to see mildly-worse candidates).
+    pub horizon_slack: usize,
+    /// Simulation round budget per evaluation (`0` = derive `40·n + 200`,
+    /// the conformance suite's generous default).
+    pub sim_budget: usize,
+    /// Worker threads across chains (`0` = one per available core,
+    /// capped at 16). Results are identical for every value.
+    pub threads: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            min_period: 2,
+            max_period: 4,
+            restarts: 8,
+            iterations: 600,
+            seed: 1997,
+            init_temperature: 3.0,
+            cooling: 0.995,
+            horizon_slack: 8,
+            sim_budget: 0,
+            threads: 1,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// An exact-period search at `s`.
+    pub fn exact_period(mut self, s: usize) -> Self {
+        self.min_period = s;
+        self.max_period = s;
+        self
+    }
+
+    fn effective_budget(&self, n: usize) -> usize {
+        if self.sim_budget > 0 {
+            self.sim_budget
+        } else {
+            40 * n + 200
+        }
+    }
+
+    fn effective_threads(&self, jobs: usize) -> usize {
+        let t = if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(16)
+        };
+        t.min(jobs.max(1))
+    }
+}
+
+/// What one search produced.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best schedule found (seeded start if nothing improved).
+    pub best: SystolicProtocol,
+    /// Its measured gossip time, `None` when no evaluated candidate
+    /// completed within the budget (pathological configs only).
+    pub best_rounds: Option<usize>,
+    /// Certificate against the lower bounds, when a completing schedule
+    /// was found.
+    pub certificate: Option<Certificate>,
+    /// Total candidate evaluations across all chains.
+    pub evaluations: usize,
+    /// Chains run (periods × restarts).
+    pub chains: usize,
+}
+
+/// One annealing chain's result.
+struct ChainResult {
+    rounds: Vec<sg_protocol::round::Round>,
+    completed: Option<usize>,
+    cost: f64,
+    evaluations: usize,
+}
+
+/// Splitmix-style mix of the master seed with the chain coordinates.
+fn chain_seed(master: u64, period: usize, restart: usize) -> u64 {
+    let mut z = master
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((period as u64) << 32)
+        .wrapping_add(restart as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+/// Evaluates a candidate: gossip time when it completes within
+/// `min(budget, horizon)`, otherwise a cost past the horizon graded by
+/// how much knowledge is still missing (gives the annealer a gradient
+/// among losing candidates).
+///
+/// The loop is the compiled-schedule engine run loop with the same
+/// incumbent-horizon cutoff as [`sg_sim::run_systolic_with_horizon`]
+/// (the conformance-pinned public form), inlined so the hot path
+/// neither allocates a trace nor scans `min_count` per round — the
+/// final scan happens once, and only for losing candidates.
+fn evaluate(
+    cand: &Candidate,
+    n: usize,
+    budget: usize,
+    horizon: Option<usize>,
+) -> (f64, Option<usize>) {
+    let mut sched = CompiledSchedule::compile(&cand.rounds, n);
+    let cap = horizon.unwrap_or(budget).min(budget);
+    let mut k = Knowledge::initial(n);
+    let mut cursor = CompletionCursor::new();
+    if cursor.complete(&k) {
+        return (0.0, Some(0));
+    }
+    for i in 0..cap {
+        sched.apply(&mut k, i);
+        if cursor.complete(&k) {
+            let t = i + 1;
+            return (t as f64, Some(t));
+        }
+    }
+    let missing = (n - k.min_count()) as f64 / n.max(1) as f64;
+    (cap as f64 + 1.0 + missing, None)
+}
+
+fn run_chain(
+    g: &Digraph,
+    kernel: &MutationKernel,
+    start: Candidate,
+    seed: u64,
+    budget: usize,
+    cfg: &SearchConfig,
+) -> ChainResult {
+    let n = g.vertex_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cur = start;
+    debug_assert!(cur.validate(g).is_ok(), "seed candidate must be valid");
+    let (mut cur_cost, mut cur_completed) = evaluate(&cur, n, budget, None);
+    let mut best = cur.clone();
+    let mut best_cost = cur_cost;
+    let mut best_completed = cur_completed;
+    let mut evaluations = 1usize;
+    let mut temp = cfg.init_temperature;
+    for _ in 0..cfg.iterations {
+        let mut cand = cur.clone();
+        kernel.mutate(&mut cand, &mut rng);
+        debug_assert!(cand.validate(g).is_ok(), "mutation broke validity");
+        // Incumbent horizon: a candidate that has not completed within
+        // `cur + slack` rounds cannot be accepted cheaply — stop it there.
+        let horizon = (cur_cost.ceil() as usize).saturating_add(cfg.horizon_slack);
+        let (cost, completed) = evaluate(&cand, n, budget, Some(horizon.min(budget)));
+        evaluations += 1;
+        let accept =
+            cost <= cur_cost || rng.gen::<f64>() < (-(cost - cur_cost) / temp.max(1e-9)).exp();
+        if accept {
+            cur = cand;
+            cur_cost = cost;
+            cur_completed = completed;
+            if cost < best_cost {
+                best = cur.clone();
+                best_cost = cost;
+                best_completed = cur_completed;
+            }
+        }
+        temp *= cfg.cooling;
+    }
+    ChainResult {
+        rounds: best.rounds,
+        completed: best_completed,
+        cost: best_cost,
+        evaluations,
+    }
+}
+
+/// Runs the full search for `net` in `mode`, building the graph and
+/// measuring its diameter on the spot. See [`search_on`] for the
+/// cache-friendly entry point the batch runner uses.
+pub fn search(net: &Network, mode: Mode, cfg: &SearchConfig) -> SearchOutcome {
+    let g = net.build();
+    let diameter = sg_graphs::traversal::diameter(&g);
+    search_on(net, &g, diameter, mode, cfg)
+}
+
+/// [`search`] on an already-built digraph with an already-measured
+/// diameter.
+///
+/// Chains are independent and deterministically seeded, so the outcome
+/// (best schedule, certificate, evaluation count) is identical for every
+/// `cfg.threads` value.
+pub fn search_on(
+    net: &Network,
+    g: &Digraph,
+    diameter: Option<u32>,
+    mode: Mode,
+    cfg: &SearchConfig,
+) -> SearchOutcome {
+    assert!(
+        cfg.min_period >= 2 && cfg.min_period <= cfg.max_period,
+        "search needs 2 <= min_period <= max_period, got {}..={}",
+        cfg.min_period,
+        cfg.max_period
+    );
+    assert!(cfg.restarts >= 1, "search needs at least one restart");
+    let n = g.vertex_count();
+    let budget = cfg.effective_budget(n);
+    let kernel = MutationKernel::new(g, mode, cfg.min_period, cfg.max_period);
+    let seeds = seed_protocols(net, g, mode);
+
+    // One job per (period, restart); each derives its start and rng
+    // stream from its coordinates alone.
+    let jobs: Vec<(usize, usize)> = (cfg.min_period..=cfg.max_period)
+        .flat_map(|p| (0..cfg.restarts).map(move |r| (p, r)))
+        .collect();
+    let start_of = |p: usize, r: usize| -> Candidate {
+        if r < seeds.len() {
+            fit_to_period(&seeds[r], p, mode)
+        } else {
+            let mut rng = StdRng::seed_from_u64(chain_seed(cfg.seed ^ 0xA5A5, p, r));
+            kernel.random_candidate(p, &mut rng)
+        }
+    };
+
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, ChainResult)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let threads = cfg.effective_threads(jobs.len());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(p, r)) = jobs.get(i) else {
+                    break;
+                };
+                let result = run_chain(
+                    g,
+                    &kernel,
+                    start_of(p, r),
+                    chain_seed(cfg.seed, p, r),
+                    budget,
+                    cfg,
+                );
+                done.lock().unwrap().push((i, result));
+            });
+        }
+    });
+    let mut results = done.into_inner().unwrap();
+    results.sort_by_key(|(i, _)| *i);
+
+    // Deterministic reduction: completing chains beat non-completing
+    // ones, then lower cost, then (stable) lower job index.
+    let evaluations: usize = results.iter().map(|(_, r)| r.evaluations).sum();
+    let chains = results.len();
+    let (_, winner) = results
+        .into_iter()
+        .min_by(|(ia, a), (ib, b)| {
+            b.completed
+                .is_some()
+                .cmp(&a.completed.is_some())
+                .then(a.cost.total_cmp(&b.cost))
+                .then(ia.cmp(ib))
+        })
+        .expect("at least one chain ran");
+
+    let best = SystolicProtocol::new(winner.rounds, mode);
+    let certificate = winner
+        .completed
+        .map(|t| certify(net, g, diameter, mode, best.s(), t));
+    SearchOutcome {
+        best,
+        best_rounds: winner.completed,
+        certificate,
+        evaluations,
+        chains,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificate::Verdict;
+
+    fn quick(seed: u64) -> SearchConfig {
+        SearchConfig {
+            restarts: 3,
+            iterations: 120,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn path_full_duplex_search_is_optimal_at_diameter() {
+        // P_8, full-duplex: the alternating coloring seed already meets
+        // the n − 1 diameter floor, so the search must certify Optimal.
+        let net = Network::Path { n: 8 };
+        let out = search(&net, Mode::FullDuplex, &quick(1).exact_period(2));
+        assert_eq!(out.best_rounds, Some(7));
+        let cert = out.certificate.expect("completing schedule");
+        assert_eq!(cert.verdict, Verdict::Optimal);
+        assert_eq!(cert.floor_rounds, 7);
+        // The winner is executable and valid.
+        out.best.validate(&net.build()).expect("valid");
+    }
+
+    #[test]
+    fn hypercube_search_meets_the_doubling_floor() {
+        let net = Network::Hypercube { k: 3 };
+        let out = search(&net, Mode::FullDuplex, &quick(2).exact_period(3));
+        assert_eq!(out.best_rounds, Some(3));
+        assert_eq!(
+            out.certificate.expect("certificate").verdict,
+            Verdict::Optimal
+        );
+    }
+
+    #[test]
+    fn gaps_are_reported_not_dropped() {
+        // C_8 half-duplex at s = 2: the linear floor is n − 1 = 7 but the
+        // two-color schedule needs n = 8 rounds; whatever the search
+        // finds, the certificate must carry the gap explicitly.
+        let net = Network::Cycle { n: 8 };
+        let out = search(&net, Mode::HalfDuplex, &quick(3).exact_period(2));
+        let t = out.best_rounds.expect("completes");
+        let cert = out.certificate.expect("certificate");
+        assert_eq!(cert.gap_rounds(), t - 7);
+        if t == 7 {
+            assert_eq!(cert.verdict, Verdict::Optimal);
+        } else {
+            assert!(matches!(cert.verdict, Verdict::Gap { .. }));
+        }
+    }
+
+    #[test]
+    fn evaluation_counter_and_chain_count_add_up() {
+        let net = Network::Cycle { n: 6 };
+        let cfg = SearchConfig {
+            min_period: 2,
+            max_period: 3,
+            restarts: 2,
+            iterations: 50,
+            seed: 9,
+            ..Default::default()
+        };
+        let out = search(&net, Mode::FullDuplex, &cfg);
+        assert_eq!(out.chains, 4); // 2 periods × 2 restarts
+        assert_eq!(out.evaluations, 4 * 51); // initial eval + iterations
+    }
+
+    #[test]
+    #[should_panic(expected = "min_period")]
+    fn rejects_degenerate_period_band() {
+        let net = Network::Path { n: 4 };
+        let cfg = SearchConfig {
+            min_period: 1,
+            max_period: 1,
+            ..Default::default()
+        };
+        let _ = search(&net, Mode::HalfDuplex, &cfg);
+    }
+}

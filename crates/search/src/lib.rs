@@ -1,0 +1,35 @@
+//! # sg-search
+//!
+//! Protocol synthesis for the systolic-gossip reproduction: where
+//! `sg-bounds` proves what systolic gossip *cannot* beat, this crate
+//! hunts for schedules that *meet* those bounds — closing the loop
+//! between the paper's lower bounds and executable upper bounds, the way
+//! explicit scheme construction complements analysis in the gossip
+//! literature.
+//!
+//! * [`candidate`] — the editable period-`p` round schedule;
+//! * [`kernel`] — the mode-respecting mutation kernel (arc flips, round
+//!   swaps and resampling, period grow/shrink) that keeps every candidate
+//!   valid by construction;
+//! * [`seeds`] — restart seeds from `sg_protocol::builders` and the
+//!   universal edge colorings, refitted to the requested period;
+//! * [`driver`] — the multi-start simulated-annealing driver: one
+//!   deterministic chain per `(period, restart)`, evaluated through the
+//!   compiled-schedule engine with an incumbent-based horizon cutoff,
+//!   bit-identical across thread counts;
+//! * [`certificate`] — the verdict against the paper's bounds:
+//!   `Optimal` when the found time meets the strongest exact floor,
+//!   `Gap(δ)` when it does not, `BoundSlack` when only the asymptotic
+//!   coefficient bound overshoots the measured time.
+
+pub mod candidate;
+pub mod certificate;
+pub mod driver;
+pub mod kernel;
+pub mod seeds;
+
+pub use candidate::Candidate;
+pub use certificate::{ceil_log2, certify, Certificate, FloorSource, Verdict};
+pub use driver::{search, search_on, SearchConfig, SearchOutcome};
+pub use kernel::MutationKernel;
+pub use seeds::{fit_to_period, seed_protocols};

@@ -1,0 +1,109 @@
+//! Search seeds: where the annealer starts from.
+//!
+//! Restarts are seeded from the repo's existing upper-bound constructions
+//! — the network's hand-built reference protocol when its mode matches,
+//! and the universal edge-coloring periodic protocols — refitted to the
+//! requested period, plus fully random candidates for the remaining
+//! restarts. Starting from schedules that already gossip gives every
+//! restart a completing incumbent, which is what makes the horizon
+//! cutoff effective from the first iteration.
+
+use crate::candidate::Candidate;
+use sg_graphs::digraph::Digraph;
+use sg_protocol::builders::{edge_coloring_periodic, full_duplex_coloring_periodic};
+use sg_protocol::mode::Mode;
+use sg_protocol::protocol::SystolicProtocol;
+use sg_protocol::round::Round;
+use systolic_gossip::Network;
+
+/// The deterministic seed protocols for `(net, g, mode)`: the reference
+/// protocol when it runs in `mode`, then the matching universal coloring
+/// protocol. May be empty (directed shift networks in full-duplex mode).
+pub fn seed_protocols(net: &Network, g: &Digraph, mode: Mode) -> Vec<SystolicProtocol> {
+    let mut out = Vec::new();
+    if let Some(sp) = net.reference_protocol() {
+        if sp.mode() == mode {
+            out.push(sp);
+        }
+    }
+    if g.is_symmetric() {
+        match mode {
+            Mode::FullDuplex => out.push(full_duplex_coloring_periodic(g)),
+            Mode::Directed | Mode::HalfDuplex => out.push(edge_coloring_periodic(g)),
+        }
+    }
+    out
+}
+
+/// Refits a protocol's period to exactly `s` rounds under the *search's*
+/// mode: a longer period is truncated, a shorter one is extended
+/// cyclically. Per-round validity is untouched (each round is still a
+/// matching of the same graph); only the schedule's rhythm changes, and
+/// the annealer repairs the rest. `mode` is taken explicitly rather than
+/// copied from the seed because a Directed search may legitimately seed
+/// from a half-duplex coloring — the candidate must carry the mode it
+/// will be mutated and certified under.
+pub fn fit_to_period(sp: &SystolicProtocol, s: usize, mode: Mode) -> Candidate {
+    assert!(s >= 1, "cannot fit to an empty period");
+    let rounds: Vec<Round> = (0..s).map(|i| sp.round_at(i).clone()).collect();
+    Candidate::new(rounds, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_protocol::builders;
+
+    #[test]
+    fn seeds_match_the_requested_mode() {
+        let net = Network::Hypercube { k: 3 };
+        let g = net.build();
+        for mode in [Mode::HalfDuplex, Mode::FullDuplex] {
+            let seeds = seed_protocols(&net, &g, mode);
+            assert!(!seeds.is_empty());
+            for sp in &seeds {
+                assert_eq!(sp.mode(), mode);
+                sp.validate(&g).expect("valid seed");
+            }
+        }
+        // The full-duplex list leads with the reference dimension sweep.
+        let fd = seed_protocols(&net, &g, Mode::FullDuplex);
+        assert_eq!(fd[0].s(), 3);
+    }
+
+    #[test]
+    fn directed_shift_networks_have_no_full_duplex_seed() {
+        let net = Network::DeBruijnDirected { d: 2, dd: 3 };
+        let g = net.build();
+        assert!(seed_protocols(&net, &g, Mode::FullDuplex).is_empty());
+        // But the directed mode still yields nothing here (no reference,
+        // no coloring on an asymmetric digraph) — the driver falls back
+        // to random candidates.
+        assert!(seed_protocols(&net, &g, Mode::Directed).is_empty());
+    }
+
+    #[test]
+    fn fit_truncates_and_extends_cyclically() {
+        let sp = builders::path_rrll(6); // period 4
+        let short = fit_to_period(&sp, 2, Mode::HalfDuplex);
+        assert_eq!(short.s(), 2);
+        assert_eq!(&short.rounds[0], sp.round_at(0));
+        let long = fit_to_period(&sp, 6, Mode::HalfDuplex);
+        assert_eq!(long.s(), 6);
+        assert_eq!(&long.rounds[4], sp.round_at(0));
+        assert_eq!(&long.rounds[5], sp.round_at(1));
+    }
+
+    #[test]
+    fn fit_carries_the_search_mode_not_the_seed_mode() {
+        // A Directed search seeding from the half-duplex coloring must
+        // produce a Directed candidate (the rounds are identical; only
+        // the label differs, and it must be the one the kernel and the
+        // certificate operate under).
+        let g = sg_graphs::generators::cycle(6);
+        let hd = builders::edge_coloring_periodic(&g);
+        let c = fit_to_period(&hd, 3, Mode::Directed);
+        assert_eq!(c.mode, Mode::Directed);
+        c.validate(&g).expect("valid under the directed rule");
+    }
+}

@@ -19,6 +19,9 @@ use crate::schedule::CompiledSchedule;
 use sg_protocol::protocol::{Protocol, SystolicProtocol};
 use sg_protocol::round::Round;
 
+/// Round-count time, as used by budgets and horizons.
+pub type Time = usize;
+
 /// Outcome of running a protocol to (attempted) gossip completion.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimResult {
@@ -74,22 +77,42 @@ pub fn apply_round(k: &mut Knowledge, round: &Round) -> bool {
 /// gossip completes.
 pub fn run_protocol(p: &Protocol, n: usize, trace: bool) -> SimResult {
     let sched = CompiledSchedule::compile(p.rounds(), n);
-    run_compiled(sched, n, p.len(), trace)
+    run_compiled(sched, n, p.len(), None, trace)
 }
 
 /// Runs a systolic protocol for at most `max_rounds` rounds. The period
 /// is compiled once and replayed cyclically.
 pub fn run_systolic(sp: &SystolicProtocol, n: usize, max_rounds: usize, trace: bool) -> SimResult {
+    run_systolic_with_horizon(sp, n, max_rounds, None, trace)
+}
+
+/// [`run_systolic`] with an incumbent horizon: the run aborts (reporting
+/// `completed_at: None`) as soon as the elapsed time would exceed
+/// `horizon`, so callers racing a known-good incumbent — the protocol
+/// search in `sg-search` — never pay the full round budget for a losing
+/// candidate. `horizon: None` is byte-identical to [`run_systolic`]
+/// (asserted by the conformance suite).
+pub fn run_systolic_with_horizon(
+    sp: &SystolicProtocol,
+    n: usize,
+    max_rounds: usize,
+    horizon: Option<Time>,
+    trace: bool,
+) -> SimResult {
     let sched = CompiledSchedule::compile(sp.period(), n);
-    run_compiled(sched, n, max_rounds, trace)
+    run_compiled(sched, n, max_rounds, horizon, trace)
 }
 
 fn run_compiled(
     mut sched: CompiledSchedule,
     n: usize,
     max_rounds: usize,
+    horizon: Option<Time>,
     trace: bool,
 ) -> SimResult {
+    // A completion at time t is only reachable when t <= horizon: rounds
+    // past the horizon cannot beat the incumbent, so don't run them.
+    let budget = horizon.map_or(max_rounds, |h| h.min(max_rounds));
     let mut k = Knowledge::initial(n);
     let mut trace_vec = Vec::new();
     let mut cursor = CompletionCursor::new();
@@ -99,7 +122,7 @@ fn run_compiled(
             trace: trace_vec,
         };
     }
-    for i in 0..max_rounds {
+    for i in 0..budget {
         sched.apply(&mut k, i);
         if trace {
             trace_vec.push(k.min_count());
@@ -121,6 +144,17 @@ fn run_compiled(
 /// `t`-round prefix gossips, or `None` within the budget.
 pub fn systolic_gossip_time(sp: &SystolicProtocol, n: usize, max_rounds: usize) -> Option<usize> {
     run_systolic(sp, n, max_rounds, false).completed_at
+}
+
+/// [`systolic_gossip_time`] under an incumbent horizon: `Some(t)` only
+/// when the protocol gossips within `min(max_rounds, horizon)` rounds.
+pub fn systolic_gossip_time_with_horizon(
+    sp: &SystolicProtocol,
+    n: usize,
+    max_rounds: usize,
+    horizon: Option<Time>,
+) -> Option<usize> {
+    run_systolic_with_horizon(sp, n, max_rounds, horizon, false).completed_at
 }
 
 /// Broadcast time of `source`'s item under a systolic protocol: the first
@@ -251,6 +285,45 @@ mod tests {
     fn incomplete_budget_returns_none() {
         let sp = builders::path_rrll(10);
         assert_eq!(systolic_gossip_time(&sp, 10, 3), None);
+    }
+
+    #[test]
+    fn horizon_none_is_identical_to_plain_run() {
+        let sp = builders::path_rrll(9);
+        let plain = run_systolic(&sp, 9, 200, true);
+        let horizonless = run_systolic_with_horizon(&sp, 9, 200, None, true);
+        assert_eq!(plain, horizonless);
+    }
+
+    #[test]
+    fn horizon_aborts_losing_candidates() {
+        let n = 9;
+        let sp = builders::path_rrll(n);
+        let t = systolic_gossip_time(&sp, n, 200).expect("completes");
+        // At or above the completion time the horizon is harmless…
+        assert_eq!(
+            systolic_gossip_time_with_horizon(&sp, n, 200, Some(t)),
+            Some(t)
+        );
+        assert_eq!(
+            systolic_gossip_time_with_horizon(&sp, n, 200, Some(t + 5)),
+            Some(t)
+        );
+        // …one round below it, the run aborts without completing, and the
+        // trace shows exactly `horizon` rounds were executed.
+        let cut = run_systolic_with_horizon(&sp, n, 200, Some(t - 1), true);
+        assert_eq!(cut.completed_at, None);
+        assert_eq!(cut.trace.len(), t - 1);
+        let full = run_systolic(&sp, n, 200, true);
+        assert_eq!(cut.trace[..], full.trace[..t - 1], "prefix must agree");
+    }
+
+    #[test]
+    fn horizon_zero_runs_nothing() {
+        let sp = builders::path_rrll(5);
+        let res = run_systolic_with_horizon(&sp, 5, 100, Some(0), true);
+        assert_eq!(res.completed_at, None);
+        assert!(res.trace.is_empty());
     }
 
     #[test]

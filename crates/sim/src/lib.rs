@@ -30,8 +30,8 @@ pub mod trace;
 pub use bitset::{CompletionCursor, Knowledge};
 pub use broadcast::{greedy_broadcast, verify_broadcast, BroadcastOutcome};
 pub use engine::{
-    apply_round, run_protocol, run_systolic, systolic_broadcast_time, systolic_gossip_time,
-    SimResult,
+    apply_round, run_protocol, run_systolic, run_systolic_with_horizon, systolic_broadcast_time,
+    systolic_gossip_time, systolic_gossip_time_with_horizon, SimResult, Time,
 };
 pub use frontier::{run_systolic_frontier, systolic_gossip_time_frontier, FrontierEngine};
 pub use greedy::{greedy_gossip, GreedyOutcome};

@@ -13,7 +13,7 @@
 use sg_protocol::protocol::SystolicProtocol;
 use sg_scenario::descriptor::protocol_for;
 use sg_scenario::registry;
-use sg_sim::engine::run_systolic;
+use sg_sim::engine::{run_systolic, run_systolic_with_horizon};
 use sg_sim::frontier::run_systolic_frontier;
 use sg_sim::parallel::apply_round_parallel;
 use sg_sim::reference::run_systolic_reference;
@@ -54,7 +54,7 @@ fn run_systolic_parallel(
 #[test]
 fn all_registry_protocols_agree_across_engines() {
     let reg = registry();
-    assert_eq!(reg.len(), 16, "registry size drifted; update this suite");
+    assert_eq!(reg.len(), 22, "registry size drifted; update this suite");
 
     let mut pairs_checked = 0usize;
     let mut scenarios_with_protocols = 0usize;
@@ -80,6 +80,10 @@ fn all_registry_protocols_agree_across_engines() {
             let parallel = run_systolic_parallel(&sp, n, budget, 4);
 
             let label = format!("{} / {} (n = {n})", scenario.name, net.name());
+            // `horizon: None` must be byte-identical to the plain
+            // compiled run — the search crate relies on it.
+            let horizonless = run_systolic_with_horizon(&sp, n, budget, None, true);
+            assert_eq!(horizonless, compiled, "{label}: horizon None drifted");
             assert_eq!(
                 compiled.completed_at, oracle.completed_at,
                 "{label}: compiled completed_at"
@@ -109,11 +113,11 @@ fn all_registry_protocols_agree_across_engines() {
     // The zoo currently yields protocols in every scenario that lists
     // networks; guard against the suite silently going hollow.
     assert!(
-        pairs_checked >= 30,
+        pairs_checked >= 38,
         "only {pairs_checked} (scenario, network) pairs exercised"
     );
     assert!(
-        scenarios_with_protocols >= 9,
+        scenarios_with_protocols >= 15,
         "only {scenarios_with_protocols} scenarios exercised"
     );
 }
