@@ -1,0 +1,180 @@
+//! Criterion-shim bench for the exact-enumeration subsystem, and the
+//! third file of the repo's perf trajectory: alongside the stdout report
+//! it serializes every recorded timing — plus the settled optima of the
+//! benchmarked enumerations — into `BENCH_enum.json` at the workspace
+//! root (override with `SG_BENCH_ENUM_JSON`), uploaded by CI next to
+//! `BENCH_sim.json` / `BENCH_search.json`.
+//!
+//! The workload is the registry's settled-theorem table: `Q₃` at `s = 2`
+//! full-duplex (optimum 4), `C₈` at `s = 3` full-duplex (optimum 5),
+//! directed `C₆` at `s = 2` (optimum 6) and the provably infeasible
+//! directed `P₆` at `s = 3`. The run *fails* if any previously
+//! `ProvenOptimal` point regresses to a different value or loses its
+//! proven verdict — a settled theorem must stay settled.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use sg_search::{enumerate, EnumerateConfig, Verdict};
+use systolic_gossip::prelude::*;
+
+fn fast_mode() -> bool {
+    std::env::var("SG_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+/// One settled workload: label, network, mode, period, proven optimum
+/// (`None` = proven infeasible).
+fn workloads() -> Vec<(&'static str, Network, Mode, usize, Option<usize>)> {
+    vec![
+        (
+            "hypercube3_fd",
+            Network::Hypercube { k: 3 },
+            Mode::FullDuplex,
+            2,
+            Some(4),
+        ),
+        (
+            "cycle8_fd",
+            Network::Cycle { n: 8 },
+            Mode::FullDuplex,
+            3,
+            Some(5),
+        ),
+        (
+            "cycle6_dir",
+            Network::Cycle { n: 6 },
+            Mode::Directed,
+            2,
+            Some(6),
+        ),
+        (
+            "path6_dir_infeasible",
+            Network::Path { n: 6 },
+            Mode::Directed,
+            3,
+            None,
+        ),
+    ]
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact_enumeration");
+    g.sample_size(if fast_mode() { 2 } else { 10 });
+    for (label, net, mode, period, _) in workloads() {
+        g.bench_with_input(BenchmarkId::new(label, period), &period, |b, &s| {
+            b.iter(|| {
+                black_box(enumerate(
+                    &net,
+                    mode,
+                    &EnumerateConfig::default().exact_period(s),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Where the trajectory file goes: the workspace root, next to
+/// `BENCH_sim.json` and `BENCH_search.json`.
+fn json_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("SG_BENCH_ENUM_JSON") {
+        return p.into();
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_enum.json")
+}
+
+fn write_bench_json(c: &Criterion) {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut out = String::from("{\n");
+    out.push_str("  \"suite\": \"enumeration\",\n");
+    out.push_str(&format!("  \"fast\": {},\n", fast_mode()));
+    out.push_str(&format!("  \"generated_unix\": {unix_secs},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in c.results().iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}{}\n",
+            r.name,
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.samples,
+            if i + 1 == c.results().len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // The settled outcomes, re-run once each: the trajectory pins *what*
+    // the timed work proved, and regressing a settled theorem fails the
+    // run.
+    let outcomes: Vec<(&str, usize, Option<usize>, sg_search::EnumerateOutcome)> = workloads()
+        .into_iter()
+        .map(|(label, net, mode, period, want)| {
+            (
+                label,
+                period,
+                want,
+                enumerate(&net, mode, &EnumerateConfig::default().exact_period(period)),
+            )
+        })
+        .collect();
+    out.push_str("  \"enumerations\": [\n");
+    for (i, (label, period, _, o)) in outcomes.iter().enumerate() {
+        let (optimal, floor, verdict) = match (&o.certificate, o.best_rounds) {
+            (Some(c), Some(t)) => (
+                t.to_string(),
+                c.floor_rounds.to_string(),
+                c.verdict.label().to_string(),
+            ),
+            _ => ("null".into(), "null".into(), "infeasible".into()),
+        };
+        out.push_str(&format!(
+            "    {{\"workload\": \"{label}\", \"period\": {period}, \"optimal_rounds\": {optimal}, \
+             \"floor_rounds\": {floor}, \"verdict\": \"{verdict}\", \"enumerated\": {}, \
+             \"pruned\": {}}}{}\n",
+            o.enumerated,
+            o.pruned,
+            if i + 1 == outcomes.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = json_path();
+    std::fs::write(&path, &out).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("\nwrote {}", path.display());
+    for (label, period, want, o) in &outcomes {
+        let verdict = o
+            .certificate
+            .as_ref()
+            .map_or("infeasible", |c| c.verdict.label());
+        println!(
+            "  {label} s={period}: optimum {:?} — {verdict}",
+            o.best_rounds
+        );
+        // A settled theorem must stay settled: same optimum, proven
+        // verdict (or exact infeasibility where that is the theorem).
+        assert_eq!(
+            o.best_rounds, *want,
+            "{label}: settled optimum changed — enumeration or bound regression"
+        );
+        match want {
+            Some(_) => assert!(
+                matches!(
+                    o.certificate.as_ref().map(|c| c.verdict),
+                    Some(Verdict::ProvenOptimal { .. })
+                ),
+                "{label}: previously ProvenOptimal point regressed to a weaker verdict"
+            ),
+            None => assert!(
+                o.proven_infeasible,
+                "{label}: previously proven-infeasible point regressed"
+            ),
+        }
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_enumeration(&mut criterion);
+    write_bench_json(&criterion);
+}

@@ -33,19 +33,27 @@ USAGE:
       systolic schedules and certify them against the paper's lower
       bounds. Without names, every search-task scenario runs.
 
-  sg-bench sweep --task <bound|simulate|compare> --mode <directed|half-duplex|full-duplex>
+  sg-bench enumerate [<name>...] [--filter SUBSTR] [OPTIONS]
+      Run the exact-enumeration scenarios: oracle-pruned exhaustive
+      branch-and-bound over every valid period-s schedule, proving the
+      optimum (or exact infeasibility) as a ProvenOptimal certificate.
+      Without names, every enumerate-task scenario runs.
+
+  sg-bench sweep --task <bound|simulate|compare|enumerate> --mode <directed|half-duplex|full-duplex>
                  --net <family:params> [--net ...] [--periods LO..HI] [--nonsystolic]
-                 [--degrees D,D,...] [OPTIONS]
+                 [--degrees D,D,...] [--filter SUBSTR] [OPTIONS]
       Run an ad-hoc scenario assembled from the command line. Each --net
       takes one spec: path:32, cycle:32, complete:16, tree:2,4, grid:6x6,
       torus:8x8, hypercube:7, bf:2,4, wbf:2,5, wbfdir:2,5, db:2,7,
       dbdir:2,8, kautz:2,6, kautzdir:2,7, se:6, ccc:4, knodel:6,64,
-      rr:64,3[,seed]
+      rr:64,3[,seed]. With --filter, only the networks whose name
+      contains SUBSTR are kept.
 
 OPTIONS:
   --threads N          worker threads (default: one per core, max 16)
   --format FMT         text | json | csv   (default text)
-  --filter SUBSTR      restrict list/run/search to matching scenario names
+  --filter SUBSTR      restrict list/run/search/enumerate to matching scenario
+                       names (sweep: restrict the --net list by network name)
   --stats              print cache statistics after the run
   -h, --help           this message
 ";
@@ -133,6 +141,21 @@ fn run_cli(args: &[String]) -> Result<i32, String> {
             let scenarios = select_scenarios(&names, &flags, None)?;
             execute(&scenarios, &flags)
         }
+        "enumerate" => {
+            let (names, flags) = split_flags(&args[1..], false)?;
+            if flags.search_seed.is_some()
+                || flags.search_restarts.is_some()
+                || flags.search_iterations.is_some()
+            {
+                return Err(
+                    "--seed / --restarts / --iterations only apply to `sg-bench search` \
+                     (enumeration is exhaustive and deterministic)"
+                        .into(),
+                );
+            }
+            let scenarios = select_scenarios(&names, &flags, Some(Task::Enumerate))?;
+            execute(&scenarios, &flags)
+        }
         "search" => {
             let (names, flags) = split_flags(&args[1..], false)?;
             let mut scenarios = select_scenarios(&names, &flags, Some(Task::Search))?;
@@ -151,8 +174,18 @@ fn run_cli(args: &[String]) -> Result<i32, String> {
             execute(&scenarios, &flags)
         }
         "sweep" => {
-            let scenario = parse_sweep(&args[1..])?;
+            let mut scenario = parse_sweep(&args[1..])?;
             let (_, flags) = split_flags(&args[1..], true)?;
+            // --filter on a sweep restricts the assembled network list.
+            if let Some(f) = &flags.filter {
+                if scenario.networks.is_empty() {
+                    return Err("sweep: --filter needs --net entries to filter".into());
+                }
+                scenario.networks.retain(|n| n.name().contains(f.as_str()));
+                if scenario.networks.is_empty() {
+                    return Err(format!("sweep: no --net network matches `{f}`"));
+                }
+            }
             execute(&[scenario], &flags)
         }
         other => Err(format!("unknown command `{other}`")),
@@ -329,6 +362,7 @@ fn parse_sweep(args: &[String]) -> Result<Scenario, String> {
                     "simulate" => Task::Simulate,
                     "compare" => Task::Compare,
                     "matrices" => Task::Matrices,
+                    "enumerate" => Task::Enumerate,
                     other => return Err(format!("unknown task `{other}`")),
                 });
             }
@@ -373,7 +407,7 @@ fn parse_sweep(args: &[String]) -> Result<Scenario, String> {
                     );
                 }
             }
-            "--threads" | "--format" => i += 1,
+            "--threads" | "--format" | "--filter" => i += 1,
             "--stats" => {}
             other => return Err(format!("sweep: unexpected argument `{other}`")),
         }
@@ -389,6 +423,10 @@ fn parse_sweep(args: &[String]) -> Result<Scenario, String> {
     }
     if matches!(task, Task::Bound) && periods.is_empty() {
         return Err("sweep: bound task needs --periods and/or --nonsystolic".into());
+    }
+    if matches!(task, Task::Enumerate) && !periods.iter().any(|p| matches!(p, Period::Systolic(_)))
+    {
+        return Err("sweep: enumerate task needs --periods (finite systolic periods)".into());
     }
     Ok(Scenario {
         name: "sweep",

@@ -36,10 +36,15 @@
 
 pub mod audit;
 pub mod network;
+pub mod oracle;
 pub mod report;
 
 pub use audit::{audit, audit_measured, audit_on, ProtocolAudit};
 pub use network::Network;
+pub use oracle::{
+    ceil_log2, default_sources, evaluate_bounds, BoundClass, BoundContribution, BoundOracle,
+    BoundQuery, BoundSource, FloorSource, OracleBounds, OracleStats,
+};
 pub use report::{
     bound_mode, bound_report, bound_report_on, to_csv, to_json_line, BoundReport, Row, Value,
 };

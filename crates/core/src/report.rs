@@ -3,7 +3,6 @@
 
 use crate::network::Network;
 use sg_bounds::pfun::{BoundMode, Period};
-use sg_bounds::{e_coefficient, e_separator};
 use sg_graphs::traversal;
 use sg_protocol::mode::Mode;
 
@@ -54,8 +53,9 @@ pub fn bound_report(network: &Network, mode: Mode, period: Period) -> BoundRepor
 }
 
 /// [`bound_report`] on an already-built digraph with an already-measured
-/// diameter — the entry point the scenario batch executor uses so that
-/// period sweeps over one network build and traverse it once.
+/// diameter. One uncached evaluation of the bound-source layer — see
+/// [`crate::oracle`]; callers with repeated queries should go through the
+/// memoizing [`crate::oracle::BoundOracle`] instead.
 ///
 /// # Panics
 /// Panics when `mode` requires a symmetric digraph but the network is
@@ -67,42 +67,16 @@ pub fn bound_report_on(
     mode: Mode,
     period: Period,
 ) -> BoundReport {
-    assert!(
-        !(mode.requires_symmetric_graph() && network.is_directed()),
-        "{} cannot run in {mode} mode",
-        network.name()
-    );
-    let n = g.vertex_count();
-    let log2n = (n as f64).log2();
-    let bm = bound_mode(mode);
-    let general_coefficient = e_coefficient(bm, period);
-    let general_rounds = general_coefficient * log2n;
-    let (separator_coefficient, separator_rounds) = match network.separator_params() {
-        Some(params) => {
-            let b = e_separator(params, bm, period);
-            (Some(b.e), Some(b.e * log2n))
-        }
-        None => (None, None),
-    };
-    let mut best = general_rounds;
-    if let Some(r) = separator_rounds {
-        best = best.max(r);
-    }
-    if let Some(d) = diameter {
-        best = best.max(d as f64);
-    }
-    BoundReport {
-        network: network.name(),
-        n,
+    crate::oracle::evaluate_bounds(&crate::oracle::BoundQuery {
+        network,
+        graph: g,
+        diameter,
         mode,
         period,
-        general_coefficient,
-        general_rounds,
-        separator_coefficient,
-        separator_rounds,
-        diameter,
-        best_rounds: best,
-    }
+        protocol: None,
+        opts: Default::default(),
+    })
+    .report
 }
 
 /// One typed cell of a streamed result row.

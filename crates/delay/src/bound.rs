@@ -15,7 +15,7 @@ use sg_linalg::roots::bisect_increasing;
 use sg_protocol::protocol::SystolicProtocol;
 
 /// A lower bound on the length of a gossip protocol, from Theorem 4.1.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProtocolBound {
     /// The largest `λ` with `‖M(λ)‖ ≤ 1` (periodic delay matrix).
     pub lambda_star: f64,

@@ -16,8 +16,11 @@
 //!   undirected), shuffle-exchange, cube-connected cycles, Knödel graphs
 //!   and random families;
 //! * [`separator`] — the ⟨α, ℓ⟩-separators of Definition 3.5 and the
-//!   concrete constructions of Lemma 3.1.
+//!   concrete constructions of Lemma 3.1;
+//! * [`automorphism`] — exact automorphism groups of small networks, the
+//!   symmetry-breaking substrate of the schedule enumerator.
 
+pub mod automorphism;
 pub mod codec;
 pub mod digraph;
 pub mod generators;
@@ -26,6 +29,7 @@ pub mod separator;
 pub mod traversal;
 pub mod weighted;
 
+pub use automorphism::{automorphisms, is_orbit_representative};
 pub use digraph::{Arc, Digraph};
 pub use separator::{ConcreteSeparator, SeparatorParams};
 pub use weighted::WeightedDigraph;

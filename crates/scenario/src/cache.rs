@@ -14,7 +14,7 @@ use sg_graphs::digraph::Digraph;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use systolic_gossip::Network;
+use systolic_gossip::{BoundOracle, Network, OracleStats};
 
 /// Hit/build counters, for the `--stats` CLI surface and the tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,6 +31,9 @@ pub struct CacheStats {
     pub delay_hits: usize,
     /// Delay digraphs actually folded.
     pub delay_builds: usize,
+    /// Bound-oracle counters: every `(network, mode, period)` is
+    /// computed at most once per batch, by construction.
+    pub oracle: OracleStats,
 }
 
 /// Shared memo of built digraphs, measured diameters and periodic delay
@@ -38,6 +41,7 @@ pub struct CacheStats {
 /// delay structures).
 #[derive(Debug, Default)]
 pub struct BuildCache {
+    oracle: BoundOracle,
     graphs: Mutex<HashMap<Network, Arc<Digraph>>>,
     diameters: Mutex<HashMap<Network, Option<u32>>>,
     delays: Mutex<HashMap<(Network, ProtocolKind), Arc<DelayDigraph>>>,
@@ -100,6 +104,13 @@ impl BuildCache {
         Arc::clone(self.delays.lock().unwrap().entry(key).or_insert(built))
     }
 
+    /// The batch-wide memoizing bound oracle: every consumer of lower
+    /// bounds (bound reports, family tables, certificates, enumeration
+    /// floors) resolves through this one instance.
+    pub fn oracle(&self) -> &BoundOracle {
+        &self.oracle
+    }
+
     /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -109,6 +120,7 @@ impl BuildCache {
             diameter_builds: self.diameter_builds.load(Ordering::Relaxed),
             delay_hits: self.delay_hits.load(Ordering::Relaxed),
             delay_builds: self.delay_builds.load(Ordering::Relaxed),
+            oracle: self.oracle.stats(),
         }
     }
 }
@@ -117,13 +129,14 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "graphs {} built / {} hits; diameters {} built / {} hits; delay digraphs {} built / {} hits",
+            "graphs {} built / {} hits; diameters {} built / {} hits; delay digraphs {} built / {} hits; {}",
             self.graph_builds,
             self.graph_hits,
             self.diameter_builds,
             self.diameter_hits,
             self.delay_builds,
-            self.delay_hits
+            self.delay_hits,
+            self.oracle
         )
     }
 }

@@ -31,6 +31,10 @@ pub enum Task {
     /// Protocol synthesis: hunt for optimal systolic schedules with
     /// `sg-search` and certify them against the lower bounds.
     Search,
+    /// Exact optima: oracle-pruned exhaustive enumeration over every
+    /// valid period-`s` schedule, issuing `ProvenOptimal` certificates
+    /// (or exact infeasibility statements) for the period sweep.
+    Enumerate,
 }
 
 impl Task {
@@ -42,6 +46,7 @@ impl Task {
             Task::Compare => "compare",
             Task::Matrices => "matrices",
             Task::Search => "search",
+            Task::Enumerate => "enumerate",
         }
     }
 }

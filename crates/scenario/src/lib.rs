@@ -8,7 +8,8 @@
 //!
 //! * [`descriptor`] — the [`Scenario`] data type: network list,
 //!   communication mode, period/degree sweep and [`Task`]
-//!   (`Bound` / `Simulate` / `Compare` / `Matrices`);
+//!   (`Bound` / `Simulate` / `Compare` / `Matrices` / `Search` /
+//!   `Enumerate`);
 //! * [`registry`] — every paper figure plus the new topology families as
 //!   named scenarios;
 //! * [`runner`] — the batch executor: scenarios expand into independent

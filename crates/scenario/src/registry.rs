@@ -330,6 +330,39 @@ pub fn registry() -> Vec<Scenario> {
         )
         .networks([Network::Knodel { delta: 3, n: 8 }])
         .periods([Period::Systolic(3)]),
+        // ——— Exact enumeration (settled theorems) ———
+        Scenario::new(
+            "enum-hypercube",
+            "Exact optimum on Q_3 at s = 2 full-duplex — settles the reported gap (4 rounds)",
+            Task::Enumerate,
+            Mode::FullDuplex,
+        )
+        .networks([Network::Hypercube { k: 3 }])
+        .periods([Period::Systolic(2)]),
+        Scenario::new(
+            "enum-cycle",
+            "Exact optimum on C_8 at s = 3 full-duplex — settles the reported gap (5 rounds)",
+            Task::Enumerate,
+            Mode::FullDuplex,
+        )
+        .networks([Network::Cycle { n: 8 }])
+        .periods([Period::Systolic(3)]),
+        Scenario::new(
+            "enum-cycle-directed",
+            "Exact directed-mode optima on C_6 at s = 2, 3 — the linear s = 2 floor is off by one",
+            Task::Enumerate,
+            Mode::Directed,
+        )
+        .networks([Network::Cycle { n: 6 }])
+        .periods(systolic(2..=3)),
+        Scenario::new(
+            "enum-path-directed",
+            "Directed P_6: period 3 is provably infeasible (10 arcs, 9 slots), period 4 gossips",
+            Task::Enumerate,
+            Mode::Directed,
+        )
+        .networks([Network::Path { n: 6 }])
+        .periods(systolic(3..=4)),
     ]
 }
 
@@ -401,6 +434,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn enumerate_scenarios_are_registered_small_and_exact_period() {
+        let mut directed = 0;
+        for name in [
+            "enum-hypercube",
+            "enum-cycle",
+            "enum-cycle-directed",
+            "enum-path-directed",
+        ] {
+            let sc = find(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(sc.task, Task::Enumerate, "{name}");
+            assert!(!sc.networks.is_empty(), "{name}: needs networks");
+            assert!(
+                !sc.periods.is_empty()
+                    && sc
+                        .periods
+                        .iter()
+                        .all(|p| matches!(p, Period::Systolic(s) if *s >= 2)),
+                "{name}: enumeration sweeps exact systolic periods"
+            );
+            if sc.mode == Mode::Directed {
+                directed += 1;
+            }
+            // Exhaustive enumeration must stay tiny.
+            for net in &sc.networks {
+                assert!(
+                    net.build().vertex_count() <= 8,
+                    "{name}: keep enumerations tiny"
+                );
+            }
+        }
+        assert!(directed >= 2, "directed-mode enumeration variants exist");
     }
 
     #[test]

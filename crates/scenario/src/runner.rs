@@ -37,7 +37,7 @@ use sg_sim::parallel::systolic_gossip_time_parallel;
 use sg_sim::trace::knowledge_curve_parallel;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use systolic_gossip::{audit_measured, bound_report_on, Network, Row};
+use systolic_gossip::{audit_measured, Network, Row};
 
 /// Knobs of one batch run.
 #[derive(Debug, Clone, Copy)]
@@ -209,6 +209,7 @@ enum Unit {
     Matrices,
     Checks { checks: Vec<PaperCheck> },
     Search { net: Network },
+    Enumerate { net: Network },
 }
 
 /// What one unit produced.
@@ -253,6 +254,11 @@ fn units_of(scenario: &Scenario) -> Vec<Unit> {
         Task::Search => {
             for &net in &scenario.networks {
                 units.push(Unit::Search { net });
+            }
+        }
+        Task::Enumerate => {
+            for &net in &scenario.networks {
+                units.push(Unit::Enumerate { net });
             }
         }
     }
@@ -339,13 +345,84 @@ fn run_unit(
     sim_threads: usize,
 ) -> UnitOut {
     match unit {
-        Unit::FamilyRow { spec } => family_row_unit(spec, scenario),
+        Unit::FamilyRow { spec } => family_row_unit(spec, scenario, cache),
         Unit::NetworkBounds { net } => network_bounds_unit(net, scenario, cache),
         Unit::Simulate { net } => simulate_unit(net, scenario, cache, opts, sim_threads),
         Unit::Compare { net } => compare_unit(net, scenario, cache, opts, sim_threads),
         Unit::Matrices => matrices_unit(),
         Unit::Checks { checks } => checks_unit(checks),
         Unit::Search { net } => search_unit(net, scenario, cache, sim_threads),
+        Unit::Enumerate { net } => enumerate_unit(net, scenario, cache),
+    }
+}
+
+/// Runs the exact enumerator for every finite period of the scenario's
+/// sweep: the optimum over *all* valid period-`s` schedules, proved by
+/// oracle-pruned exhaustion, or an exact infeasibility statement.
+fn enumerate_unit(net: &Network, scenario: &Scenario, cache: &BuildCache) -> UnitOut {
+    use sg_search::{enumerate_with_oracle, EnumerateConfig};
+    let g = cache.digraph(net);
+    let diameter = cache.diameter(net);
+    let mut rows = Vec::new();
+    let mut text = String::new();
+    for p in &scenario.periods {
+        let Period::Systolic(s) = p else {
+            text.push_str(&format!(
+                "{}: s = ∞ has no finite period to enumerate — skipped\n",
+                net.name()
+            ));
+            rows.push(
+                Row::new()
+                    .with("kind", "enumerate")
+                    .with("network", net.name())
+                    .with("n", g.vertex_count())
+                    .with("mode", scenario.mode.name())
+                    .with("s", "∞")
+                    .with("verdict", "skipped"),
+            );
+            continue;
+        };
+        let cfg = EnumerateConfig::default().exact_period(*s);
+        let out = enumerate_with_oracle(cache.oracle(), net, &g, diameter, scenario.mode, &cfg);
+        let mut row = Row::new()
+            .with("kind", "enumerate")
+            .with("network", net.name())
+            .with("n", g.vertex_count())
+            .with("mode", scenario.mode.name())
+            .with("s", *s)
+            .with("optimal_rounds", out.best_rounds)
+            .with("enumerated", out.enumerated)
+            .with("pruned", out.pruned)
+            .with("round_candidates", out.round_candidates)
+            .with("representatives", out.representatives)
+            .with("automorphisms", out.automorphisms);
+        match &out.certificate {
+            Some(cert) => {
+                text.push_str(&format!("{cert}\n"));
+                row = row
+                    .with("floor_rounds", cert.floor_rounds)
+                    .with("floor_source", cert.floor_source.label())
+                    .with("gap_rounds", cert.gap_rounds())
+                    .with("verdict", cert.verdict.label());
+            }
+            None => {
+                text.push_str(&format!(
+                    "{} (n = {}), {} mode, s = {s}: no valid period-{s} schedule gossips — \
+                     proven infeasible ({} enumerated)\n",
+                    net.name(),
+                    g.vertex_count(),
+                    scenario.mode,
+                    out.enumerated
+                ));
+                row = row.with("verdict", "infeasible");
+            }
+        }
+        rows.push(row);
+    }
+    UnitOut {
+        rows,
+        text: Some(text),
+        ..Default::default()
     }
 }
 
@@ -359,7 +436,7 @@ fn search_unit(
     cache: &BuildCache,
     sim_threads: usize,
 ) -> UnitOut {
-    use sg_search::{search_on, SearchConfig, Verdict};
+    use sg_search::{search_with_oracle, SearchConfig, Verdict};
     let g = cache.digraph(net);
     let diameter = cache.diameter(net);
     let mut rows = Vec::new();
@@ -397,7 +474,7 @@ fn search_unit(
             threads: sim_threads.max(1),
             ..Default::default()
         };
-        let out = search_on(net, &g, diameter, scenario.mode, &cfg);
+        let out = search_with_oracle(cache.oracle(), net, &g, diameter, scenario.mode, &cfg);
         match (&out.certificate, out.best_rounds) {
             (Some(cert), Some(found)) => {
                 text.push_str(&format!("{cert}  [{} evals]\n", out.evaluations));
@@ -456,8 +533,8 @@ fn search_unit(
     }
 }
 
-fn family_row_unit(spec: &FamilySpec, scenario: &Scenario) -> UnitOut {
-    let row = family_row(spec, scenario.mode, &scenario.periods);
+fn family_row_unit(spec: &FamilySpec, scenario: &Scenario, cache: &BuildCache) -> UnitOut {
+    let row = family_row(spec, scenario.mode, &scenario.periods, cache.oracle());
     let mut rows = Vec::new();
     for (p, cell) in scenario.periods.iter().zip(&row.cells) {
         rows.push(
@@ -483,9 +560,11 @@ fn network_bounds_unit(net: &Network, scenario: &Scenario, cache: &BuildCache) -
     let mut rows = Vec::new();
     let mut text = String::new();
     for &p in &scenario.periods {
-        let report = bound_report_on(net, &g, diameter, scenario.mode, p);
-        text.push_str(&format!("{report}\n"));
-        rows.push(report.row().with("kind", "bound"));
+        let ob = cache
+            .oracle()
+            .bounds_on(net, &g, diameter, scenario.mode, p);
+        text.push_str(&format!("{}\n", ob.report));
+        rows.push(ob.report.row().with("kind", "bound"));
     }
     UnitOut {
         rows,
@@ -520,13 +599,17 @@ fn simulate_unit(
         };
     }
     let dg = cache.delay_digraph(net, kind, || DelayDigraph::periodic(&sp));
-    let report = bound_report_on(
+    // A single memoized oracle lookup: when a bound scenario in the same
+    // batch already asked for this (network, mode, period), the report is
+    // shared rather than recomputed.
+    let ob = cache.oracle().bounds_on(
         net,
         &g,
         cache.diameter(net),
         sp.mode(),
         Period::Systolic(sp.s()),
     );
+    let report = &ob.report;
     // One simulation serves both the completion curve and the audit's
     // measured gossip time (the engine is deterministic). Big units split
     // each round's row writes across the leftover thread budget; the

@@ -11,13 +11,12 @@
 use sg_bounds::diameter;
 use sg_bounds::pfun::{BoundMode, Period};
 use sg_bounds::tables::{Cell, FigRow, FigTable};
-use sg_bounds::{e_coefficient, e_separator};
 use sg_graphs::separator::{
     params_butterfly, params_de_bruijn, params_kautz, params_wbf_directed, params_wbf_undirected,
     SeparatorParams,
 };
 use sg_protocol::mode::Mode;
-use systolic_gossip::bound_mode;
+use systolic_gossip::{bound_mode, BoundOracle};
 
 /// One row of a family table: the general bound (no separator) or a
 /// separator family at a fixed degree.
@@ -84,23 +83,21 @@ pub fn with_diameter_column(periods: &[Period]) -> bool {
     periods == [Period::NonSystolic]
 }
 
-/// Computes one row of the family table.
-pub fn family_row(spec: &FamilySpec, mode: Mode, periods: &[Period]) -> FigRow {
+/// Computes one row of the family table, resolving every cell through
+/// the batch's shared memoizing oracle — repeated columns and families
+/// shared between scenarios cost one optimizer run each.
+pub fn family_row(
+    spec: &FamilySpec,
+    mode: Mode,
+    periods: &[Period],
+    oracle: &BoundOracle,
+) -> FigRow {
     let bm: BoundMode = bound_mode(mode);
     let mut cells: Vec<Cell> = periods
         .iter()
-        .map(|&p| match spec.params {
-            None => Cell {
-                value: e_coefficient(bm, p),
-                starred: false,
-            },
-            Some(params) => {
-                let b = e_separator(params, bm, p);
-                Cell {
-                    value: b.e,
-                    starred: b.at_boundary,
-                }
-            }
+        .map(|&p| {
+            let (value, starred) = oracle.family_cell(spec.params, bm, p);
+            Cell { value, starred }
         })
         .collect();
     if with_diameter_column(periods) {
@@ -138,9 +135,10 @@ mod tests {
     }
 
     fn table_for(mode: Mode, degrees: &[usize], periods: &[Period]) -> FigTable {
+        let oracle = BoundOracle::new();
         let rows = family_specs(mode, degrees)
             .iter()
-            .map(|spec| family_row(spec, mode, periods))
+            .map(|spec| family_row(spec, mode, periods, &oracle))
             .collect();
         assemble_table("t", periods, rows)
     }

@@ -1,0 +1,144 @@
+//! The shared bound oracle through the batch executor: one batch run
+//! computes each `(network, mode, period)` bound at most once, no matter
+//! how many scenarios and units ask for it, and the exact-enumeration
+//! scenarios come back with settled verdicts.
+
+use sg_scenario::{find, run_batch, BatchOptions, Scenario, Task};
+use systolic_gossip::sg_bounds::pfun::Period;
+use systolic_gossip::sg_protocol::mode::Mode;
+use systolic_gossip::{Network, Value};
+
+fn opts() -> BatchOptions {
+    BatchOptions {
+        threads: 4,
+        ..Default::default()
+    }
+}
+
+/// Two scenarios hammering the same (network, mode, period) keys — a
+/// bound sweep and a simulation — plus a period sweep on one network:
+/// the oracle must compute each distinct key exactly once per batch.
+#[test]
+fn batch_queries_the_oracle_at_most_once_per_key() {
+    let nets = [
+        Network::Hypercube { k: 6 },
+        Network::DeBruijn { d: 2, dd: 6 },
+    ];
+    let scenarios = vec![
+        Scenario::new("bounds-a", "bound sweep", Task::Bound, Mode::HalfDuplex)
+            .networks(nets)
+            .periods([
+                Period::Systolic(4),
+                Period::Systolic(6),
+                Period::NonSystolic,
+            ]),
+        // The identical sweep again: all cache hits, zero new computes.
+        Scenario::new(
+            "bounds-b",
+            "same sweep again",
+            Task::Bound,
+            Mode::HalfDuplex,
+        )
+        .networks(nets)
+        .periods([
+            Period::Systolic(4),
+            Period::Systolic(6),
+            Period::NonSystolic,
+        ]),
+        // The simulate unit asks for each network's own protocol period.
+        Scenario::new("sim", "simulate", Task::Simulate, Mode::HalfDuplex).networks(nets),
+    ];
+    let report = run_batch(&scenarios, &opts());
+    let stats = report.cache.oracle;
+
+    // Distinct (network, mode, period) keys a batch of these scenarios
+    // can touch: 2 networks × 3 sweep periods, plus at most one
+    // protocol-period key per simulated network.
+    let max_distinct = 2 * 3 + 2;
+    assert!(
+        stats.computes <= max_distinct,
+        "{} computes exceed the {max_distinct} distinct keys",
+        stats.computes
+    );
+    // The duplicate sweep and the per-unit fan-out mean strictly more
+    // lookups than computes — the memo is actually being shared.
+    assert!(
+        stats.lookups > stats.computes,
+        "lookups {} vs computes {}",
+        stats.lookups,
+        stats.computes
+    );
+    // The repeated bound scenario alone guarantees ≥ 6 duplicate hits.
+    assert!(stats.lookups >= stats.computes + 6);
+}
+
+/// Family tables share the oracle too: the repeated fig5 sweep costs one
+/// optimizer run per distinct (family, mode, period) cell.
+#[test]
+fn family_tables_share_cells_across_scenarios() {
+    let fig5 = find("fig5").expect("fig5");
+    let twice = vec![fig5.clone(), {
+        let mut again = fig5;
+        again.name = "fig5-again";
+        again
+    }];
+    let report = run_batch(&twice, &opts());
+    let stats = report.cache.oracle;
+    assert!(stats.family_lookups >= 2 * stats.family_computes);
+}
+
+/// The enumeration scenarios end-to-end: the two settled gaps come back
+/// `proven-optimal` with the recorded optima, and the directed P_6
+/// period-3 point reports exact infeasibility.
+#[test]
+fn enumeration_scenarios_settle_the_gaps() {
+    let scenarios: Vec<_> = ["enum-hypercube", "enum-cycle", "enum-path-directed"]
+        .iter()
+        .map(|n| find(n).expect(n))
+        .collect();
+    let report = run_batch(&scenarios, &opts());
+
+    let get = |scenario: &str, s: i64, field: &str| -> Option<Value> {
+        report
+            .outcomes
+            .iter()
+            .find(|o| o.name == scenario)
+            .and_then(|o| {
+                o.rows
+                    .iter()
+                    .find(|r| r.get("s") == Some(&Value::Int(s)))
+                    .and_then(|r| r.get(field).cloned())
+            })
+    };
+
+    assert_eq!(
+        get("enum-hypercube", 2, "optimal_rounds"),
+        Some(Value::Int(4)),
+        "Q_3 at s = 2 settles at 4 rounds"
+    );
+    assert_eq!(
+        get("enum-hypercube", 2, "verdict"),
+        Some(Value::Text("proven-optimal".into()))
+    );
+    assert_eq!(
+        get("enum-cycle", 3, "optimal_rounds"),
+        Some(Value::Int(5)),
+        "C_8 full-duplex at s = 3 settles at 5 rounds"
+    );
+    assert_eq!(
+        get("enum-cycle", 3, "verdict"),
+        Some(Value::Text("proven-optimal".into()))
+    );
+    assert_eq!(
+        get("enum-path-directed", 3, "verdict"),
+        Some(Value::Text("infeasible".into()))
+    );
+    assert_eq!(
+        get("enum-path-directed", 3, "optimal_rounds"),
+        Some(Value::Null)
+    );
+    assert_eq!(
+        get("enum-path-directed", 4, "verdict"),
+        Some(Value::Text("proven-optimal".into()))
+    );
+}

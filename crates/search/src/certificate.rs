@@ -1,7 +1,8 @@
 //! Certificates: what the best found schedule proves, measured against
 //! the paper's lower bounds.
 //!
-//! Two kinds of bound feed a certificate:
+//! Three kinds of bound feed a certificate, all served by the shared
+//! [`BoundOracle`]:
 //!
 //! * **Exact floors**, valid at every finite `n`: the diameter, the
 //!   doubling bound `⌈log₂ n⌉` (each processor receives from at most one
@@ -16,34 +17,24 @@
 //!   verdict is [`Verdict::BoundSlack`] — the gap against the exact floor
 //!   is still reported, never dropped, but it cannot be blamed on the
 //!   schedule.
+//! * **Protocol-specific delay-matrix bounds** (Theorem 4.1 on the best
+//!   schedule's own delay digraph): exact for executions of *that*
+//!   schedule, surfaced so a certificate also says how close the found
+//!   schedule runs to its own information-theoretic limit.
+//!
+//! A fourth verdict, [`Verdict::ProvenOptimal`], is issued only by the
+//! exact enumerator (`crate::enumerate`): the found time is the true
+//! optimum over **all** valid period-`s` schedules, established by
+//! oracle-pruned exhaustion — even when it sits strictly above the
+//! strongest floor.
 
-use sg_bounds::lambda_star;
 use sg_bounds::pfun::Period;
 use sg_graphs::digraph::Digraph;
 use sg_protocol::mode::Mode;
-use systolic_gossip::{bound_mode, bound_report_on, Network};
+use sg_protocol::protocol::SystolicProtocol;
+use systolic_gossip::{BoundOracle, Network};
 
-/// Which exact bound supplied the certified floor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FloorSource {
-    /// Graph diameter: no item crosses the network faster.
-    Diameter,
-    /// `⌈log₂ n⌉`: knowledge at most doubles per round.
-    Doubling,
-    /// The paper's degenerate `s = 2` analysis: `t ≥ n − 1`.
-    LinearPeriodTwo,
-}
-
-impl FloorSource {
-    /// Stable lowercase label (row streaming / CLI surface).
-    pub fn label(self) -> &'static str {
-        match self {
-            FloorSource::Diameter => "diameter",
-            FloorSource::Doubling => "doubling",
-            FloorSource::LinearPeriodTwo => "linear-s2",
-        }
-    }
-}
+pub use systolic_gossip::{ceil_log2, FloorSource};
 
 /// The verdict of one search: how the best found gossip time relates to
 /// the lower bounds.
@@ -67,6 +58,15 @@ pub enum Verdict {
         /// The overshooting `coefficient · log₂ n` figure.
         asymptotic_rounds: f64,
     },
+    /// The found time is the exact optimum over every valid period-`s`
+    /// schedule, proved by exhaustive oracle-pruned enumeration — a
+    /// settled theorem for this `(network, mode, period)`, even when the
+    /// optimum sits above the strongest floor.
+    ProvenOptimal {
+        /// Complete schedules the enumerator evaluated (after symmetry
+        /// breaking and pruning).
+        enumerated: usize,
+    },
 }
 
 impl Verdict {
@@ -76,7 +76,20 @@ impl Verdict {
             Verdict::Optimal => "optimal",
             Verdict::Gap { .. } => "gap",
             Verdict::BoundSlack { .. } => "bound-slack",
+            Verdict::ProvenOptimal { .. } => "proven-optimal",
         }
+    }
+
+    /// The label set [`Verdict::label`] draws from — pinned so the
+    /// JSON/CSV row surface stays parseable release over release.
+    pub fn all_labels() -> &'static [&'static str] {
+        &["optimal", "gap", "bound-slack", "proven-optimal"]
+    }
+
+    /// `true` for the two verdicts that certify the found time cannot be
+    /// improved at this period.
+    pub fn is_settled(&self) -> bool {
+        matches!(self, Verdict::Optimal | Verdict::ProvenOptimal { .. })
     }
 }
 
@@ -103,6 +116,11 @@ pub struct Certificate {
     pub asymptotic_rounds: Option<f64>,
     /// The matrix-norm root `λ*` behind the asymptotic figure.
     pub lambda_star: Option<f64>,
+    /// Theorem 4.1 evaluated on the best found schedule's own delay
+    /// matrix — exact for executions of that schedule.
+    pub protocol_bound_rounds: Option<f64>,
+    /// The `λ*` of the delay-matrix bound.
+    pub protocol_lambda_star: Option<f64>,
     /// How found and bounds relate.
     pub verdict: Verdict,
 }
@@ -110,60 +128,38 @@ pub struct Certificate {
 impl Certificate {
     /// `found − floor`: the gap against the certified floor (0 when
     /// optimal). Reported for every verdict, including
-    /// [`Verdict::BoundSlack`].
+    /// [`Verdict::BoundSlack`] and [`Verdict::ProvenOptimal`].
     pub fn gap_rounds(&self) -> usize {
         self.found_rounds - self.floor_rounds
     }
 }
 
-/// `⌈log₂ n⌉` (0 for `n ≤ 1`): the doubling floor.
-pub fn ceil_log2(n: usize) -> usize {
-    if n <= 1 {
-        0
-    } else {
-        (n - 1).ilog2() as usize + 1
-    }
-}
-
-/// Issues the certificate for a measured best-found gossip time.
+/// Issues the certificate for a measured best-found gossip time,
+/// resolving every bound through the shared memoizing oracle. When the
+/// best schedule itself is given, its Theorem 4.1 delay-matrix bound is
+/// evaluated and surfaced.
 ///
 /// # Panics
-/// Panics when `found` undercuts the exact floor — a verified execution
+/// Panics when `found` undercuts an exact bound — a verified execution
 /// beating an exact lower bound means the engine or the bound is broken,
 /// and that must never pass silently.
-pub fn certify(
+#[allow(clippy::too_many_arguments)]
+pub fn certify_with(
+    oracle: &BoundOracle,
     net: &Network,
     g: &Digraph,
     diameter: Option<u32>,
     mode: Mode,
     period: usize,
     found: usize,
+    best: Option<&SystolicProtocol>,
 ) -> Certificate {
     let n = g.vertex_count();
-    // Exact floors.
-    let mut floor = ceil_log2(n);
-    let mut source = FloorSource::Doubling;
-    if let Some(d) = diameter {
-        if d as usize > floor {
-            floor = d as usize;
-            source = FloorSource::Diameter;
-        }
-    }
-    if period == 2 && mode != Mode::FullDuplex && n >= 1 && n - 1 > floor {
-        floor = n - 1;
-        source = FloorSource::LinearPeriodTwo;
-    }
-    // The asymptotic coefficients (degenerate at s = 2, skipped there).
-    let (asymptotic, ls) = if period >= 3 {
-        let report = bound_report_on(net, g, diameter, mode, Period::Systolic(period));
-        let coeff_rounds = report
-            .separator_rounds
-            .map_or(report.general_rounds, |s| s.max(report.general_rounds));
-        let ls = lambda_star(bound_mode(mode), Period::Systolic(period));
-        (Some(coeff_rounds), Some(ls))
-    } else {
-        (None, None)
-    };
+    let ob = oracle.bounds_on(net, g, diameter, mode, Period::Systolic(period));
+    let floor = ob.floor_rounds;
+    let source = ob.floor_source;
+    // The asymptotic coefficients (degenerate at s = 2, absent there).
+    let (asymptotic, ls) = (ob.asymptotic_rounds, ob.lambda_star);
     assert!(
         found >= floor,
         "{}: measured gossip time {found} beats the exact {} lower bound {floor} — \
@@ -171,6 +167,16 @@ pub fn certify(
         net.name(),
         source.label()
     );
+    let pb = best.and_then(|sp| oracle.protocol_bound(sp, n));
+    if let Some(pb) = &pb {
+        assert!(
+            pb.rounds <= found as f64 + 1e-9,
+            "{}: measured gossip time {found} beats the schedule's own Thm 4.1 bound {:.2} — \
+             engine or delay-matrix bug",
+            net.name(),
+            pb.rounds
+        );
+    }
     let verdict = if found == floor {
         Verdict::Optimal
     } else if let Some(a) = asymptotic.filter(|&a| a > found as f64) {
@@ -192,8 +198,32 @@ pub fn certify(
         floor_source: source,
         asymptotic_rounds: asymptotic,
         lambda_star: ls,
+        protocol_bound_rounds: pb.map(|b| b.rounds),
+        protocol_lambda_star: pb.map(|b| b.lambda_star),
         verdict,
     }
+}
+
+/// [`certify_with`] on a throwaway oracle, without a concrete schedule —
+/// the convenience entry point for one-off certifications.
+pub fn certify(
+    net: &Network,
+    g: &Digraph,
+    diameter: Option<u32>,
+    mode: Mode,
+    period: usize,
+    found: usize,
+) -> Certificate {
+    certify_with(
+        &BoundOracle::new(),
+        net,
+        g,
+        diameter,
+        mode,
+        period,
+        found,
+        None,
+    )
 }
 
 impl std::fmt::Display for Certificate {
@@ -212,6 +242,9 @@ impl std::fmt::Display for Certificate {
         if let Some(a) = self.asymptotic_rounds {
             write!(f, ", coefficient bound {a:.1}")?;
         }
+        if let Some(p) = self.protocol_bound_rounds {
+            write!(f, ", own Thm 4.1 bound {p:.1}")?;
+        }
         match self.verdict {
             Verdict::Optimal => write!(f, " — OPTIMAL"),
             Verdict::Gap { rounds } => write!(f, " — gap {rounds} rounds"),
@@ -219,6 +252,11 @@ impl std::fmt::Display for Certificate {
                 f,
                 " — gap {} rounds (asymptotic bound {asymptotic_rounds:.1} overshoots at this n)",
                 self.gap_rounds()
+            ),
+            Verdict::ProvenOptimal { enumerated } => write!(
+                f,
+                " — PROVEN OPTIMAL over all period-{} schedules ({} enumerated)",
+                self.period, enumerated
             ),
         }
     }
@@ -277,6 +315,51 @@ mod tests {
         assert!(matches!(c.verdict, Verdict::BoundSlack { .. }));
         assert_eq!(c.gap_rounds(), 1, "gap still reported");
         assert!(c.lambda_star.is_some());
+    }
+
+    #[test]
+    fn certificates_carry_the_schedules_own_delay_matrix_bound() {
+        // Certify the RRLL path protocol's measured time with the
+        // protocol attached: Theorem 4.1 must reach the certificate.
+        let n = 12;
+        let net = Network::Path { n };
+        let g = net.build();
+        let d = sg_graphs::traversal::diameter(&g);
+        let sp = sg_protocol::builders::path_rrll(n);
+        let measured = sg_sim::engine::systolic_gossip_time(&sp, n, 100 * n).expect("completes");
+        let oracle = BoundOracle::new();
+        let c = certify_with(
+            &oracle,
+            &net,
+            &g,
+            d,
+            Mode::HalfDuplex,
+            sp.s(),
+            measured,
+            Some(&sp),
+        );
+        let pb = c.protocol_bound_rounds.expect("Thm 4.1 bound present");
+        assert!(pb > 1.0 && pb <= measured as f64 + 1e-9);
+        assert!(c.protocol_lambda_star.is_some());
+        assert!(c.to_string().contains("own Thm 4.1 bound"));
+    }
+
+    #[test]
+    fn verdict_labels_are_stable_and_settledness_is_correct() {
+        let v = [
+            Verdict::Optimal,
+            Verdict::Gap { rounds: 2 },
+            Verdict::BoundSlack {
+                asymptotic_rounds: 9.5,
+            },
+            Verdict::ProvenOptimal { enumerated: 42 },
+        ];
+        let labels: Vec<&str> = v.iter().map(Verdict::label).collect();
+        assert_eq!(labels, Verdict::all_labels());
+        assert!(v[0].is_settled());
+        assert!(!v[1].is_settled());
+        assert!(!v[2].is_settled());
+        assert!(v[3].is_settled());
     }
 
     #[test]

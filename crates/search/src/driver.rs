@@ -12,7 +12,7 @@
 //! any thread count (tested in `tests/determinism.rs`).
 
 use crate::candidate::Candidate;
-use crate::certificate::{certify, Certificate};
+use crate::certificate::{certify_with, Certificate};
 use crate::kernel::MutationKernel;
 use crate::seeds::{fit_to_period, seed_protocols};
 use rand::rngs::StdRng;
@@ -23,7 +23,7 @@ use sg_protocol::protocol::SystolicProtocol;
 use sg_sim::{CompiledSchedule, CompletionCursor, Knowledge};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use systolic_gossip::Network;
+use systolic_gossip::{BoundOracle, Network};
 
 /// Knobs of one search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -229,12 +229,27 @@ pub fn search(net: &Network, mode: Mode, cfg: &SearchConfig) -> SearchOutcome {
 }
 
 /// [`search`] on an already-built digraph with an already-measured
-/// diameter.
+/// diameter, certifying against a throwaway bound oracle. Batch callers
+/// with a shared oracle use [`search_with_oracle`].
+pub fn search_on(
+    net: &Network,
+    g: &Digraph,
+    diameter: Option<u32>,
+    mode: Mode,
+    cfg: &SearchConfig,
+) -> SearchOutcome {
+    search_with_oracle(&BoundOracle::new(), net, g, diameter, mode, cfg)
+}
+
+/// The full search against a shared memoizing [`BoundOracle`] — repeated
+/// searches over one `(network, mode, period)` certify against one bound
+/// computation.
 ///
 /// Chains are independent and deterministically seeded, so the outcome
 /// (best schedule, certificate, evaluation count) is identical for every
 /// `cfg.threads` value.
-pub fn search_on(
+pub fn search_with_oracle(
+    oracle: &BoundOracle,
     net: &Network,
     g: &Digraph,
     diameter: Option<u32>,
@@ -310,7 +325,7 @@ pub fn search_on(
     let best = SystolicProtocol::new(winner.rounds, mode);
     let certificate = winner
         .completed
-        .map(|t| certify(net, g, diameter, mode, best.s(), t));
+        .map(|t| certify_with(oracle, net, g, diameter, mode, best.s(), t, Some(&best)));
     SearchOutcome {
         best,
         best_rounds: winner.completed,

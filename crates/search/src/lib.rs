@@ -17,19 +17,29 @@
 //!   deterministic chain per `(period, restart)`, evaluated through the
 //!   compiled-schedule engine with an incumbent-based horizon cutoff,
 //!   bit-identical across thread counts;
-//! * [`certificate`] — the verdict against the paper's bounds:
-//!   `Optimal` when the found time meets the strongest exact floor,
-//!   `Gap(δ)` when it does not, `BoundSlack` when only the asymptotic
-//!   coefficient bound overshoots the measured time.
+//! * [`certificate`] — the verdict against the paper's bounds (served
+//!   by the shared `BoundOracle`): `Optimal` when the found time meets
+//!   the strongest exact floor, `Gap(δ)` when it does not, `BoundSlack`
+//!   when only the asymptotic coefficient bound overshoots the measured
+//!   time, `ProvenOptimal` when exhaustive enumeration certified the
+//!   exact optimum;
+//! * [`enumerate`] — oracle-pruned exact branch-and-bound over every
+//!   valid period-`s` schedule: maximal-round dominance, automorphism
+//!   symmetry breaking, relaxation cuts — the machinery that turns a
+//!   reported gap into a settled theorem.
 
 pub mod candidate;
 pub mod certificate;
 pub mod driver;
+pub mod enumerate;
 pub mod kernel;
 pub mod seeds;
 
 pub use candidate::Candidate;
-pub use certificate::{ceil_log2, certify, Certificate, FloorSource, Verdict};
-pub use driver::{search, search_on, SearchConfig, SearchOutcome};
+pub use certificate::{ceil_log2, certify, certify_with, Certificate, FloorSource, Verdict};
+pub use driver::{search, search_on, search_with_oracle, SearchConfig, SearchOutcome};
+pub use enumerate::{
+    enumerate, enumerate_with_oracle, maximal_rounds, EnumerateConfig, EnumerateOutcome,
+};
 pub use kernel::MutationKernel;
 pub use seeds::{fit_to_period, seed_protocols};

@@ -1,0 +1,140 @@
+//! Certificates through the row-streaming surface: the
+//! `Verdict::BoundSlack` path end-to-end, and the stable `label()`
+//! round-trips of `FloorSource` and `Verdict` through the JSON/CSV
+//! streaming in `sg_core::report`.
+
+use sg_search::{certify, certify_with, enumerate, EnumerateConfig, FloorSource, Verdict};
+use systolic_gossip::sg_protocol::mode::Mode;
+use systolic_gossip::{to_csv, to_json_line, BoundOracle, Network, Row, Value};
+
+/// Streams a certificate the way the batch runner does.
+fn cert_row(c: &sg_search::Certificate) -> Row {
+    Row::new()
+        .with("network", c.network.as_str())
+        .with("n", c.n)
+        .with("s", c.period)
+        .with("found_rounds", c.found_rounds)
+        .with("floor_rounds", c.floor_rounds)
+        .with("floor_source", c.floor_source.label())
+        .with("asymptotic_rounds", c.asymptotic_rounds)
+        .with("protocol_bound_rounds", c.protocol_bound_rounds)
+        .with("verdict", c.verdict.label())
+}
+
+#[test]
+fn bound_slack_streams_and_round_trips() {
+    // P_8 half-duplex at s = 3: the asymptotic e(3)·log₂ 8 ≈ 8.6
+    // overshoots any measured 8-round schedule — the BoundSlack path.
+    let net = Network::Path { n: 8 };
+    let g = net.build();
+    let d = sg_graphs::traversal::diameter(&g);
+    let c = certify(&net, &g, d, Mode::HalfDuplex, 3, 8);
+    assert!(matches!(c.verdict, Verdict::BoundSlack { .. }));
+
+    let row = cert_row(&c);
+    let json = to_json_line(&row);
+    assert!(json.contains(r#""verdict":"bound-slack""#), "{json}");
+    assert!(json.contains(r#""floor_source":"diameter""#), "{json}");
+    // The asymptotic figure is a finite float, not null.
+    assert!(json.contains(r#""asymptotic_rounds":8."#), "{json}");
+
+    // CSV round-trip: the labels survive a parse cycle.
+    let csv = to_csv(std::slice::from_ref(&row));
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+    let cells: Vec<&str> = lines.next().unwrap().split(',').collect();
+    let col = |name: &str| cells[header.iter().position(|h| *h == name).unwrap()];
+    assert_eq!(col("verdict"), "bound-slack");
+    assert_eq!(
+        FloorSource::from_label(col("floor_source")),
+        Some(FloorSource::Diameter),
+        "floor_source label must parse back"
+    );
+}
+
+#[test]
+fn floor_source_labels_round_trip_through_rows() {
+    // One certificate per floor source, streamed and parsed back.
+    let cases: Vec<(Network, Mode, usize, usize, FloorSource)> = vec![
+        // Path diameter floor.
+        (
+            Network::Path { n: 8 },
+            Mode::FullDuplex,
+            2,
+            7,
+            FloorSource::Diameter,
+        ),
+        // Hypercube doubling floor.
+        (
+            Network::Hypercube { k: 3 },
+            Mode::FullDuplex,
+            3,
+            3,
+            FloorSource::Doubling,
+        ),
+        // Cycle s = 2 linear floor.
+        (
+            Network::Cycle { n: 8 },
+            Mode::HalfDuplex,
+            2,
+            8,
+            FloorSource::LinearPeriodTwo,
+        ),
+    ];
+    for (net, mode, s, found, want) in cases {
+        let g = net.build();
+        let d = sg_graphs::traversal::diameter(&g);
+        let c = certify(&net, &g, d, mode, s, found);
+        assert_eq!(c.floor_source, want, "{}", net.name());
+        let row = cert_row(&c);
+        let Some(Value::Text(label)) = row.get("floor_source") else {
+            panic!("floor_source must stream as text");
+        };
+        assert_eq!(FloorSource::from_label(label), Some(want));
+        // And the verdict label is always one of the pinned set.
+        let Some(Value::Text(v)) = row.get("verdict") else {
+            panic!("verdict must stream as text");
+        };
+        assert!(Verdict::all_labels().contains(&v.as_str()), "{v}");
+    }
+}
+
+#[test]
+fn proven_optimal_certificates_stream_with_protocol_bounds() {
+    // An enumerated certificate: proven-optimal verdict plus the best
+    // schedule's own Thm 4.1 delay-matrix bound, all streamable.
+    let out = enumerate(
+        &Network::Cycle { n: 8 },
+        Mode::FullDuplex,
+        &EnumerateConfig::default().exact_period(3),
+    );
+    let c = out.certificate.expect("settled");
+    assert_eq!(c.verdict.label(), "proven-optimal");
+    assert!(c.verdict.is_settled());
+    assert!(
+        c.protocol_bound_rounds.is_some(),
+        "sg-delay bound must reach the certificate"
+    );
+    let json = to_json_line(&cert_row(&c));
+    assert!(json.contains(r#""verdict":"proven-optimal""#), "{json}");
+    assert!(json.contains(r#""protocol_bound_rounds":"#), "{json}");
+    assert!(!json.contains(r#""protocol_bound_rounds":null"#), "{json}");
+}
+
+#[test]
+fn optimal_and_gap_certificates_agree_between_oracle_paths() {
+    // certify (throwaway oracle) and certify_with (shared oracle) must
+    // produce identical certificates, protocol bound aside.
+    let net = Network::Cycle { n: 8 };
+    let g = net.build();
+    let d = sg_graphs::traversal::diameter(&g);
+    let oracle = BoundOracle::new();
+    let a = certify(&net, &g, d, Mode::HalfDuplex, 2, 8);
+    let b = certify_with(&oracle, &net, &g, d, Mode::HalfDuplex, 2, 8, None);
+    assert_eq!(a, b);
+    // The shared oracle path memoized the key: a second certification
+    // costs zero computes.
+    let before = oracle.stats().computes;
+    let _ = certify_with(&oracle, &net, &g, d, Mode::HalfDuplex, 2, 8, None);
+    assert_eq!(oracle.stats().computes, before);
+}

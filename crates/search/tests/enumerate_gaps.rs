@@ -1,0 +1,147 @@
+//! Fixed-seed reproduction of the settled open gaps.
+//!
+//! These are the values the exact enumerator proves once and the README
+//! records as theorems; any change here means the enumeration machinery
+//! (or a bound) broke. The enumerator is deterministic, so every number
+//! — including the search-tree counters — is pinned exactly.
+
+use sg_search::{enumerate, EnumerateConfig, Verdict};
+use systolic_gossip::sg_protocol::mode::Mode;
+use systolic_gossip::{FloorSource, Network};
+
+/// ROADMAP gap #1, settled: gossip on `Q₃` with a period-2 full-duplex
+/// systolic schedule takes exactly 4 rounds — one more than the
+/// `⌈log₂ 8⌉ = 3` doubling floor. The annealer's `Gap(1)` was real.
+#[test]
+fn q3_full_duplex_s2_optimum_is_four() {
+    let out = enumerate(
+        &Network::Hypercube { k: 3 },
+        Mode::FullDuplex,
+        &EnumerateConfig::default().exact_period(2),
+    );
+    assert_eq!(out.best_rounds, Some(4));
+    assert!(!out.met_floor, "3 rounds is impossible at s = 2");
+    let cert = out.certificate.expect("certificate");
+    assert_eq!(cert.floor_rounds, 3);
+    assert_eq!(cert.floor_source, FloorSource::Doubling);
+    assert!(matches!(cert.verdict, Verdict::ProvenOptimal { .. }));
+    assert_eq!(cert.gap_rounds(), 1, "the settled floor-to-optimum gap");
+    // Q₃'s 17 maximal matchings fall into 3 orbits under its
+    // 48-element automorphism group.
+    assert_eq!(out.round_candidates, 17);
+    assert_eq!(out.representatives, 3);
+    assert_eq!(out.automorphisms, 48);
+    // The witness is executable and achieves the proven optimum.
+    let sp = out.best.expect("witness");
+    let g = Network::Hypercube { k: 3 }.build();
+    sp.validate(&g).expect("valid");
+    assert_eq!(
+        systolic_gossip::sg_sim::engine::systolic_gossip_time(&sp, 8, 100),
+        Some(4)
+    );
+}
+
+/// ROADMAP gap #2, settled: gossip on `C₈` with a period-3 full-duplex
+/// systolic schedule takes exactly 5 rounds — one more than the
+/// diameter floor 4.
+#[test]
+fn c8_full_duplex_s3_optimum_is_five() {
+    let out = enumerate(
+        &Network::Cycle { n: 8 },
+        Mode::FullDuplex,
+        &EnumerateConfig::default().exact_period(3),
+    );
+    assert_eq!(out.best_rounds, Some(5));
+    assert!(!out.met_floor, "4 rounds is impossible at s = 3");
+    let cert = out.certificate.expect("certificate");
+    assert_eq!(cert.floor_rounds, 4);
+    assert_eq!(cert.floor_source, FloorSource::Diameter);
+    assert!(matches!(cert.verdict, Verdict::ProvenOptimal { .. }));
+    assert_eq!(cert.gap_rounds(), 1);
+    assert_eq!(out.round_candidates, 10, "maximal matchings of C_8");
+    assert_eq!(out.representatives, 2, "two orbits: perfect / size-3");
+    let sp = out.best.expect("witness");
+    sp.validate(&Network::Cycle { n: 8 }.build())
+        .expect("valid");
+    assert_eq!(
+        systolic_gossip::sg_sim::engine::systolic_gossip_time(&sp, 8, 100),
+        Some(5)
+    );
+}
+
+/// Directed-mode variants: the degenerate `s = 2` linear floor on `C₆`
+/// is off by exactly one, and the optimum at `s = 3` is 7.
+#[test]
+fn c6_directed_optima() {
+    let s2 = enumerate(
+        &Network::Cycle { n: 6 },
+        Mode::Directed,
+        &EnumerateConfig::default().exact_period(2),
+    );
+    assert_eq!(s2.best_rounds, Some(6));
+    let cert = s2.certificate.expect("certificate");
+    assert_eq!(cert.floor_rounds, 5);
+    assert_eq!(cert.floor_source, FloorSource::LinearPeriodTwo);
+    assert!(matches!(cert.verdict, Verdict::ProvenOptimal { .. }));
+
+    let s3 = enumerate(
+        &Network::Cycle { n: 6 },
+        Mode::Directed,
+        &EnumerateConfig::default().exact_period(3),
+    );
+    assert_eq!(s3.best_rounds, Some(7));
+    assert!(matches!(
+        s3.certificate.expect("certificate").verdict,
+        Verdict::ProvenOptimal { .. }
+    ));
+}
+
+/// An exact *infeasibility* theorem: no period-3 directed schedule
+/// gossips on `P₆` at all. Every cut edge must carry both directions
+/// somewhere in the period (items must cross both ways), so all 10 arcs
+/// of the path must be activated — but three endpoint-disjoint rounds
+/// on 6 vertices hold at most `3 × 3 = 9` arcs.
+#[test]
+fn p6_directed_s3_is_infeasible() {
+    let out = enumerate(
+        &Network::Path { n: 6 },
+        Mode::Directed,
+        &EnumerateConfig::default().exact_period(3),
+    );
+    assert!(out.proven_infeasible);
+    assert_eq!(out.best_rounds, None);
+    assert!(out.certificate.is_none());
+    assert!(out.enumerated > 0, "exhaustion actually ran");
+    // …while one more round slot makes it feasible again.
+    let s4 = enumerate(
+        &Network::Path { n: 6 },
+        Mode::Directed,
+        &EnumerateConfig::default().exact_period(4),
+    );
+    assert!(s4.best_rounds.is_some());
+}
+
+/// The whole fixed-seed table in one place: rerunning the enumerator
+/// must reproduce every settled value and counter bit-for-bit.
+#[test]
+fn settled_table_is_deterministic() {
+    let cases: Vec<(Network, Mode, usize, Option<usize>)> = vec![
+        (Network::Hypercube { k: 3 }, Mode::FullDuplex, 2, Some(4)),
+        (Network::Cycle { n: 8 }, Mode::FullDuplex, 3, Some(5)),
+        (Network::Cycle { n: 6 }, Mode::Directed, 2, Some(6)),
+        (Network::Path { n: 6 }, Mode::Directed, 3, None),
+    ];
+    for (net, mode, s, want) in cases {
+        let a = enumerate(&net, mode, &EnumerateConfig::default().exact_period(s));
+        let b = enumerate(&net, mode, &EnumerateConfig::default().exact_period(s));
+        assert_eq!(a.best_rounds, want, "{} s={s}", net.name());
+        assert_eq!(a.best_rounds, b.best_rounds);
+        assert_eq!(a.enumerated, b.enumerated, "{} s={s}", net.name());
+        assert_eq!(a.pruned, b.pruned);
+        assert_eq!(
+            a.best.map(|p| p.period().to_vec()),
+            b.best.map(|p| p.period().to_vec()),
+            "witness schedules must be identical"
+        );
+    }
+}
