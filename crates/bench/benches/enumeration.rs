@@ -7,10 +7,13 @@
 //!
 //! The workload is the registry's settled-theorem table: `Q₃` at `s = 2`
 //! full-duplex (optimum 4), `C₈` at `s = 3` full-duplex (optimum 5),
-//! directed `C₆` at `s = 2` (optimum 6) and the provably infeasible
-//! directed `P₆` at `s = 3`. The run *fails* if any previously
-//! `ProvenOptimal` point regresses to a different value or loses its
-//! proven verdict — a settled theorem must stay settled.
+//! directed `C₆` at `s = 2` (optimum 6), the provably infeasible
+//! directed `P₆` at `s = 3`, plus the stabilizer-chain-era instances —
+//! `Torus(3×3)` at `s = 3` full-duplex (optimum 5, |Aut| = 72),
+//! `W(3,8)` at `s = 3` full-duplex (optimum 3, the doubling floor) and
+//! directed `DB(2,3)` at `s = 2` (optimum 8). The run *fails* if any
+//! previously `ProvenOptimal` point regresses to a different value or
+//! loses its proven verdict — a settled theorem must stay settled.
 
 use criterion::{black_box, BenchmarkId, Criterion};
 use sg_search::{enumerate, EnumerateConfig, Verdict};
@@ -51,6 +54,27 @@ fn workloads() -> Vec<(&'static str, Network, Mode, usize, Option<usize>)> {
             Mode::Directed,
             3,
             None,
+        ),
+        (
+            "torus3x3_fd",
+            Network::Torus2d { w: 3, h: 3 },
+            Mode::FullDuplex,
+            3,
+            Some(5),
+        ),
+        (
+            "knodel38_fd",
+            Network::Knodel { delta: 3, n: 8 },
+            Mode::FullDuplex,
+            3,
+            Some(3),
+        ),
+        (
+            "debruijn23_dir",
+            Network::DeBruijnDirected { d: 2, dd: 3 },
+            Mode::Directed,
+            2,
+            Some(8),
         ),
     ]
 }

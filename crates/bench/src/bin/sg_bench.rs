@@ -111,6 +111,13 @@ fn run_cli(args: &[String]) -> Result<i32, String> {
                 );
             }
             let reg: Vec<Scenario> = apply_filter(registry(), flags.filter.as_deref());
+            if reg.is_empty() {
+                let valid: Vec<&'static str> = registry().iter().map(|s| s.name).collect();
+                return Err(no_match_error(
+                    flags.filter.as_deref().unwrap_or(""),
+                    &valid,
+                ));
+            }
             println!("{:<26} {:<9} summary", "name", "task");
             println!("{}", "-".repeat(100));
             for s in &reg {
@@ -247,14 +254,26 @@ fn select_scenarios(
             ));
         }
     }
+    // A filter that matches nothing is an error, never a silent no-op:
+    // exit non-zero and name every scenario the filter could have hit.
+    let valid: Vec<&'static str> = selected.iter().map(|s| s.name).collect();
     let selected = apply_filter(selected, flags.filter.as_deref());
     if selected.is_empty() {
         return Err(match &flags.filter {
-            Some(f) => format!("no scenario matches `{f}` (see `sg-bench list`)"),
+            Some(f) => no_match_error(f, &valid),
             None => "no scenario selected".into(),
         });
     }
     Ok(selected)
+}
+
+/// The shared zero-match filter error: names every scenario the filter
+/// could have hit, so the fix is visible in the message itself.
+fn no_match_error(filter: &str, valid: &[&str]) -> String {
+    format!(
+        "no scenario matches `{filter}`; valid names: {}",
+        valid.join(", ")
+    )
 }
 
 /// Separates positional arguments from the common flags. Sweep-specific
@@ -477,5 +496,57 @@ fn execute(scenarios: &[Scenario], flags: &CommonFlags) -> Result<i32, String> {
     } else {
         eprintln!("paper-check MISMATCH — see output above");
         Ok(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags_with_filter(f: &str) -> CommonFlags {
+        CommonFlags {
+            threads: 0,
+            format: Format::Text,
+            stats: false,
+            filter: Some(f.to_string()),
+            search_seed: None,
+            search_restarts: None,
+            search_iterations: None,
+        }
+    }
+
+    #[test]
+    fn zero_match_filter_is_an_error_listing_valid_names() {
+        // `sg-bench enumerate --filter zzz` must fail loudly, not run
+        // nothing, and the error must teach the valid names.
+        let err = select_scenarios(&[], &flags_with_filter("zzz"), Some(Task::Enumerate))
+            .expect_err("a filter matching zero scenarios is an error");
+        assert!(err.contains("no scenario matches `zzz`"), "{err}");
+        for name in ["enum-hypercube", "enum-torus-3x3", "enum-knodel"] {
+            assert!(err.contains(name), "error must list `{name}`: {err}");
+        }
+        // Only same-task names are suggested for a task-restricted
+        // command.
+        assert!(!err.contains("fig4"), "{err}");
+    }
+
+    #[test]
+    fn zero_match_filter_fails_run_and_list_too() {
+        let err = select_scenarios(&[], &flags_with_filter("zzz"), None)
+            .expect_err("run --filter zzz is an error");
+        assert!(
+            err.contains("fig4"),
+            "run suggests the whole registry: {err}"
+        );
+        let code = run_cli(&["list".into(), "--filter".into(), "zzz".into()]);
+        assert!(code.is_err(), "list --filter zzz must exit non-zero");
+    }
+
+    #[test]
+    fn matching_filter_still_selects() {
+        let picked = select_scenarios(&[], &flags_with_filter("enum-"), Some(Task::Enumerate))
+            .expect("matching filter selects");
+        assert!(picked.len() >= 7);
+        assert!(picked.iter().all(|s| s.task == Task::Enumerate));
     }
 }

@@ -1,7 +1,7 @@
 //! Shared helpers for the benchmark harness.
 //!
 //! The former per-figure binaries were replaced by the `sg-bench` CLI
-//! over [`sg_scenario::registry`]; what remains here is the hand-curated
+//! over [`sg_scenario::registry()`]; what remains here is the hand-curated
 //! workload corpus the micro-benchmarks and the workload-validation test
 //! use. Prefer the scenario registry for anything user-facing.
 

@@ -19,6 +19,30 @@
 //!   `(network, mode, period)`. Each key is computed **at most once**
 //!   per oracle (guaranteed by a per-key [`OnceLock`], not just
 //!   best-effort caching), which the scenario batch tests assert.
+//!
+//! The bound inventory follows the paper: the general `e(s) · log₂ n`
+//! coefficients of Corollary 4.4 / Section 6 (with the characteristic
+//! root `λ*` of the periodic delay polynomial behind each), the
+//! separator strengthening of Theorem 5.1, the delay-matrix bound of
+//! Theorem 4.1 on a concrete protocol, and the exact small-`n` floors
+//! (diameter, `⌈log₂ n⌉` doubling, the degenerate `s = 2` linear
+//! `n − 1` of Section 4).
+//!
+//! ```
+//! use systolic_gossip::sg_bounds::pfun::Period;
+//! use systolic_gossip::sg_protocol::mode::Mode;
+//! use systolic_gossip::{BoundOracle, Network};
+//!
+//! let oracle = BoundOracle::new();
+//! let q3 = Network::Hypercube { k: 3 };
+//! let b = oracle.bounds(&q3, Mode::FullDuplex, Period::Systolic(3));
+//! assert_eq!(b.floor_rounds, 3); // the ⌈log₂ 8⌉ doubling floor
+//! assert!(b.asymptotic_rounds.unwrap() > 3.0); // e(s)·log₂ n overshoots at n = 8
+//!
+//! // The same key never computes twice — batch consumers share one oracle.
+//! let _again = oracle.bounds(&q3, Mode::FullDuplex, Period::Systolic(3));
+//! assert_eq!(oracle.stats().computes, 1);
+//! ```
 
 use crate::network::Network;
 use crate::report::{bound_mode, BoundReport};
@@ -37,6 +61,13 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 /// `⌈log₂ n⌉` (0 for `n ≤ 1`): the doubling floor — knowledge at most
 /// doubles per round in every mode.
+///
+/// ```
+/// use systolic_gossip::ceil_log2;
+/// assert_eq!(ceil_log2(8), 3);
+/// assert_eq!(ceil_log2(9), 4);
+/// assert_eq!(ceil_log2(1), 0);
+/// ```
 pub fn ceil_log2(n: usize) -> usize {
     if n <= 1 {
         0

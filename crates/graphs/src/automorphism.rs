@@ -1,35 +1,45 @@
-//! Digraph automorphisms for small networks.
+//! Full-enumeration digraph automorphisms for small networks.
 //!
-//! The exact-enumeration machinery needs the full automorphism group of a
+//! The exact-enumeration machinery needs the automorphism group of a
 //! network to break symmetry: two period-`p` schedules that differ by a
 //! relabeling of the processors have identical gossip times, so the
 //! enumerator only needs one representative per orbit of the group action
-//! on candidate rounds. The groups involved are tiny in absolute terms
-//! (the enumeration targets have `n ≤ 16`), so a plain backtracking
-//! search with degree-based pruning is exact and fast; no partition
-//! refinement is needed at this scale.
+//! on candidate rounds. This module materializes the group as an
+//! explicit element list by plain backtracking — exact and fast when the
+//! group is tiny, and the right shape for the lexicographic
+//! representative test [`is_orbit_representative`].
+//!
+//! For everything that scales with the group rather than with its
+//! element list — exact orders of huge groups, stabilizer chains,
+//! orbit partitions at any `n` — use [`crate::group`], which computes a
+//! base and strong generating set (Schreier–Sims) from backtracking
+//! *generators* instead of enumerating elements. The former `n ≤ 64`
+//! guard lived here precisely because element lists do not scale; the
+//! group layer removed the need for it.
 
 use crate::digraph::{Arc, Digraph};
 
-/// The largest vertex count [`automorphisms`] accepts. Backtracking is
-/// exponential in the worst case; the exact-enumeration workloads stay
-/// far below this, and anything bigger deserves a real canonical-form
-/// algorithm rather than a silent hang.
-pub const AUTOMORPHISM_MAX_N: usize = 64;
+/// Largest element list [`automorphisms`] will materialize. The former
+/// `n ≤ 64` vertex-count guard is gone (vertex count was never the real
+/// cost), but a group too large to list still deserves a clear panic
+/// pointing at the chain layer rather than a silent memory-eating hang.
+pub const AUTOMORPHISM_ELEMENT_CAP: usize = 1 << 20;
 
 /// Enumerates every automorphism of `g` as a permutation `perm` with
 /// `perm[v]` the image of `v`. The identity is always included, so the
 /// result is never empty. Deterministic: permutations come out in
 /// lexicographic order.
 ///
+/// The element list has `|Aut(g)|` entries — prefer
+/// [`crate::group::automorphism_group`] (and its capped
+/// [`crate::group::PermGroup::elements_capped`]) when the group might be
+/// large.
+///
 /// # Panics
-/// Panics when `g` has more than [`AUTOMORPHISM_MAX_N`] vertices.
+/// Panics when the group has more than [`AUTOMORPHISM_ELEMENT_CAP`]
+/// elements — use the group layer for such graphs.
 pub fn automorphisms(g: &Digraph) -> Vec<Vec<u32>> {
     let n = g.vertex_count();
-    assert!(
-        n <= AUTOMORPHISM_MAX_N,
-        "automorphism enumeration is for small networks (n = {n} > {AUTOMORPHISM_MAX_N})"
-    );
     if n == 0 {
         return vec![Vec::new()];
     }
@@ -55,6 +65,11 @@ fn backtrack(
 ) {
     let n = g.vertex_count();
     if v == n {
+        assert!(
+            out.len() < AUTOMORPHISM_ELEMENT_CAP,
+            "automorphism element list exceeds {AUTOMORPHISM_ELEMENT_CAP} entries — \
+             use sg_graphs::group::automorphism_group for large groups"
+        );
         out.push(perm.clone());
         return;
     }

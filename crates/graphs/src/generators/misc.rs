@@ -68,6 +68,20 @@ pub fn knodel(delta: usize, n: usize) -> Digraph {
     Digraph::from_edges(n, edges)
 }
 
+/// The Petersen graph: 10 vertices, 3-regular, the Kneser graph
+/// `K(5, 2)` — outer 5-cycle `0..5`, inner pentagram `5..10`, spokes
+/// between them. Its automorphism group is `S₅` (order 120), which makes
+/// it the classic fixture for symmetry machinery.
+pub fn petersen() -> Digraph {
+    let mut edges = Vec::with_capacity(15);
+    for i in 0..5 {
+        edges.push((i, (i + 1) % 5)); // outer cycle
+        edges.push((5 + i, 5 + (i + 2) % 5)); // inner pentagram
+        edges.push((i, 5 + i)); // spokes
+    }
+    Digraph::from_edges(10, edges)
+}
+
 /// Random `d`-regular graph on `n` vertices via the configuration model
 /// with rejection (retry until simple). `n·d` must be even. Panics after
 /// `1000` failed attempts (practically impossible for the sizes used here).

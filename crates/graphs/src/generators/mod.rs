@@ -17,5 +17,6 @@ pub use butterfly::{
 };
 pub use debruijn::{db_label, de_bruijn, de_bruijn_directed, kautz, kautz_directed, kautz_label};
 pub use misc::{
-    cube_connected_cycles, gnp, knodel, random_regular, random_regular_seeded, shuffle_exchange,
+    cube_connected_cycles, gnp, knodel, petersen, random_regular, random_regular_seeded,
+    shuffle_exchange,
 };

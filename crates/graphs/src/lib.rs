@@ -17,13 +17,18 @@
 //!   and random families;
 //! * [`separator`] — the ⟨α, ℓ⟩-separators of Definition 3.5 and the
 //!   concrete constructions of Lemma 3.1;
-//! * [`automorphism`] — exact automorphism groups of small networks, the
-//!   symmetry-breaking substrate of the schedule enumerator.
+//! * [`automorphism`] — explicit automorphism element lists of small
+//!   networks, the lexicographic symmetry-breaking substrate of the
+//!   schedule enumerator;
+//! * [`group`] — permutation groups as stabilizer chains (Schreier–Sims):
+//!   generator-finding backtracking, exact orders of huge groups,
+//!   pointwise stabilizers, union-find orbit partitions at any `n`.
 
 pub mod automorphism;
 pub mod codec;
 pub mod digraph;
 pub mod generators;
+pub mod group;
 pub mod matching;
 pub mod separator;
 pub mod traversal;
@@ -31,5 +36,6 @@ pub mod weighted;
 
 pub use automorphism::{automorphisms, is_orbit_representative};
 pub use digraph::{Arc, Digraph};
+pub use group::{automorphism_group, PermGroup};
 pub use separator::{ConcreteSeparator, SeparatorParams};
 pub use weighted::WeightedDigraph;

@@ -1,0 +1,190 @@
+//! Property-based tests of the permutation-group layer: the stabilizer
+//! chain must behave like the group theory says on arbitrary digraphs,
+//! and reproduce the textbook orders on the classic fixtures.
+
+use proptest::prelude::*;
+use sg_graphs::digraph::{Arc, Digraph};
+use sg_graphs::generators;
+use sg_graphs::group::{automorphism_group, compose, identity, invert, UnionFind};
+
+fn arcs_strategy(n: usize) -> impl Strategy<Value = Vec<Arc>> {
+    proptest::collection::vec((0..n, 0..n), 0..3 * n)
+        .prop_map(|pairs| pairs.into_iter().map(|(u, v)| Arc::new(u, v)).collect())
+}
+
+/// A random permutation of `0..n`, as a strategy.
+fn perm_strategy(n: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u64..u64::MAX, n).prop_map(move |keys| {
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        idx.sort_by_key(|&i| keys[i as usize]);
+        idx
+    })
+}
+
+/// `n!` as `u128` (`n ≤ 12` here, far below overflow).
+fn factorial(n: usize) -> u128 {
+    (1..=n as u128).product()
+}
+
+/// Relabels a digraph by `perm` (vertex `v` becomes `perm[v]`).
+fn relabel(g: &Digraph, perm: &[u32]) -> Digraph {
+    Digraph::from_arcs(
+        g.vertex_count(),
+        g.arcs()
+            .map(|a| Arc::new(perm[a.from as usize] as usize, perm[a.to as usize] as usize)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn group_order_divides_n_factorial(arcs in arcs_strategy(7)) {
+        let g = Digraph::from_arcs(7, arcs);
+        let group = automorphism_group(&g);
+        let order = group.order();
+        prop_assert!(order >= 1);
+        prop_assert_eq!(factorial(7) % order, 0, "Lagrange: |Aut| divides n!");
+    }
+
+    #[test]
+    fn orbits_partition_the_vertices(arcs in arcs_strategy(8)) {
+        let g = Digraph::from_arcs(8, arcs);
+        let group = automorphism_group(&g);
+        let orbits = group.orbits();
+        let mut seen = vec![false; 8];
+        for orbit in &orbits {
+            prop_assert!(!orbit.is_empty());
+            for &v in orbit {
+                prop_assert!(!seen[v], "vertex {v} in two orbits");
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s), "orbits must cover 0..n");
+    }
+
+    #[test]
+    fn chain_order_is_invariant_under_relabeling(
+        arcs in arcs_strategy(7),
+        perm in perm_strategy(7),
+    ) {
+        // Aut(g) and Aut(perm(g)) are conjugate, so the chain — whatever
+        // base it picks — must recompute to the same order and orbit
+        // structure.
+        let g = Digraph::from_arcs(7, arcs);
+        let h = relabel(&g, &perm);
+        let ag = automorphism_group(&g);
+        let ah = automorphism_group(&h);
+        prop_assert_eq!(ag.order(), ah.order());
+        let mut sizes_g: Vec<usize> = ag.orbits().iter().map(Vec::len).collect();
+        let mut sizes_h: Vec<usize> = ah.orbits().iter().map(Vec::len).collect();
+        sizes_g.sort_unstable();
+        sizes_h.sort_unstable();
+        prop_assert_eq!(sizes_g, sizes_h);
+    }
+
+    #[test]
+    fn membership_is_closed_under_composition_and_inverse(arcs in arcs_strategy(6)) {
+        let g = Digraph::from_arcs(6, arcs);
+        let group = automorphism_group(&g);
+        let elements = group
+            .elements_capped(4096)
+            .expect("tiny graphs have manageable groups");
+        prop_assert_eq!(elements.len() as u128, group.order());
+        prop_assert_eq!(&elements[0], &identity(6), "identity sorts first");
+        // Spot-check closure on the first few elements (full closure is
+        // quadratic in |Aut|).
+        for a in elements.iter().take(8) {
+            prop_assert!(group.contains(&invert(a)));
+            for b in elements.iter().take(8) {
+                prop_assert!(group.contains(&compose(a, b)));
+            }
+        }
+    }
+
+    #[test]
+    fn union_find_classes_partition(pairs in proptest::collection::vec((0usize..20, 0usize..20), 0..30)) {
+        let mut uf = UnionFind::new(20);
+        for (a, b) in &pairs {
+            uf.union(*a, *b);
+        }
+        let classes = uf.classes();
+        let total: usize = classes.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, 20);
+        for (a, b) in &pairs {
+            let ca = classes.iter().position(|c| c.contains(a));
+            let cb = classes.iter().position(|c| c.contains(b));
+            prop_assert_eq!(ca, cb, "united elements share a class");
+        }
+    }
+}
+
+#[test]
+fn known_group_orders() {
+    // The classic fixtures the issue pins: dihedral C_8, hypercube Q_3,
+    // and the Petersen graph's S_5.
+    assert_eq!(automorphism_group(&generators::cycle(8)).order(), 16);
+    assert_eq!(automorphism_group(&generators::hypercube(3)).order(), 48);
+    assert_eq!(automorphism_group(&generators::petersen()).order(), 120);
+    // And a few more anchors across the zoo.
+    assert_eq!(automorphism_group(&generators::complete(5)).order(), 120);
+    assert_eq!(automorphism_group(&generators::path(6)).order(), 2);
+    assert_eq!(automorphism_group(&generators::star(6)).order(), 120);
+    assert_eq!(automorphism_group(&generators::torus2d(3, 3)).order(), 72);
+}
+
+#[test]
+fn petersen_is_vertex_and_arc_rich() {
+    let p = generators::petersen();
+    assert_eq!(p.vertex_count(), 10);
+    assert_eq!(p.edge_count(), 15);
+    assert!(p.is_symmetric());
+    let group = automorphism_group(&p);
+    assert_eq!(group.orbits().len(), 1, "vertex-transitive");
+    assert!(group.chain_depth() >= 3);
+}
+
+#[test]
+fn chain_handles_past_the_old_guard() {
+    // n = 100 > 64: the retired guard would have panicked here.
+    let g = generators::cycle(100);
+    assert_eq!(automorphism_group(&g).order(), 200);
+    // Torus(12×12), n = 144: the wreath-ish group of order
+    // (2·12)² · 2 = 1152, exact through the chain in milliseconds.
+    let t = automorphism_group(&generators::torus2d(12, 12));
+    assert_eq!(t.order(), 1152);
+    assert_eq!(t.orbits().len(), 1, "vertex-transitive");
+    // Knödel W(4,32): rotations only — order 32 (larger Knödel graphs
+    // are the known hard case for refinement-free backtracking; the
+    // enumeration targets stay far below them).
+    let w = automorphism_group(&generators::knodel(4, 32));
+    assert_eq!(w.order(), 32);
+    assert_eq!(
+        w.orbits().iter().map(Vec::len).sum::<usize>(),
+        32,
+        "orbits partition all 32 vertices"
+    );
+}
+
+#[test]
+fn pointwise_stabilizer_walks_the_chain() {
+    let group = automorphism_group(&generators::petersen());
+    // Stab(0) in S_5 acting on the Petersen graph: order 120/10 = 12
+    // (vertex-transitive), then 12/3 = 4 after also fixing a neighbor
+    // orbit representative… verify via the orbit-stabilizer theorem
+    // rather than hard numbers: |G| = |orbit(0)| · |Stab(0)|.
+    let stab0 = group.pointwise_stabilizer(&[0]);
+    let orbit0 = group
+        .orbits()
+        .iter()
+        .find(|o| o.contains(&0))
+        .unwrap()
+        .len();
+    assert_eq!(group.order(), orbit0 as u128 * stab0.order());
+    // A stabilizer of a full base prefix is the chain's own tail.
+    let base = group.base();
+    if !base.is_empty() {
+        let tail = group.pointwise_stabilizer(&base[..1]);
+        assert_eq!(group.order() % tail.order(), 0);
+    }
+}

@@ -11,6 +11,7 @@
 use crate::descriptor::ProtocolKind;
 use sg_delay::digraph::DelayDigraph;
 use sg_graphs::digraph::Digraph;
+use sg_graphs::group::{automorphism_group, PermGroup};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -31,6 +32,14 @@ pub struct CacheStats {
     pub delay_hits: usize,
     /// Delay digraphs actually folded.
     pub delay_builds: usize,
+    /// Automorphism-group (stabilizer chain) cache hits.
+    pub group_hits: usize,
+    /// Stabilizer chains actually computed (Schreier–Sims runs).
+    pub group_builds: usize,
+    /// Largest automorphism-group order computed in the batch.
+    pub group_order_max: u128,
+    /// Deepest stabilizer chain computed in the batch.
+    pub group_chain_depth_max: usize,
     /// Bound-oracle counters: every `(network, mode, period)` is
     /// computed at most once per batch, by construction.
     pub oracle: OracleStats,
@@ -45,12 +54,18 @@ pub struct BuildCache {
     graphs: Mutex<HashMap<Network, Arc<Digraph>>>,
     diameters: Mutex<HashMap<Network, Option<u32>>>,
     delays: Mutex<HashMap<(Network, ProtocolKind), Arc<DelayDigraph>>>,
+    groups: Mutex<HashMap<Network, Arc<PermGroup>>>,
     graph_hits: AtomicUsize,
     graph_builds: AtomicUsize,
     diameter_hits: AtomicUsize,
     diameter_builds: AtomicUsize,
     delay_hits: AtomicUsize,
     delay_builds: AtomicUsize,
+    group_hits: AtomicUsize,
+    group_builds: AtomicUsize,
+    /// Batch-wide maxima of (group order, chain depth) — the group
+    /// statistics the `--stats` surface reports.
+    group_maxima: Mutex<(u128, usize)>,
 }
 
 impl BuildCache {
@@ -104,6 +119,25 @@ impl BuildCache {
         Arc::clone(self.delays.lock().unwrap().entry(key).or_insert(built))
     }
 
+    /// The automorphism group of `net` as a stabilizer chain
+    /// (Schreier–Sims), computed once per batch and shared — the
+    /// symmetry substrate every enumeration unit of a sweep reuses.
+    pub fn perm_group(&self, net: &Network) -> Arc<PermGroup> {
+        if let Some(grp) = self.groups.lock().unwrap().get(net) {
+            self.group_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(grp);
+        }
+        let g = self.digraph(net);
+        let built = Arc::new(automorphism_group(&g));
+        self.group_builds.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut maxima = self.group_maxima.lock().unwrap();
+            maxima.0 = maxima.0.max(built.order());
+            maxima.1 = maxima.1.max(built.chain_depth());
+        }
+        Arc::clone(self.groups.lock().unwrap().entry(*net).or_insert(built))
+    }
+
     /// The batch-wide memoizing bound oracle: every consumer of lower
     /// bounds (bound reports, family tables, certificates, enumeration
     /// floors) resolves through this one instance.
@@ -113,6 +147,7 @@ impl BuildCache {
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
+        let maxima = *self.group_maxima.lock().unwrap();
         CacheStats {
             graph_hits: self.graph_hits.load(Ordering::Relaxed),
             graph_builds: self.graph_builds.load(Ordering::Relaxed),
@@ -120,6 +155,10 @@ impl BuildCache {
             diameter_builds: self.diameter_builds.load(Ordering::Relaxed),
             delay_hits: self.delay_hits.load(Ordering::Relaxed),
             delay_builds: self.delay_builds.load(Ordering::Relaxed),
+            group_hits: self.group_hits.load(Ordering::Relaxed),
+            group_builds: self.group_builds.load(Ordering::Relaxed),
+            group_order_max: maxima.0,
+            group_chain_depth_max: maxima.1,
             oracle: self.oracle.stats(),
         }
     }
@@ -129,15 +168,25 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "graphs {} built / {} hits; diameters {} built / {} hits; delay digraphs {} built / {} hits; {}",
+            "graphs {} built / {} hits; diameters {} built / {} hits; delay digraphs {} built / {} hits; ",
             self.graph_builds,
             self.graph_hits,
             self.diameter_builds,
             self.diameter_hits,
             self.delay_builds,
             self.delay_hits,
-            self.oracle
-        )
+        )?;
+        if self.group_builds > 0 {
+            write!(
+                f,
+                "automorphism chains {} built / {} hits (max order {}, max depth {}); ",
+                self.group_builds,
+                self.group_hits,
+                self.group_order_max,
+                self.group_chain_depth_max
+            )?;
+        }
+        write!(f, "{}", self.oracle)
     }
 }
 
@@ -174,6 +223,22 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.delay_builds, 1);
         assert_eq!(s.delay_hits, 1);
+    }
+
+    #[test]
+    fn perm_groups_are_shared_and_surface_maxima() {
+        let cache = BuildCache::new();
+        let net = Network::Hypercube { k: 3 };
+        let a = cache.perm_group(&net);
+        let b = cache.perm_group(&net);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.order(), 48);
+        let s = cache.stats();
+        assert_eq!(s.group_builds, 1);
+        assert_eq!(s.group_hits, 1);
+        assert_eq!(s.group_order_max, 48);
+        assert!(s.group_chain_depth_max >= 2);
+        assert!(format!("{s}").contains("automorphism chains 1 built"));
     }
 
     #[test]

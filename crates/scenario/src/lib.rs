@@ -10,8 +10,8 @@
 //!   communication mode, period/degree sweep and [`Task`]
 //!   (`Bound` / `Simulate` / `Compare` / `Matrices` / `Search` /
 //!   `Enumerate`);
-//! * [`registry`] — every paper figure plus the new topology families as
-//!   named scenarios;
+//! * [`mod@registry`] — every paper figure plus the new topology
+//!   families as named scenarios;
 //! * [`runner`] — the batch executor: scenarios expand into independent
 //!   units that fan out across a thread pool, share built digraphs and
 //!   periodic delay digraphs through [`cache::BuildCache`], and stream

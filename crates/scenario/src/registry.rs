@@ -363,6 +363,31 @@ pub fn registry() -> Vec<Scenario> {
         )
         .networks([Network::Path { n: 6 }])
         .periods(systolic(3..=4)),
+        // ——— Stabilizer-chain reach: richer families (PR 5) ———
+        Scenario::new(
+            "enum-knodel",
+            "Exact optima on W(3,8): the minimum-gossip family meets its doubling floor at s = 3",
+            Task::Enumerate,
+            Mode::FullDuplex,
+        )
+        .networks([Network::Knodel { delta: 3, n: 8 }])
+        .periods(systolic(2..=3)),
+        Scenario::new(
+            "enum-torus-3x3",
+            "Exact optima on Torus(3×3) (|Aut| = 72): s = 2 forces 9 rounds, s = 3 only 5",
+            Task::Enumerate,
+            Mode::FullDuplex,
+        )
+        .networks([Network::Torus2d { w: 3, h: 3 }])
+        .periods(systolic(2..=3)),
+        Scenario::new(
+            "enum-debruijn-directed",
+            "Exact directed optima on DB(2,3): the linear s = 2 floor is off by one (8 rounds)",
+            Task::Enumerate,
+            Mode::Directed,
+        )
+        .networks([Network::DeBruijnDirected { d: 2, dd: 3 }])
+        .periods(systolic(2..=3)),
     ]
 }
 
@@ -444,6 +469,9 @@ mod tests {
             "enum-cycle",
             "enum-cycle-directed",
             "enum-path-directed",
+            "enum-knodel",
+            "enum-torus-3x3",
+            "enum-debruijn-directed",
         ] {
             let sc = find(name).unwrap_or_else(|| panic!("missing {name}"));
             assert_eq!(sc.task, Task::Enumerate, "{name}");
@@ -459,15 +487,21 @@ mod tests {
             if sc.mode == Mode::Directed {
                 directed += 1;
             }
-            // Exhaustive enumeration must stay tiny.
+            // Exhaustive enumeration must stay small even with the
+            // stabilizer-chain pruning.
             for net in &sc.networks {
                 assert!(
-                    net.build().vertex_count() <= 8,
-                    "{name}: keep enumerations tiny"
+                    net.build().vertex_count() <= 16,
+                    "{name}: keep enumerations small"
                 );
             }
         }
         assert!(directed >= 2, "directed-mode enumeration variants exist");
+        // The stabilizer-chain reach: at least one enumeration network
+        // with a rich automorphism group (|Aut| ≥ 16).
+        let torus = find("enum-torus-3x3").unwrap();
+        let g = torus.networks[0].build();
+        assert!(sg_graphs::group::automorphism_group(&g).order() >= 16);
     }
 
     #[test]

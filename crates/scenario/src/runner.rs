@@ -358,11 +358,14 @@ fn run_unit(
 
 /// Runs the exact enumerator for every finite period of the scenario's
 /// sweep: the optimum over *all* valid period-`s` schedules, proved by
-/// oracle-pruned exhaustion, or an exact infeasibility statement.
+/// oracle-pruned exhaustion, or an exact infeasibility statement. The
+/// automorphism stabilizer chain is computed once per network through
+/// the batch cache and shared across the period sweep.
 fn enumerate_unit(net: &Network, scenario: &Scenario, cache: &BuildCache) -> UnitOut {
-    use sg_search::{enumerate_with_oracle, EnumerateConfig};
+    use sg_search::{enumerate_with_group, EnumerateConfig};
     let g = cache.digraph(net);
     let diameter = cache.diameter(net);
+    let group = cache.perm_group(net);
     let mut rows = Vec::new();
     let mut text = String::new();
     for p in &scenario.periods {
@@ -383,7 +386,15 @@ fn enumerate_unit(net: &Network, scenario: &Scenario, cache: &BuildCache) -> Uni
             continue;
         };
         let cfg = EnumerateConfig::default().exact_period(*s);
-        let out = enumerate_with_oracle(cache.oracle(), net, &g, diameter, scenario.mode, &cfg);
+        let out = enumerate_with_group(
+            cache.oracle(),
+            net,
+            &g,
+            diameter,
+            scenario.mode,
+            &group,
+            &cfg,
+        );
         let mut row = Row::new()
             .with("kind", "enumerate")
             .with("network", net.name())
@@ -395,10 +406,25 @@ fn enumerate_unit(net: &Network, scenario: &Scenario, cache: &BuildCache) -> Uni
             .with("pruned", out.pruned)
             .with("round_candidates", out.round_candidates)
             .with("representatives", out.representatives)
+            .with("group_order", out.group_order.to_string())
+            .with("chain_depth", out.chain_depth)
+            .with("stabilizer_pruned", out.stabilizer_pruned)
+            .with("memo_hits", out.memo_hits)
             .with("automorphisms", out.automorphisms);
         match &out.certificate {
             Some(cert) => {
                 text.push_str(&format!("{cert}\n"));
+                text.push_str(&format!(
+                    "  symmetry: |Aut| = {} (chain depth {}), {} round-0 orbit reps, \
+                     {} stabilizer-pruned, {} relaxation cuts {:?}, {} memo hits\n",
+                    out.group_order,
+                    out.chain_depth,
+                    out.representatives,
+                    out.stabilizer_pruned,
+                    out.pruned,
+                    out.pruned_per_level,
+                    out.memo_hits
+                ));
                 row = row
                     .with("floor_rounds", cert.floor_rounds)
                     .with("floor_source", cert.floor_source.label())

@@ -8,9 +8,30 @@
 //! statement. This is what turns a reported `Gap(δ)` into a settled
 //! theorem — the "rigorous minimal time" program applied to the paper's
 //! open small cases (`Q₃` at `s = 2` full-duplex, `C₈` full-duplex at
-//! `s = 3`, the directed variants).
+//! `s = 3`, the directed variants) and, with stabilizer-chain symmetry
+//! breaking, to richer families (Knödel graphs, tori, directed
+//! de Bruijn networks).
 //!
-//! Three exact reductions keep the space small; each is a theorem, not a
+//! ```
+//! use sg_search::{enumerate, EnumerateConfig, Verdict};
+//! use systolic_gossip::sg_protocol::mode::Mode;
+//! use systolic_gossip::Network;
+//!
+//! // P_4 at s = 2, full-duplex: the alternating pairing meets the
+//! // diameter floor n − 1 = 3, and exhaustion proves nothing beats it.
+//! let out = enumerate(
+//!     &Network::Path { n: 4 },
+//!     Mode::FullDuplex,
+//!     &EnumerateConfig::default().exact_period(2),
+//! );
+//! assert_eq!(out.best_rounds, Some(3));
+//! assert!(matches!(
+//!     out.certificate.unwrap().verdict,
+//!     Verdict::ProvenOptimal { .. }
+//! ));
+//! ```
+//!
+//! Four exact reductions keep the space small; each is a theorem, not a
 //! heuristic:
 //!
 //! 1. **Maximal rounds only.** Knowledge evolves monotonically — per
@@ -20,12 +41,30 @@
 //!    schedule is dominated by one whose rounds are *maximal* valid
 //!    rounds, so the enumeration ranges over those alone, for both the
 //!    optimum and the infeasibility direction.
-//! 2. **Automorphism symmetry breaking.** Relabeling all processors by a
-//!    graph automorphism maps schedules to schedules with identical
-//!    completion times, so round 0 is restricted to one lexicographic
-//!    representative per orbit of the automorphism group
-//!    (`sg_graphs::automorphism`) acting on candidate rounds.
-//! 3. **Oracle floors and relaxation cuts.** The shared [`BoundOracle`]
+//! 2. **Stabilizer-chain symmetry breaking at every depth.** Relabeling
+//!    all processors by a graph automorphism maps schedules to schedules
+//!    with identical completion times. Round 0 is restricted to one
+//!    lexicographic representative per orbit of the full automorphism
+//!    group ([`sg_graphs::group::PermGroup`]); after fixing rounds
+//!    `0..k`, round `k+1` is restricted to representatives under the
+//!    **stabilizer of the prefix** (the subgroup mapping every fixed
+//!    round to itself), computed incrementally as the search descends —
+//!    each deeper round shrinks the stabilizer, and pruning stops
+//!    automatically once it collapses to the identity. Pruned branches
+//!    are exact mirror images of explored ones, so both the optimum and
+//!    infeasibility stay exact. Mechanically, the group's element list
+//!    is materialized once through the chain ([`SYMMETRY_ELEMENT_CAP`];
+//!    past it, a sound identity+generators+inverses subset prunes less
+//!    but never misses a schedule) and the stabilizer is the filtered
+//!    index set threaded down the recursion.
+//! 3. **Isomorph-rejection memo on canonical knowledge signatures.** The
+//!    relaxation distance (how many all-arcs rounds a knowledge state
+//!    needs to complete, or that it never can) depends only on the state
+//!    — and is invariant under automorphisms. It is memoized per
+//!    *canonical* state signature (the minimum over the group of the
+//!    relabeled bitset image), so symmetric branches that reach
+//!    equivalent states share one relaxation sweep.
+//! 4. **Oracle floors and relaxation cuts.** The shared [`BoundOracle`]
 //!    supplies the exact floor — an incumbent meeting it ends the whole
 //!    search — and every prefix is cut when even the *relaxed* future
 //!    (all arcs active every round, which dominates every valid round)
@@ -38,13 +77,25 @@
 use crate::certificate::{certify_with, Certificate, Verdict};
 use crate::seeds::{fit_to_period, seed_protocols};
 use sg_bounds::pfun::Period;
-use sg_graphs::automorphism::{automorphisms, is_orbit_representative};
 use sg_graphs::digraph::{Arc, Digraph};
+use sg_graphs::group::{automorphism_group, identity, invert, Perm, PermGroup};
 use sg_protocol::mode::Mode;
 use sg_protocol::protocol::SystolicProtocol;
 use sg_protocol::round::Round;
 use sg_sim::{CompiledSchedule, CompletionCursor, Knowledge};
+use std::collections::HashMap;
 use systolic_gossip::{BoundOracle, Network};
+
+/// Largest group for which symmetry breaking materializes the full
+/// element list; bigger groups fall back to a sound generator subset
+/// (identity, generators and their inverses) — less pruning, never a
+/// missed schedule.
+pub const SYMMETRY_ELEMENT_CAP: usize = 4096;
+
+/// Largest element list used for canonical state signatures; beyond it
+/// the memo keys on the raw signature (still sound, fewer cross-branch
+/// hits).
+pub const CANONICAL_PERM_CAP: usize = 256;
 
 /// Knobs of one exact enumeration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,8 +151,27 @@ pub struct EnumerateOutcome {
     pub round_candidates: usize,
     /// Round-0 candidates surviving symmetry breaking.
     pub representatives: usize,
-    /// Order of the automorphism group used for symmetry breaking.
+    /// Order of the automorphism group used for symmetry breaking,
+    /// clamped to `usize` (see [`EnumerateOutcome::group_order`] for the
+    /// exact value).
     pub automorphisms: usize,
+    /// Exact order of the automorphism group (stabilizer chain product).
+    pub group_order: u128,
+    /// Depth of the group's stabilizer chain (base length).
+    pub chain_depth: usize,
+    /// Symmetry permutations actually applied (the full element list, or
+    /// the generator fallback beyond [`SYMMETRY_ELEMENT_CAP`]).
+    pub symmetry_perms: usize,
+    /// Candidates skipped at depths `≥ 1` because a prefix-stabilizer
+    /// element maps them to a lexicographically smaller round — the
+    /// pruning that plain round-0 symmetry breaking never had.
+    pub stabilizer_pruned: usize,
+    /// Subtrees cut by the relaxation bound, per period slot.
+    pub pruned_per_level: Vec<usize>,
+    /// Relaxation sweeps answered by the canonical-signature memo.
+    pub memo_hits: usize,
+    /// Distinct canonical knowledge signatures the memo holds.
+    pub memo_entries: usize,
     /// `true` when the search ended early because the incumbent met the
     /// oracle floor (exhaustion unnecessary).
     pub met_floor: bool,
@@ -192,35 +262,97 @@ struct Search {
     relaxed: CompiledSchedule,
     floor: usize,
     max_nodes: usize,
+    /// Symmetry permutations (identity first; full element list or the
+    /// generator fallback).
+    perms: Vec<Perm>,
+    /// `action[p][c]`: the candidate index `perms[p]` maps candidate `c`
+    /// to. Candidates are sorted, so index order *is* lexicographic
+    /// order and orbit representatives are orbit minima.
+    action: Vec<Vec<u32>>,
+    /// Perms usable for canonical signatures (`perms` when small enough,
+    /// just the identity beyond [`CANONICAL_PERM_CAP`]).
+    canonical_perms: usize,
+    /// Canonical knowledge signature → exact relaxation distance
+    /// (`None` = even the all-arcs relaxation never completes).
+    relax_memo: HashMap<Vec<u64>, Option<u32>>,
     // Mutable search state.
     chosen: Vec<usize>,
     incumbent: Option<(usize, Vec<usize>)>,
     enumerated: usize,
     pruned: usize,
+    pruned_per_level: Vec<usize>,
+    stabilizer_pruned: usize,
+    memo_hits: usize,
     nodes: usize,
     met_floor: bool,
 }
 
 impl Search {
-    /// The cheapest completion any continuation could reach from `state`
-    /// (already `t` rounds in): `t` + relaxed sweeps, or `None` when even
-    /// the relaxation never completes (then nothing below this node ever
-    /// gossips).
-    fn optimistic_total(&mut self, state: &Knowledge, t: usize, cap: usize) -> Option<usize> {
+    /// The canonical signature of a knowledge state: the minimum, over
+    /// the symmetry permutations, of the flattened bitset image with
+    /// both processors and items relabeled. Automorphic states share a
+    /// signature, so the memo recognizes branches that are mirror images
+    /// of ones already analyzed.
+    fn canonical_signature(&self, state: &Knowledge) -> Vec<u64> {
+        let n = self.n;
+        let words = state.words();
+        if self.canonical_perms == 1 {
+            // Identity only (group beyond CANONICAL_PERM_CAP): the
+            // signature is the raw state — no bit-twiddling needed.
+            let mut sig = Vec::with_capacity(n * words);
+            for v in 0..n {
+                sig.extend_from_slice(state.row(v));
+            }
+            return sig;
+        }
+        let mut best: Option<Vec<u64>> = None;
+        let mut sig = vec![0u64; n * words];
+        for p in &self.perms[..self.canonical_perms] {
+            sig.iter_mut().for_each(|w| *w = 0);
+            for v in 0..n {
+                let pv = p[v] as usize;
+                for (w, &bits) in state.row(v).iter().enumerate() {
+                    let mut bits = bits;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let item = p[w * 64 + b] as usize;
+                        sig[pv * words + item / 64] |= 1u64 << (item % 64);
+                    }
+                }
+            }
+            if best.as_ref().is_none_or(|b| sig < *b) {
+                best = Some(sig.clone());
+            }
+        }
+        best.unwrap_or(sig)
+    }
+
+    /// Exact number of all-arcs relaxation rounds `state` needs to reach
+    /// completion (`None` when it never completes — then nothing below
+    /// any prefix reaching this state ever gossips). Memoized per
+    /// canonical signature; the relaxation dominates every valid round,
+    /// so `t + distance` lower-bounds every continuation from `state`.
+    fn relax_distance(&mut self, state: &Knowledge) -> Option<usize> {
+        let sig = self.canonical_signature(state);
+        if let Some(&d) = self.relax_memo.get(&sig) {
+            self.memo_hits += 1;
+            return d.map(|x| x as usize);
+        }
         let mut k = state.clone();
         let mut cursor = CompletionCursor::new();
-        if cursor.complete(&k) {
-            return Some(t);
-        }
-        for extra in 1..=cap.saturating_sub(t) {
-            if !self.relaxed.apply(&mut k, 0) {
-                return None; // fixed point below completion
-            }
+        let mut dist = 0u32;
+        let result = loop {
             if cursor.complete(&k) {
-                return Some(t + extra);
+                break Some(dist);
             }
-        }
-        Some(cap + 1) // did not complete within the cap: at least this
+            if !self.relaxed.apply(&mut k, 0) {
+                break None; // fixed point below completion
+            }
+            dist += 1;
+        };
+        self.relax_memo.insert(sig, result);
+        result.map(|d| d as usize)
     }
 
     /// Exact gossip time of the complete schedule `chosen`, continuing
@@ -255,7 +387,17 @@ impl Search {
         }
     }
 
-    fn descend(&mut self, state: &Knowledge, slot: usize, first_slot_choices: &[usize]) {
+    /// `true` when candidate `c` is the lexicographic minimum of its
+    /// orbit under the stabilizer `stab` (indices into `perms`).
+    fn is_representative(&self, stab: &[u32], c: usize) -> bool {
+        stab.iter()
+            .all(|&p| self.action[p as usize][c] as usize >= c)
+    }
+
+    /// One search level: `stab` is the pointwise stabilizer of the fixed
+    /// round prefix (as indices into `perms`, always containing the
+    /// identity at index 0), shrunk incrementally as rounds are fixed.
+    fn descend(&mut self, state: &Knowledge, slot: usize, stab: &[u32]) {
         if self.met_floor {
             return;
         }
@@ -265,17 +407,19 @@ impl Search {
             "exact enumeration exceeded {} nodes — instance too large",
             self.max_nodes
         );
-        // Allocation-free choice walk: slot 0 draws from the symmetry
-        // representatives, every deeper slot from all candidates.
-        let n_choices = if slot == 0 {
-            first_slot_choices.len()
-        } else {
-            self.compiled.len()
-        };
-        for c in 0..n_choices {
-            let idx = if slot == 0 { first_slot_choices[c] } else { c };
+        let symmetric = stab.len() > 1;
+        for idx in 0..self.compiled.len() {
             if self.met_floor {
                 return;
+            }
+            // Symmetry breaking at *every* depth: a candidate that some
+            // prefix-stabilizing automorphism maps to a smaller round is
+            // the mirror image of a branch this loop already explored.
+            if symmetric && !self.is_representative(stab, idx) {
+                if slot > 0 {
+                    self.stabilizer_pruned += 1;
+                }
+                continue;
             }
             let mut next = state.clone();
             self.compiled[idx].apply(&mut next, 0);
@@ -295,14 +439,16 @@ impl Search {
                 .incumbent
                 .as_ref()
                 .map_or(usize::MAX - 1, |(best, _)| best.saturating_sub(1));
-            match self.optimistic_total(&next, t, cap.min(4 * self.n * self.slots + t)) {
+            match self.relax_distance(&next) {
                 None => {
                     // Nothing below this prefix ever completes.
                     self.pruned += 1;
+                    self.pruned_per_level[slot] += 1;
                     continue;
                 }
-                Some(opt) if opt > cap => {
+                Some(d) if t + d > cap => {
                     self.pruned += 1;
+                    self.pruned_per_level[slot] += 1;
                     continue;
                 }
                 Some(_) => {}
@@ -314,7 +460,14 @@ impl Search {
                     self.record(found, slot);
                 }
             } else {
-                self.descend(&next, slot + 1, first_slot_choices);
+                // The child prefix additionally fixes round `idx`: its
+                // stabilizer is the subset that maps `idx` to itself.
+                let child_stab: Vec<u32> = stab
+                    .iter()
+                    .copied()
+                    .filter(|&p| self.action[p as usize][idx] as usize == idx)
+                    .collect();
+                self.descend(&next, slot + 1, &child_stab);
             }
         }
     }
@@ -349,15 +502,48 @@ pub fn enumerate(net: &Network, mode: Mode, cfg: &EnumerateConfig) -> EnumerateO
     enumerate_with_oracle(&BoundOracle::new(), net, &g, diameter, mode, cfg)
 }
 
-/// The exact branch-and-bound against a shared memoizing [`BoundOracle`].
-/// Deterministic: identical inputs give identical outcomes, including
-/// the witness schedule and every counter.
+/// [`enumerate_with_group`] with the automorphism group computed on the
+/// spot. The batch runner passes its cached group instead.
 pub fn enumerate_with_oracle(
     oracle: &BoundOracle,
     net: &Network,
     g: &Digraph,
     diameter: Option<u32>,
     mode: Mode,
+    cfg: &EnumerateConfig,
+) -> EnumerateOutcome {
+    let group = automorphism_group(g);
+    enumerate_with_group(oracle, net, g, diameter, mode, &group, cfg)
+}
+
+/// The symmetry permutations used for breaking: the full element list
+/// when the group is small enough, otherwise the sound generator subset
+/// (identity, generators, inverses). Identity first either way.
+fn symmetry_perms(group: &PermGroup) -> Vec<Perm> {
+    if let Some(elements) = group.elements_capped(SYMMETRY_ELEMENT_CAP) {
+        return elements;
+    }
+    let mut perms = vec![identity(group.n())];
+    for gen in group.generators() {
+        perms.push(gen.clone());
+        perms.push(invert(gen));
+    }
+    perms.sort_unstable();
+    perms.dedup();
+    perms
+}
+
+/// The exact branch-and-bound against a shared memoizing [`BoundOracle`]
+/// and a precomputed automorphism group (stabilizer chain).
+/// Deterministic: identical inputs give identical outcomes, including
+/// the witness schedule and every counter.
+pub fn enumerate_with_group(
+    oracle: &BoundOracle,
+    net: &Network,
+    g: &Digraph,
+    diameter: Option<u32>,
+    mode: Mode,
+    group: &PermGroup,
     cfg: &EnumerateConfig,
 ) -> EnumerateOutcome {
     assert!(cfg.period >= 2, "enumeration needs a period of at least 2");
@@ -379,10 +565,30 @@ pub fn enumerate_with_oracle(
         candidates.len(),
         cfg.max_round_candidates
     );
-    let autos = automorphisms(g);
-    let reps: Vec<usize> = (0..candidates.len())
-        .filter(|&i| is_orbit_representative(&autos, candidates[i].arcs()))
+
+    let perms = symmetry_perms(group);
+    // Automorphisms permute the maximal rounds among themselves, and the
+    // candidate list is lexicographically sorted, so the group action
+    // reduces to an index table: orbit minima are index minima.
+    let action: Vec<Vec<u32>> = perms
+        .iter()
+        .map(|p| {
+            (0..candidates.len())
+                .map(|i| {
+                    let mapped = sg_graphs::automorphism::map_arcs(p, candidates[i].arcs());
+                    candidates
+                        .binary_search_by(|r| r.arcs().cmp(mapped.as_slice()))
+                        .unwrap_or_else(|_| {
+                            panic!(
+                                "{}: automorphism does not permute the maximal rounds",
+                                net.name()
+                            )
+                        }) as u32
+                })
+                .collect()
+        })
         .collect();
+    let all_perm_indices: Vec<u32> = (0..perms.len() as u32).collect();
     let compiled: Vec<CompiledSchedule> = candidates
         .iter()
         .map(|r| CompiledSchedule::compile(std::slice::from_ref(r), n))
@@ -395,13 +601,27 @@ pub fn enumerate_with_oracle(
         relaxed: CompiledSchedule::compile(std::slice::from_ref(&relaxation_round(g)), n),
         floor,
         max_nodes: cfg.max_nodes,
+        canonical_perms: if perms.len() <= CANONICAL_PERM_CAP {
+            perms.len()
+        } else {
+            1
+        },
+        perms,
+        action,
+        relax_memo: HashMap::new(),
         chosen: vec![0; s],
         incumbent: None,
         enumerated: 0,
         pruned: 0,
+        pruned_per_level: vec![0; s],
+        stabilizer_pruned: 0,
+        memo_hits: 0,
         nodes: 0,
         met_floor: false,
     };
+    let representatives = (0..search.compiled.len())
+        .filter(|&i| search.is_representative(&all_perm_indices, i))
+        .count();
 
     // Seed the incumbent from the repo's upper-bound constructions
     // refitted to the period — a completing start makes the horizon and
@@ -452,7 +672,7 @@ pub fn enumerate_with_oracle(
     let mut improved_over_seed = false;
     if !search.met_floor {
         let before = search.incumbent.as_ref().map(|(b, _)| *b);
-        search.descend(&initial, 0, &reps);
+        search.descend(&initial, 0, &all_perm_indices);
         improved_over_seed = match (before, &search.incumbent) {
             (Some(b), Some((now, _))) => now < &b,
             (None, Some(_)) => true,
@@ -494,8 +714,15 @@ pub fn enumerate_with_oracle(
         enumerated: search.enumerated,
         pruned: search.pruned,
         round_candidates: candidates.len(),
-        representatives: reps.len(),
-        automorphisms: autos.len(),
+        representatives,
+        automorphisms: usize::try_from(group.order()).unwrap_or(usize::MAX),
+        group_order: group.order(),
+        chain_depth: group.chain_depth(),
+        symmetry_perms: search.perms.len(),
+        stabilizer_pruned: search.stabilizer_pruned,
+        pruned_per_level: search.pruned_per_level,
+        memo_hits: search.memo_hits,
+        memo_entries: search.relax_memo.len(),
         met_floor: search.met_floor,
     }
 }
@@ -583,7 +810,8 @@ mod tests {
     }
 
     #[test]
-    fn symmetry_breaking_only_restricts_round_zero() {
+    fn round_zero_representatives_are_orbit_minima() {
+        use sg_graphs::automorphism::{automorphisms, is_orbit_representative};
         let g = Network::Cycle { n: 8 }.build();
         let candidates = maximal_rounds(&g, Mode::FullDuplex);
         let autos = automorphisms(&g);
@@ -592,7 +820,35 @@ mod tests {
             .filter(|r| is_orbit_representative(&autos, r.arcs()))
             .count();
         // C_8's 10 maximal matchings fall into 2 orbits (perfect /
-        // size-3) under the dihedral group.
+        // size-3) under the dihedral group; the outcome must agree.
         assert_eq!(reps, 2);
+        let out = enumerate(
+            &Network::Cycle { n: 8 },
+            Mode::FullDuplex,
+            &EnumerateConfig::default().exact_period(3),
+        );
+        assert_eq!(out.representatives, 2);
+        assert_eq!(out.group_order, 16);
+        assert!(out.chain_depth >= 2, "dihedral chain has depth ≥ 2");
+    }
+
+    #[test]
+    fn deeper_slots_get_stabilizer_pruning_and_memo_hits() {
+        // C_8 at s = 3: round 1 candidates are pruned under the
+        // stabilizer of round 0 (the perfect matchings have nontrivial
+        // setwise... pointwise-prefix stabilizers), which plain round-0
+        // breaking never did.
+        let out = enumerate(
+            &Network::Cycle { n: 8 },
+            Mode::FullDuplex,
+            &EnumerateConfig::default().exact_period(3),
+        );
+        assert!(
+            out.stabilizer_pruned > 0,
+            "prefix stabilizers must prune deeper slots: {out:?}"
+        );
+        assert_eq!(out.pruned_per_level.len(), 3);
+        assert_eq!(out.pruned_per_level.iter().sum::<usize>(), out.pruned);
+        assert_eq!(out.best_rounds, Some(5), "the settled optimum is intact");
     }
 }

@@ -23,10 +23,11 @@
 //!   when only the asymptotic coefficient bound overshoots the measured
 //!   time, `ProvenOptimal` when exhaustive enumeration certified the
 //!   exact optimum;
-//! * [`enumerate`] — oracle-pruned exact branch-and-bound over every
-//!   valid period-`s` schedule: maximal-round dominance, automorphism
-//!   symmetry breaking, relaxation cuts — the machinery that turns a
-//!   reported gap into a settled theorem.
+//! * [`mod@enumerate`] — oracle-pruned exact branch-and-bound over every
+//!   valid period-`s` schedule: maximal-round dominance, stabilizer-chain
+//!   symmetry breaking at every depth, canonical-signature memoization,
+//!   relaxation cuts — the machinery that turns a reported gap into a
+//!   settled theorem.
 
 pub mod candidate;
 pub mod certificate;
@@ -39,7 +40,8 @@ pub use candidate::Candidate;
 pub use certificate::{ceil_log2, certify, certify_with, Certificate, FloorSource, Verdict};
 pub use driver::{search, search_on, search_with_oracle, SearchConfig, SearchOutcome};
 pub use enumerate::{
-    enumerate, enumerate_with_oracle, maximal_rounds, EnumerateConfig, EnumerateOutcome,
+    enumerate, enumerate_with_group, enumerate_with_oracle, maximal_rounds, EnumerateConfig,
+    EnumerateOutcome,
 };
 pub use kernel::MutationKernel;
 pub use seeds::{fit_to_period, seed_protocols};

@@ -121,6 +121,89 @@ fn p6_directed_s3_is_infeasible() {
     assert!(s4.best_rounds.is_some());
 }
 
+/// Stabilizer-chain era, settled: `Torus(3×3)` — a 9-vertex network
+/// whose 72-element automorphism group (beyond anything round-0-only
+/// breaking handled gracefully) collapses the maximal matchings to 4
+/// round-0 representatives. At `s = 2` a period-2 schedule needs 9
+/// rounds; one more slot brings the optimum down to 5, one above the
+/// doubling floor 4.
+#[test]
+fn torus3x3_full_duplex_optima() {
+    let s2 = enumerate(
+        &Network::Torus2d { w: 3, h: 3 },
+        Mode::FullDuplex,
+        &EnumerateConfig::default().exact_period(2),
+    );
+    assert_eq!(s2.best_rounds, Some(9));
+    assert!(matches!(
+        s2.certificate.expect("certificate").verdict,
+        Verdict::ProvenOptimal { .. }
+    ));
+    let s3 = enumerate(
+        &Network::Torus2d { w: 3, h: 3 },
+        Mode::FullDuplex,
+        &EnumerateConfig::default().exact_period(3),
+    );
+    assert_eq!(s3.best_rounds, Some(5));
+    let cert = s3.certificate.expect("certificate");
+    assert_eq!(cert.floor_rounds, 4);
+    assert!(matches!(cert.verdict, Verdict::ProvenOptimal { .. }));
+    // The acceptance bar for the group layer: |Aut| = 72 ≥ 16, pruned
+    // through the chain at every depth, not just round 0.
+    assert_eq!(s3.group_order, 72);
+    assert_eq!(s3.representatives, 4);
+    assert!(s3.stabilizer_pruned > 0, "deeper slots prune symmetrically");
+    let sp = s3.best.expect("witness");
+    sp.validate(&Network::Torus2d { w: 3, h: 3 }.build())
+        .expect("valid");
+    assert_eq!(
+        systolic_gossip::sg_sim::engine::systolic_gossip_time(&sp, 9, 100),
+        Some(5)
+    );
+}
+
+/// Stabilizer-chain era, settled: the Knödel graph `W(3,8)` — the
+/// classical minimum-gossip family — meets its `⌈log₂ 8⌉ = 3` doubling
+/// floor exactly at `s = 3`, while `s = 2` provably needs 4 rounds.
+#[test]
+fn knodel38_full_duplex_optima() {
+    let s2 = enumerate(
+        &Network::Knodel { delta: 3, n: 8 },
+        Mode::FullDuplex,
+        &EnumerateConfig::default().exact_period(2),
+    );
+    assert_eq!(s2.best_rounds, Some(4));
+    assert!(matches!(
+        s2.certificate.expect("certificate").verdict,
+        Verdict::ProvenOptimal { .. }
+    ));
+    let s3 = enumerate(
+        &Network::Knodel { delta: 3, n: 8 },
+        Mode::FullDuplex,
+        &EnumerateConfig::default().exact_period(3),
+    );
+    assert_eq!(s3.best_rounds, Some(3), "gossip in ⌈log₂ n⌉ rounds");
+    assert!(s3.met_floor, "the doubling floor is met, search ends early");
+    assert_eq!(s3.group_order, 48);
+}
+
+/// Stabilizer-chain era, settled: directed `DB(2,3)` at `s = 2` — the
+/// degenerate linear floor `n − 1 = 7` is off by exactly one (8 rounds),
+/// mirroring the directed `C₆` story on a de Bruijn family member.
+#[test]
+fn debruijn23_directed_s2_optimum_is_eight() {
+    let out = enumerate(
+        &Network::DeBruijnDirected { d: 2, dd: 3 },
+        Mode::Directed,
+        &EnumerateConfig::default().exact_period(2),
+    );
+    assert_eq!(out.best_rounds, Some(8));
+    let cert = out.certificate.expect("certificate");
+    assert_eq!(cert.floor_rounds, 7);
+    assert_eq!(cert.floor_source, FloorSource::LinearPeriodTwo);
+    assert!(matches!(cert.verdict, Verdict::ProvenOptimal { .. }));
+}
+
 /// The whole fixed-seed table in one place: rerunning the enumerator
 /// must reproduce every settled value and counter bit-for-bit.
 #[test]
@@ -130,6 +213,24 @@ fn settled_table_is_deterministic() {
         (Network::Cycle { n: 8 }, Mode::FullDuplex, 3, Some(5)),
         (Network::Cycle { n: 6 }, Mode::Directed, 2, Some(6)),
         (Network::Path { n: 6 }, Mode::Directed, 3, None),
+        (
+            Network::Torus2d { w: 3, h: 3 },
+            Mode::FullDuplex,
+            3,
+            Some(5),
+        ),
+        (
+            Network::Knodel { delta: 3, n: 8 },
+            Mode::FullDuplex,
+            3,
+            Some(3),
+        ),
+        (
+            Network::DeBruijnDirected { d: 2, dd: 3 },
+            Mode::Directed,
+            2,
+            Some(8),
+        ),
     ];
     for (net, mode, s, want) in cases {
         let a = enumerate(&net, mode, &EnumerateConfig::default().exact_period(s));

@@ -11,7 +11,7 @@
 //! adds exact delta propagation on top (only rows that changed since an
 //! arc's last application are re-scanned), and [`parallel`] splits a
 //! round's rows across threads. All three are bit-identical to the
-//! retained naive oracle in [`reference`], which the differential
+//! retained naive oracle in [`mod@reference`], which the differential
 //! conformance suite (`tests/conformance.rs`) and the property tests
 //! enforce. The [`greedy`] module generates executable upper-bound
 //! protocols for networks without hand-built ones; [`trace`] records

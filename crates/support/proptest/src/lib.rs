@@ -2,8 +2,8 @@
 //!
 //! The build environment has no registry access, so this crate implements
 //! the slice of proptest the workspace's property tests use: the
-//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, range / tuple /
-//! [`Just`] / [`collection::vec`] strategies, `prop_oneof!`, the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`, range / tuple /
+//! [`strategy::Just`] / [`collection::vec()`] strategies, `prop_oneof!`, the
 //! [`proptest!`] test macro with `#![proptest_config(…)]`, and the
 //! `prop_assert!` / `prop_assert_eq!` assertion macros. Consumers depend
 //! on it renamed (`proptest = { package = "sg-proptest", … }`), so
@@ -26,7 +26,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Size specification for [`vec`]: an exact length or a range.
+    /// Size specification for [`vec()`]: an exact length or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -68,7 +68,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
