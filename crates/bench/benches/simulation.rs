@@ -5,11 +5,17 @@
 //! workspace root (override with `SG_BENCH_JSON`), so regressions in the
 //! simulation hot path become diffable.
 //!
-//! The headline ablation pits the four engines against each other on
+//! The headline ablation pits the six engines against each other on
 //! n ≥ 1024 gossip executions: the retained naive `reference` oracle,
-//! the `compiled` schedule hot path, the `frontier` delta engine, and
-//! the row-`parallel` engine. `SG_BENCH_FAST=1` shrinks sample counts
-//! for CI smoke runs.
+//! the `compiled` schedule hot path, the `frontier` delta engine, the
+//! row-`parallel` engine, the persistent work-stealing `pool` engine,
+//! and the run-compressed `sparse` delta engine. A second group,
+//! `sim_large`, records the sparse engine's production sizes — up to
+//! the n ≈ 10⁶ Knödel gossip point that dense engines cannot represent
+//! (the n × n bit table alone would be 125 GB). `SG_BENCH_FAST=1`
+//! shrinks sample counts and sizes for CI smoke runs;
+//! `SG_BENCH_ENFORCE_POOL=1` turns the pool-vs-reference speedup on
+//! hypercube n = 2048 into a hard floor (≥ 1.0× or the harness panics).
 
 use criterion::{black_box, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -17,10 +23,21 @@ use rand::SeedableRng;
 use systolic_gossip::prelude::*;
 use systolic_gossip::sg_sim::frontier::systolic_gossip_time_frontier;
 use systolic_gossip::sg_sim::parallel::systolic_gossip_time_parallel;
+use systolic_gossip::sg_sim::pool::PoolEngine;
 use systolic_gossip::sg_sim::reference::systolic_gossip_time_reference;
+use systolic_gossip::sg_sim::sparse::systolic_gossip_time_sparse;
 
 fn fast_mode() -> bool {
     std::env::var("SG_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+/// Thread count for the pool-engine entries: one per core, capped —
+/// beyond 8 workers the n ≈ 2048 rows are too few to amortize handoff.
+fn pool_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// The engine ablation: one workload, four engines, identical results —
@@ -47,6 +64,16 @@ fn bench_engine_ablation(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("parallel4/hypercube", n), &sp, |b, sp| {
         b.iter(|| black_box(systolic_gossip_time_parallel(sp, n, budget, 4)))
     });
+    // The pool engine's whole point is reuse: built once outside the
+    // timing loop, amortized across every gossip execution — exactly
+    // how the scenario runner drives it.
+    let mut engine = PoolEngine::for_protocol(&sp, n, pool_threads());
+    g.bench_with_input(BenchmarkId::new("pool/hypercube", n), &(), |b, _| {
+        b.iter(|| black_box(engine.gossip_time(budget)))
+    });
+    g.bench_with_input(BenchmarkId::new("sparse/hypercube", n), &sp, |b, sp| {
+        b.iter(|| black_box(systolic_gossip_time_sparse(sp, n, budget)))
+    });
 
     // De Bruijn edge-coloring, n = 1024: half-duplex matchings, the
     // snapshot-free case with a long round count.
@@ -68,6 +95,75 @@ fn bench_engine_ablation(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("parallel4/debruijn", n), &sp, |b, sp| {
         b.iter(|| black_box(systolic_gossip_time_parallel(sp, n, budget, 4)))
     });
+    let mut engine = PoolEngine::for_protocol(&sp, n, pool_threads());
+    g.bench_with_input(BenchmarkId::new("pool/debruijn", n), &(), |b, _| {
+        b.iter(|| black_box(engine.gossip_time(budget)))
+    });
+    g.bench_with_input(BenchmarkId::new("sparse/debruijn", n), &sp, |b, sp| {
+        b.iter(|| black_box(systolic_gossip_time_sparse(sp, n, budget)))
+    });
+    g.finish();
+}
+
+/// The sparse engine's production sizes: networks whose dense bit table
+/// would not fit in memory. Each entry times one full gossip execution
+/// (protocol construction excluded); the headline is the n = 2²⁰ Knödel
+/// graph — a million-vertex gossip measured in seconds. Labels are
+/// `sim_large/<family>/<n>`.
+fn bench_sim_large(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_large");
+    g.sample_size(if fast_mode() { 1 } else { 2 });
+
+    let workloads: Vec<(&str, Network)> = if fast_mode() {
+        // CI smoke: one mid-size Knödel point keeps the group's labels
+        // (and the JSON shape) exercised without the multi-second runs.
+        vec![(
+            "knodel",
+            Network::Knodel {
+                delta: 16,
+                n: 65_536,
+            },
+        )]
+    } else {
+        vec![
+            (
+                "knodel",
+                Network::Knodel {
+                    delta: 16,
+                    n: 100_000,
+                },
+            ),
+            (
+                "knodel",
+                Network::Knodel {
+                    delta: 20,
+                    n: 1_048_576,
+                },
+            ),
+            (
+                "rr3",
+                Network::RandomRegular {
+                    n: 100_000,
+                    d: 3,
+                    seed: 1997,
+                },
+            ),
+        ]
+    };
+    for (family, net) in workloads {
+        let n = net
+            .order_hint()
+            .expect("sim_large nets have closed-form orders");
+        let sp = net
+            .reference_protocol()
+            .expect("sim_large nets have reference protocols");
+        // Generous: every workload either completes or reaches the
+        // sparse engine's fixed-point early exit well within this.
+        let budget = 64 * sp.s() + 4096;
+        g.bench_with_input(BenchmarkId::new(family, n), &sp, |b, sp| {
+            b.iter(|| black_box(systolic_gossip_time_sparse(sp, n, budget)))
+        });
+    }
     g.finish();
 }
 
@@ -123,7 +219,7 @@ fn median_of(c: &Criterion, name: &str) -> Option<u128> {
         .map(|r| r.median_ns)
 }
 
-fn write_bench_json(c: &Criterion) {
+fn write_bench_json(c: &Criterion) -> Vec<(&'static str, &'static str, f64)> {
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -152,7 +248,7 @@ fn write_bench_json(c: &Criterion) {
         let Some(reference) = median_of(c, &format!("engine_ablation/reference/{workload}")) else {
             continue;
         };
-        for engine in ["compiled", "frontier", "parallel4"] {
+        for engine in ["compiled", "frontier", "parallel4", "pool", "sparse"] {
             if let Some(t) = median_of(c, &format!("engine_ablation/{engine}/{workload}")) {
                 speedups.push((workload, engine, reference as f64 / t.max(1) as f64));
             }
@@ -173,14 +269,32 @@ fn write_bench_json(c: &Criterion) {
     for (workload, engine, s) in &speedups {
         println!("  {engine:>9} vs reference on {workload}: {s:.2}x");
     }
+    speedups
 }
 
 fn main() {
     let mut criterion = Criterion::default();
     bench_engine_ablation(&mut criterion);
+    bench_sim_large(&mut criterion);
     if !fast_mode() {
         bench_gossip_executions(&mut criterion);
         bench_greedy(&mut criterion);
     }
-    write_bench_json(&criterion);
+    let speedups = write_bench_json(&criterion);
+
+    // CI perf floor: with SG_BENCH_ENFORCE_POOL=1 the pool engine must
+    // beat the naive reference on the snapshot-heavy hypercube workload
+    // — the regression the persistent pool exists to prevent.
+    if std::env::var("SG_BENCH_ENFORCE_POOL").is_ok_and(|v| v == "1") {
+        let pool = speedups
+            .iter()
+            .find(|(w, e, _)| *w == "hypercube/2048" && *e == "pool")
+            .map(|(_, _, s)| *s)
+            .expect("enforce: pool hypercube/2048 speedup missing from results");
+        assert!(
+            pool >= 1.0,
+            "pool engine regressed below the reference on hypercube/2048: {pool:.3}x"
+        );
+        println!("enforce: pool vs reference on hypercube/2048 = {pool:.2}x (floor 1.0x) ok");
+    }
 }

@@ -51,6 +51,9 @@ USAGE:
 
 OPTIONS:
   --threads N          worker threads (default: one per core, max 16)
+  --sim-threads N      row-parallel threads per simulate/compare unit
+                       (default: leftover budget once units are assigned;
+                       the effective values are echoed in text output)
   --format FMT         text | json | csv   (default text)
   --filter SUBSTR      restrict list/run/search/enumerate to matching scenario
                        names (sweep: restrict the --net list by network name)
@@ -77,8 +80,10 @@ enum Format {
     Csv,
 }
 
+#[derive(Debug)]
 struct CommonFlags {
     threads: usize,
+    sim_threads: usize,
     format: Format,
     stats: bool,
     filter: Option<String>,
@@ -284,6 +289,7 @@ fn split_flags(args: &[String], sweep: bool) -> Result<(Vec<String>, CommonFlags
     let mut names = Vec::new();
     let mut flags = CommonFlags {
         threads: 0,
+        sim_threads: 0,
         format: Format::Text,
         stats: false,
         filter: None,
@@ -299,6 +305,12 @@ fn split_flags(args: &[String], sweep: bool) -> Result<(Vec<String>, CommonFlags
                 flags.threads = arg_value(args, i, "--threads")?
                     .parse()
                     .map_err(|_| "--threads takes an integer".to_string())?;
+            }
+            "--sim-threads" => {
+                i += 1;
+                flags.sim_threads = arg_value(args, i, "--sim-threads")?
+                    .parse()
+                    .map_err(|_| "--sim-threads takes an integer".to_string())?;
             }
             "--filter" => {
                 i += 1;
@@ -426,7 +438,7 @@ fn parse_sweep(args: &[String]) -> Result<Scenario, String> {
                     );
                 }
             }
-            "--threads" | "--format" | "--filter" => i += 1,
+            "--threads" | "--sim-threads" | "--format" | "--filter" => i += 1,
             "--stats" => {}
             other => return Err(format!("sweep: unexpected argument `{other}`")),
         }
@@ -461,12 +473,26 @@ fn parse_sweep(args: &[String]) -> Result<Scenario, String> {
     })
 }
 
+/// The one-line thread echo of text output: always the resolved global
+/// budget, plus the per-unit sim override when one was given.
+fn thread_echo(opts: &BatchOptions) -> String {
+    let mut echo = format!("threads: {} worker(s)", opts.effective_threads());
+    if opts.sim_threads > 0 {
+        echo.push_str(&format!(", {} sim thread(s) per unit", opts.sim_threads));
+    }
+    echo
+}
+
 fn execute(scenarios: &[Scenario], flags: &CommonFlags) -> Result<i32, String> {
     let opts = BatchOptions {
         threads: flags.threads,
+        sim_threads: flags.sim_threads,
         ..Default::default()
     };
     let started = std::time::Instant::now();
+    if flags.format == Format::Text {
+        println!("{}", thread_echo(&opts));
+    }
     let report = run_batch(scenarios, &opts);
     match flags.format {
         Format::Text => {
@@ -506,6 +532,7 @@ mod tests {
     fn flags_with_filter(f: &str) -> CommonFlags {
         CommonFlags {
             threads: 0,
+            sim_threads: 0,
             format: Format::Text,
             stats: false,
             filter: Some(f.to_string()),
@@ -513,6 +540,44 @@ mod tests {
             search_restarts: None,
             search_iterations: None,
         }
+    }
+
+    #[test]
+    fn thread_flags_parse_and_echo() {
+        let args: Vec<String> = ["fig5", "--threads", "3", "--sim-threads", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (names, flags) = split_flags(&args, false).expect("thread flags parse");
+        assert_eq!(names, ["fig5"]);
+        assert_eq!(flags.threads, 3);
+        assert_eq!(flags.sim_threads, 2);
+        let opts = BatchOptions {
+            threads: flags.threads,
+            sim_threads: flags.sim_threads,
+            ..Default::default()
+        };
+        assert_eq!(
+            thread_echo(&opts),
+            "threads: 3 worker(s), 2 sim thread(s) per unit"
+        );
+        // With no --sim-threads the echo shows only the resolved global
+        // budget — the per-unit split depends on the unit count.
+        let auto = BatchOptions::default();
+        assert_eq!(
+            thread_echo(&auto),
+            format!("threads: {} worker(s)", auto.effective_threads())
+        );
+    }
+
+    #[test]
+    fn sim_threads_rejects_non_integers() {
+        let args: Vec<String> = ["run", "--sim-threads", "lots"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = split_flags(&args, false).expect_err("non-integer rejected");
+        assert!(err.contains("--sim-threads takes an integer"), "{err}");
     }
 
     #[test]

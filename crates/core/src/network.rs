@@ -154,6 +154,32 @@ impl Network {
         }
     }
 
+    /// Vertex count without building the graph, for families where the
+    /// order is a trivial closed form of the parameters. Returns `None`
+    /// for the word-graph families whose order depends on generator
+    /// conventions — callers needing those must build. Used to gate
+    /// large-n code paths (and skips) before committing to an O(n + m)
+    /// construction.
+    pub fn order_hint(&self) -> Option<usize> {
+        match *self {
+            Network::Path { n } | Network::Cycle { n } | Network::Complete { n } => Some(n),
+            Network::Grid2d { w, h } | Network::Torus2d { w, h } => Some(w * h),
+            Network::Hypercube { k } => Some(1usize << k),
+            Network::ShuffleExchange { dd } => Some(1usize << dd),
+            Network::CubeConnectedCycles { k } => Some(k << k),
+            Network::Knodel { n, .. } => Some(n),
+            Network::RandomRegular { n, .. } => Some(n),
+            Network::DaryTree { .. }
+            | Network::Butterfly { .. }
+            | Network::WrappedButterflyDirected { .. }
+            | Network::WrappedButterfly { .. }
+            | Network::DeBruijnDirected { .. }
+            | Network::DeBruijn { .. }
+            | Network::KautzDirected { .. }
+            | Network::Kautz { .. } => None,
+        }
+    }
+
     /// Display name in the paper's notation.
     pub fn name(&self) -> String {
         match *self {
@@ -573,5 +599,37 @@ mod tests {
         assert!(Network::DeBruijnDirected { d: 2, dd: 3 }
             .reference_protocol()
             .is_none());
+    }
+
+    #[test]
+    fn order_hint_matches_built_order() {
+        let hinted = [
+            Network::Path { n: 7 },
+            Network::Cycle { n: 10 },
+            Network::Complete { n: 8 },
+            Network::Grid2d { w: 4, h: 5 },
+            Network::Torus2d { w: 3, h: 6 },
+            Network::Hypercube { k: 5 },
+            Network::ShuffleExchange { dd: 4 },
+            Network::CubeConnectedCycles { k: 3 },
+            Network::Knodel { delta: 4, n: 16 },
+            Network::RandomRegular {
+                n: 20,
+                d: 3,
+                seed: 1,
+            },
+        ];
+        for net in hinted {
+            assert_eq!(
+                net.order_hint(),
+                Some(net.build().vertex_count()),
+                "{}",
+                net.name()
+            );
+        }
+        // Word-graph families decline rather than risk a wrong hint.
+        assert_eq!(Network::DeBruijn { d: 2, dd: 4 }.order_hint(), None);
+        assert_eq!(Network::Butterfly { d: 2, dd: 3 }.order_hint(), None);
+        assert_eq!(Network::DaryTree { d: 2, h: 3 }.order_hint(), None);
     }
 }

@@ -253,6 +253,41 @@ pub fn registry() -> Vec<Scenario> {
             Network::Knodel { delta: 5, n: 64 },
             Network::Knodel { delta: 6, n: 128 },
         ]),
+        // ——— Large-n sparse-engine scenarios ———
+        Scenario::new(
+            "sim-large-knodel",
+            "Knödel gossip at n = 10⁵ and 2²⁰ through the sparse delta engine",
+            Task::Simulate,
+            Mode::FullDuplex,
+        )
+        .networks([
+            Network::Knodel {
+                delta: 16,
+                n: 100_000,
+            },
+            Network::Knodel {
+                delta: 20,
+                n: 1_048_576,
+            },
+        ]),
+        Scenario::new(
+            "sim-large-rr",
+            "Random regular graphs at n = 10⁵ and 10⁶: sparse-engine behavior on unstructured rows",
+            Task::Simulate,
+            Mode::HalfDuplex,
+        )
+        .networks([
+            Network::RandomRegular {
+                n: 100_000,
+                d: 3,
+                seed: 1997,
+            },
+            Network::RandomRegular {
+                n: 1_000_000,
+                d: 3,
+                seed: 1997,
+            },
+        ]),
         Scenario::new(
             "zoo-bounds",
             "Bound reports (s = 4 and non-systolic) across the whole undirected zoo",
@@ -515,8 +550,33 @@ mod tests {
     fn scenario_networks_build() {
         for sc in registry() {
             for net in &sc.networks {
+                // Large-n networks are gated on a closed-form order hint
+                // (the runner never dense-builds them in tests); building
+                // a 10⁶-vertex random graph here would dominate the suite.
+                if let Some(n) = net.order_hint().filter(|&n| n >= 50_000) {
+                    assert!(n > 0, "{}: {}", sc.name, net.name());
+                    continue;
+                }
                 let g = net.build();
                 assert!(g.vertex_count() > 0, "{}: {}", sc.name, net.name());
+                if let Some(hint) = net.order_hint() {
+                    assert_eq!(hint, g.vertex_count(), "{}: {}", sc.name, net.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_sim_scenarios_are_shaped_for_the_sparse_engine() {
+        for name in ["sim-large-knodel", "sim-large-rr"] {
+            let sc = find(name).unwrap_or_else(|| panic!("{name} registered"));
+            assert_eq!(sc.task, Task::Simulate, "{name}");
+            assert_eq!(sc.networks.len(), 2, "{name}");
+            for net in &sc.networks {
+                let n = net
+                    .order_hint()
+                    .unwrap_or_else(|| panic!("{name}: {} needs an order hint", net.name()));
+                assert!(n >= 100_000, "{name}: {} too small", net.name());
             }
         }
     }

@@ -14,9 +14,11 @@
 //! One global thread budget covers both levels of parallelism: when there
 //! are fewer units than budgeted threads, the leftover threads go *into*
 //! the units — simulate and compare units split each round's row writes
-//! across workers (`sg_sim::parallel::systolic_gossip_time_parallel` /
-//! `knowledge_curve_parallel`), so a batch of three big simulations on a
-//! 16-thread budget runs 3 units × 5 row-workers instead of 3 × 1.
+//! across a persistent worker pool (`sg_sim::pool`), so a batch of three
+//! big simulations on a 16-thread budget runs 3 units × 5 row-workers
+//! instead of 3 × 1. Units whose network order reaches
+//! `LARGE_SIM_MIN_N` (50 000) switch to the sparse delta engine
+//! (`sg_sim::sparse`), which never materializes the n²-bit table.
 
 use crate::cache::{BuildCache, CacheStats};
 use crate::descriptor::{protocol_for, PaperCheck, Scenario, Task, WeightScheme};
@@ -33,8 +35,9 @@ use sg_graphs::weighted::WeightedDigraph;
 use sg_protocol::local::BlockPattern;
 use sg_protocol::mode::Mode;
 use sg_sim::greedy::greedy_gossip;
-use sg_sim::parallel::systolic_gossip_time_parallel;
-use sg_sim::trace::knowledge_curve_parallel;
+use sg_sim::pool::systolic_gossip_time_pool;
+use sg_sim::sparse::run_systolic_sparse_with_limit;
+use sg_sim::trace::knowledge_curve_pool;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use systolic_gossip::{audit_measured, Network, Row};
@@ -67,7 +70,10 @@ impl Default for BatchOptions {
 }
 
 impl BatchOptions {
-    fn effective_threads(&self) -> usize {
+    /// The resolved global thread budget (`threads`, or one per
+    /// available core capped at 16 when 0). Public so the CLI can echo
+    /// the value actually used.
+    pub fn effective_threads(&self) -> usize {
         if self.threads > 0 {
             return self.threads;
         }
@@ -91,11 +97,24 @@ impl BatchOptions {
     }
 }
 
-/// Below this network size, within-unit row parallelism loses: the
-/// per-round thread-scope spawn outweighs the row work (BENCH_sim.json
-/// shows the parallel engine behind the compiled one up to n = 2048), so
-/// smaller units stay on the sequential compiled hot path.
-const WITHIN_UNIT_PARALLEL_MIN_N: usize = 4096;
+/// Below this network size, within-unit row parallelism loses: even
+/// with the persistent pool, a round's row work has to cover one task
+/// dispatch. The pool engine beats the compiled sequential path from
+/// n = 2048 up (BENCH_sim.json engine ablation); smaller units stay on
+/// the sequential compiled hot path, which the pool engine picks
+/// automatically when handed one thread.
+const WITHIN_UNIT_PARALLEL_MIN_N: usize = 2048;
+
+/// From this order up, a simulate unit abandons the dense `Knowledge`
+/// table (n² bits — 125 GB at n = 10⁶) and the Ω(n²) bound/audit
+/// machinery for the sparse delta engine: exact completion times, row
+/// storage proportional to the runs actually present.
+const LARGE_SIM_MIN_N: usize = 50_000;
+
+/// Row-storage budget for large sparse units. An unstructured instance
+/// whose rows densify is aborted at this footprint with an explanatory
+/// report instead of an OOM kill (worst case is the dense n²/8 bytes).
+const LARGE_SIM_MEM_LIMIT: usize = 6 << 30;
 
 fn effective_sim_threads(n: usize, sim_threads: usize) -> usize {
     if n >= WITHIN_UNIT_PARALLEL_MIN_N {
@@ -606,6 +625,9 @@ fn simulate_unit(
     opts: &BatchOptions,
     sim_threads: usize,
 ) -> UnitOut {
+    if net.order_hint().is_some_and(|n| n >= LARGE_SIM_MIN_N) {
+        return simulate_large_unit(net, scenario, opts);
+    }
     let g = cache.digraph(net);
     let n = g.vertex_count();
     let Some((kind, sp)) = protocol_for(net, &g, scenario.mode) else {
@@ -638,9 +660,9 @@ fn simulate_unit(
     let report = &ob.report;
     // One simulation serves both the completion curve and the audit's
     // measured gossip time (the engine is deterministic). Big units split
-    // each round's row writes across the leftover thread budget; the
-    // parallel engine is bit-identical, so outputs don't depend on it.
-    let curve = knowledge_curve_parallel(
+    // each round's row writes across the persistent worker pool; the
+    // pool engine is bit-identical, so outputs don't depend on it.
+    let curve = knowledge_curve_pool(
         &sp,
         n,
         opts.sim_budget,
@@ -719,6 +741,131 @@ fn simulate_unit(
     }
 }
 
+/// Simulate unit for networks at or beyond [`LARGE_SIM_MIN_N`]: runs
+/// the sparse delta engine and reports completion plus resource
+/// telemetry. Everything Ω(n²) is deliberately absent — no dense
+/// `Knowledge` table, no all-pairs diameter, no λ-search audit, no
+/// protocol validation pass (the builders are conformance-tested at
+/// small n; the sparse engine is bit-identical by the same suite).
+fn simulate_large_unit(net: &Network, scenario: &Scenario, opts: &BatchOptions) -> UnitOut {
+    let n = net.order_hint().expect("large units are gated on a hint");
+    // Unstructured instances densify: the sparse state can approach the
+    // dense n²/8 bytes, so refuse upfront when even that worst case
+    // cannot fit, rather than burn minutes to a guaranteed abort.
+    if matches!(net, Network::RandomRegular { .. }) {
+        let worst = (n / 8).saturating_mul(n);
+        if worst > LARGE_SIM_MEM_LIMIT {
+            return UnitOut {
+                rows: vec![Row::new()
+                    .with("kind", "large-sim")
+                    .with("network", net.name())
+                    .with("n", n)
+                    .with("engine", "sparse")
+                    .with("verdict", "skipped-mem")],
+                text: Some(format!(
+                    "{}: unstructured rows densify — worst-case sparse state \
+                     ≈ {:.1} GiB exceeds the {:.1} GiB budget, skipped (run rows \
+                     stay compact only for structured protocols)\n",
+                    net.name(),
+                    worst as f64 / (1u64 << 30) as f64,
+                    LARGE_SIM_MEM_LIMIT as f64 / (1u64 << 30) as f64,
+                )),
+                ..Default::default()
+            };
+        }
+    }
+    let Some(sp) = net.reference_protocol() else {
+        return UnitOut {
+            text: Some(format!(
+                "{}: no deterministic protocol — skipped",
+                net.name()
+            )),
+            ..Default::default()
+        };
+    };
+    // Mirror `protocol_for`'s mode rule without building the graph: a
+    // full-duplex scenario only runs protocols that are full-duplex.
+    if scenario.mode == Mode::FullDuplex && sp.mode() != Mode::FullDuplex {
+        return UnitOut {
+            text: Some(format!(
+                "{}: no deterministic protocol in {} mode — skipped",
+                net.name(),
+                scenario.mode
+            )),
+            ..Default::default()
+        };
+    }
+    let started = std::time::Instant::now();
+    let out =
+        run_systolic_sparse_with_limit(&sp, n, opts.sim_budget, true, Some(LARGE_SIM_MEM_LIMIT));
+    let elapsed = started.elapsed();
+
+    let mut rows = vec![Row::new()
+        .with("kind", "large-sim")
+        .with("network", net.name())
+        .with("n", n)
+        .with("s", sp.s())
+        .with("protocol_mode", sp.mode().name())
+        .with("engine", "sparse")
+        .with("measured_rounds", out.result.completed_at)
+        .with("rounds_run", out.rounds_run)
+        .with("peak_state_bytes", out.peak_bytes)
+        .with("aborted_mem", out.aborted_mem)
+        .with("elapsed_ms", elapsed.as_millis() as i64)
+        .with(
+            "verdict",
+            if out.result.completed_at.is_some() {
+                "completed"
+            } else if out.aborted_mem {
+                "aborted-mem"
+            } else {
+                "incomplete"
+            },
+        )];
+    let mut text = format!(
+        "{} — n = {}, s = {}, sparse delta engine (dense table would be {:.1} GiB)\n",
+        net.name(),
+        n,
+        sp.s(),
+        (n as f64 / 8.0) * n as f64 / (1u64 << 30) as f64,
+    );
+    let step = (out.result.trace.len() / 25).max(1);
+    text.push_str(&format!("{:>6} {:>10}\n", "round", "min"));
+    for (i, &min) in out.result.trace.iter().enumerate() {
+        if i % step == 0 || i + 1 == out.result.trace.len() {
+            text.push_str(&format!("{:>6} {:>10}\n", i + 1, min));
+            rows.push(
+                Row::new()
+                    .with("kind", "curve")
+                    .with("network", net.name())
+                    .with("round", i + 1)
+                    .with("min", min),
+            );
+        }
+    }
+    match out.result.completed_at {
+        Some(t) => text.push_str(&format!(
+            "completed at round {t} in {:.2} s; peak sparse state {:.1} MiB\n",
+            elapsed.as_secs_f64(),
+            out.peak_bytes as f64 / (1u64 << 20) as f64,
+        )),
+        None if out.aborted_mem => text.push_str(&format!(
+            "aborted after {} rounds: sparse state exceeded {:.1} GiB\n",
+            out.rounds_run,
+            LARGE_SIM_MEM_LIMIT as f64 / (1u64 << 30) as f64,
+        )),
+        None => text.push_str(&format!(
+            "did not complete within {} rounds\n",
+            opts.sim_budget
+        )),
+    }
+    UnitOut {
+        rows,
+        text: Some(text),
+        ..Default::default()
+    }
+}
+
 /// Stable per-network seed so compare units are deterministic and
 /// order-independent under any thread schedule.
 fn net_seed(net: &Network) -> u64 {
@@ -737,6 +884,16 @@ fn compare_unit(
     opts: &BatchOptions,
     sim_threads: usize,
 ) -> UnitOut {
+    if net.order_hint().is_some_and(|n| n >= LARGE_SIM_MIN_N) {
+        return UnitOut {
+            text: Some(format!(
+                "{}: order ≥ {LARGE_SIM_MIN_N} — the dense compare unit is skipped \
+                 at this size (use a simulate scenario; the sparse engine covers it)",
+                net.name()
+            )),
+            ..Default::default()
+        };
+    }
     let g = cache.digraph(net);
     let n = g.vertex_count();
     let mut rows = Vec::new();
@@ -745,15 +902,15 @@ fn compare_unit(
     match protocol_for(net, &g, scenario.mode) {
         Some((kind, sp)) => {
             // 1. Audit the deterministic protocol against every bound,
-            //    measuring the gossip time through the row-parallel
-            //    engine (bit-identical to sequential, shares the global
-            //    thread budget).
+            //    measuring the gossip time through the persistent
+            //    worker-pool engine (bit-identical to sequential, shares
+            //    the global thread budget).
             let dg = cache.delay_digraph(net, kind, || DelayDigraph::periodic(&sp));
             let measured = sp
                 .validate(&g)
                 .is_ok()
                 .then(|| {
-                    systolic_gossip_time_parallel(
+                    systolic_gossip_time_pool(
                         &sp,
                         n,
                         opts.sim_budget,

@@ -10,12 +10,16 @@
 //! systolic period, so replaying a round allocates nothing. [`frontier`]
 //! adds exact delta propagation on top (only rows that changed since an
 //! arc's last application are re-scanned), and [`parallel`] splits a
-//! round's rows across threads. All three are bit-identical to the
-//! retained naive oracle in [`mod@reference`], which the differential
-//! conformance suite (`tests/conformance.rs`) and the property tests
-//! enforce. The [`greedy`] module generates executable upper-bound
-//! protocols for networks without hand-built ones; [`trace`] records
-//! completion curves.
+//! round's rows across threads. [`pool`] replaces the per-round scoped
+//! spawning with a persistent work-stealing worker pool, and [`sparse`]
+//! drops the O(n²)-bit table entirely — rows become sorted item runs
+//! with exact delta propagation, which is what makes n = 10⁶ instances
+//! simulable. All engines are bit-identical to the retained naive
+//! oracle in [`mod@reference`], which the differential conformance
+//! suite (`tests/conformance.rs`) and the property tests enforce. The
+//! [`greedy`] module generates executable upper-bound protocols for
+//! networks without hand-built ones; [`trace`] records completion
+//! curves.
 
 pub mod bitset;
 pub mod broadcast;
@@ -23,8 +27,10 @@ pub mod engine;
 pub mod frontier;
 pub mod greedy;
 pub mod parallel;
+pub mod pool;
 pub mod reference;
 pub mod schedule;
+pub mod sparse;
 pub mod trace;
 
 pub use bitset::{CompletionCursor, Knowledge};
@@ -35,10 +41,17 @@ pub use engine::{
 };
 pub use frontier::{run_systolic_frontier, systolic_gossip_time_frontier, FrontierEngine};
 pub use greedy::{greedy_gossip, GreedyOutcome};
-pub use parallel::{apply_round_parallel, systolic_gossip_time_parallel};
+pub use parallel::{
+    apply_round_parallel, apply_round_parallel_with, systolic_gossip_time_parallel, ParallelCtx,
+};
+pub use pool::{run_systolic_pool, systolic_gossip_time_pool, PoolEngine};
 pub use reference::{
     apply_round_reference, run_protocol_reference, run_systolic_reference,
     systolic_gossip_time_reference,
 };
 pub use schedule::CompiledSchedule;
-pub use trace::{knowledge_curve, knowledge_curve_parallel, RoundStats};
+pub use sparse::{
+    run_systolic_sparse, run_systolic_sparse_with_limit, systolic_gossip_time_sparse, SparseEngine,
+    SparseOutcome,
+};
+pub use trace::{knowledge_curve, knowledge_curve_parallel, knowledge_curve_pool, RoundStats};

@@ -23,11 +23,54 @@ struct RowTablePtr(*mut u64);
 unsafe impl Send for RowTablePtr {}
 unsafe impl Sync for RowTablePtr {}
 
-/// Parallel [`apply_round`]: snapshots all source rows, verifies targets
-/// are distinct, then ORs arcs into target rows across `threads` workers.
-/// Falls back to the sequential engine for tiny rounds or duplicate
-/// targets. Returns `true` when any row changed.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Reusable cross-round scratch for the parallel applier: one flat
+/// snapshot buffer plus the source→slot map, so replaying rounds
+/// allocates nothing after the first. Only sources that are *also
+/// written* this round get snapshotted — every other source row is
+/// stable for the whole round (targets are pairwise distinct) and is
+/// read in place.
+#[derive(Debug, Default)]
+pub struct ParallelCtx {
+    snap_buf: Vec<u64>,
+    is_target: Vec<bool>,
+    slot_of: Vec<u32>,
+    touched_targets: Vec<u32>,
+    touched_sources: Vec<u32>,
+}
+
+impl ParallelCtx {
+    /// An empty context; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.is_target.len() < n {
+            self.is_target.resize(n, false);
+            self.slot_of.resize(n, NO_SLOT);
+        }
+    }
+}
+
+/// Parallel [`apply_round`]: verifies targets are distinct, snapshots
+/// the begin-of-round rows of sources that are themselves written, then
+/// ORs arcs into target rows across `threads` workers. Falls back to
+/// the sequential engine for tiny rounds or duplicate targets. Returns
+/// `true` when any row changed.
 pub fn apply_round_parallel(k: &mut Knowledge, round: &Round, threads: usize) -> bool {
+    apply_round_parallel_with(&mut ParallelCtx::new(), k, round, threads)
+}
+
+/// [`apply_round_parallel`] with caller-owned scratch, for loops that
+/// replay many rounds (the snapshot buffer is reused across calls).
+pub fn apply_round_parallel_with(
+    ctx: &mut ParallelCtx,
+    k: &mut Knowledge,
+    round: &Round,
+    threads: usize,
+) -> bool {
     let arcs = round.arcs();
     if arcs.len() < 64 || threads <= 1 {
         return apply_round(k, round);
@@ -38,34 +81,55 @@ pub fn apply_round_parallel(k: &mut Knowledge, round: &Round, threads: usize) ->
     if round.max_vertex().is_some_and(|m| m >= k.n()) || round.has_duplicate_targets() {
         return apply_round(k, round); // unvalidated round: stay safe
     }
-    // Snapshot all distinct sources (beginning-of-round rows).
     let words = k.words();
-    let mut src_ids: Vec<usize> = arcs.iter().map(|a| a.from as usize).collect();
-    src_ids.sort_unstable();
-    src_ids.dedup();
-    let snapshots: Vec<Vec<u64>> = src_ids.iter().map(|&u| k.snapshot(u)).collect();
-    let lookup = |u: usize| -> &[u64] {
-        let i = src_ids.binary_search(&u).expect("snapshot exists");
-        &snapshots[i]
-    };
+    ctx.ensure(k.n());
+    for a in arcs {
+        let t = a.to as usize;
+        if !ctx.is_target[t] {
+            ctx.is_target[t] = true;
+            ctx.touched_targets.push(a.to);
+        }
+    }
+    // Snapshot only sources that this round also writes: their rows are
+    // the only ones whose begin-of-round content can be clobbered.
+    ctx.snap_buf.clear();
+    for a in arcs {
+        let u = a.from as usize;
+        if ctx.is_target[u] && ctx.slot_of[u] == NO_SLOT {
+            ctx.slot_of[u] = (ctx.snap_buf.len() / words) as u32;
+            ctx.snap_buf.extend_from_slice(k.row(u));
+            ctx.touched_sources.push(a.from);
+        }
+    }
 
     let changed = AtomicBool::new(false);
+    let snap = &ctx.snap_buf;
+    let slot_of = &ctx.slot_of;
     let table = RowTablePtr(k.bits_mut().as_mut_ptr());
     let chunk = arcs.len().div_ceil(threads);
     std::thread::scope(|scope| {
         for part in arcs.chunks(chunk) {
             let changed = &changed;
-            let lookup = &lookup;
             scope.spawn(move || {
                 let table = table;
                 let mut local_changed = false;
                 for a in part {
-                    let src = lookup(a.from as usize);
+                    let u = a.from as usize;
+                    let src: &[u64] = match slot_of[u] {
+                        // SAFETY: `u` is not a target of this round (it
+                        // would have a snapshot slot otherwise), so no
+                        // thread writes its row while we read it.
+                        NO_SLOT => unsafe {
+                            std::slice::from_raw_parts(table.0.add(u * words), words)
+                        },
+                        slot => &snap[slot as usize * words..(slot as usize + 1) * words],
+                    };
                     let v = a.to as usize;
                     // SAFETY: `v*words .. (v+1)*words` ranges are disjoint
                     // across all arcs of the round (targets verified
-                    // distinct above), and the snapshots are private
-                    // copies, so no aliasing occurs.
+                    // distinct above), and sources are either private
+                    // snapshot copies or rows no arc writes, so no
+                    // aliasing occurs.
                     let dst: &mut [u64] =
                         unsafe { std::slice::from_raw_parts_mut(table.0.add(v * words), words) };
                     for (d, s) in dst.iter_mut().zip(src) {
@@ -80,6 +144,14 @@ pub fn apply_round_parallel(k: &mut Knowledge, round: &Round, threads: usize) ->
             });
         }
     });
+    for &t in &ctx.touched_targets {
+        ctx.is_target[t as usize] = false;
+    }
+    for &u in &ctx.touched_sources {
+        ctx.slot_of[u as usize] = NO_SLOT;
+    }
+    ctx.touched_targets.clear();
+    ctx.touched_sources.clear();
     changed.load(Ordering::Relaxed)
 }
 
@@ -97,12 +169,13 @@ pub fn systolic_gossip_time_parallel(
         // engine is strictly faster than per-round fallback dispatch.
         return crate::engine::systolic_gossip_time(sp, n, max_rounds);
     }
+    let mut ctx = ParallelCtx::new();
     let mut k = Knowledge::initial(n);
     if k.all_complete() {
         return Some(0);
     }
     for i in 0..max_rounds {
-        apply_round_parallel(&mut k, sp.round_at(i), threads);
+        apply_round_parallel_with(&mut ctx, &mut k, sp.round_at(i), threads);
         if k.all_complete() {
             return Some(i + 1);
         }
@@ -158,6 +231,24 @@ mod tests {
         let mut k = Knowledge::initial(4);
         let round = Round::new((0..70).map(|i| Arc::new(0, 100 + i)).collect());
         apply_round_parallel(&mut k, &round, 4);
+    }
+
+    #[test]
+    fn ctx_reuse_with_sources_that_are_targets() {
+        // Directed cycle rounds: every source row is also a target row,
+        // so the whole round runs off the snapshot buffer; reuse the
+        // ctx across all rounds like the driver loops do.
+        use crate::engine::apply_round;
+        let n = 128;
+        let sp = builders::cycle_two_color_directed(n);
+        let mut ctx = ParallelCtx::new();
+        let mut par = Knowledge::initial(n);
+        let mut seq = Knowledge::initial(n);
+        for i in 0..4 * sp.s() + 5 {
+            apply_round_parallel_with(&mut ctx, &mut par, sp.round_at(i), 4);
+            apply_round(&mut seq, sp.round_at(i));
+            assert_eq!(par, seq, "round {i}");
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use crate::bitset::Knowledge;
 use crate::parallel::apply_round_parallel;
+use crate::pool::PoolEngine;
 use crate::schedule::CompiledSchedule;
 use sg_protocol::protocol::SystolicProtocol;
 
@@ -84,6 +85,33 @@ pub fn knowledge_curve_parallel(
     out
 }
 
+/// [`knowledge_curve`] through the persistent worker-pool engine: the
+/// pool is built once and reused across all rounds, so the per-round
+/// cost is one task dispatch instead of a thread spawn. Bit-identical
+/// output; `threads <= 1` takes the sequential compiled path.
+pub fn knowledge_curve_pool(
+    sp: &SystolicProtocol,
+    n: usize,
+    max_rounds: usize,
+    threads: usize,
+) -> Vec<RoundStats> {
+    if threads <= 1 {
+        return knowledge_curve(sp, n, max_rounds);
+    }
+    let mut engine = PoolEngine::for_protocol(sp, n, threads);
+    let mut k = Knowledge::initial(n);
+    let mut out = Vec::new();
+    for i in 0..max_rounds {
+        engine.apply(&mut k, i);
+        let s = stats_after(&k, i + 1);
+        out.push(s);
+        if s.min == n {
+            break;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +169,20 @@ mod tests {
         assert_eq!(
             knowledge_curve(&sp, 6, 100),
             knowledge_curve_parallel(&sp, 6, 100, 4)
+        );
+    }
+
+    #[test]
+    fn pool_curve_identical_to_sequential() {
+        let sp = builders::hypercube_sweep(7);
+        assert_eq!(
+            knowledge_curve(&sp, 128, 50),
+            knowledge_curve_pool(&sp, 128, 50, 4)
+        );
+        let sp = builders::path_rrll(6);
+        assert_eq!(
+            knowledge_curve(&sp, 6, 100),
+            knowledge_curve_pool(&sp, 6, 100, 3)
         );
     }
 }

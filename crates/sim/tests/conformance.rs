@@ -1,14 +1,16 @@
 //! Differential conformance suite: every protocol of every scenario in
-//! the 16-entry registry, run through the compiled engine, the frontier
-//! engine, the parallel engine, and the retained naive reference — with
-//! identical `completed_at` AND identical knowledge traces required.
+//! the registry, run through the compiled engine, the frontier engine,
+//! the parallel engine, the persistent-pool engine, and the sparse
+//! delta engine against the retained naive reference — with identical
+//! `completed_at` AND identical knowledge traces required.
 //!
 //! The reference engine (`sg_sim::reference`) is the oracle: it is the
 //! original, allocation-heavy, obviously-correct implementation of
-//! Definition 3.1. The three optimized engines each take a different
-//! shortcut (precompiled snapshot plans, delta skipping, row-parallel
-//! writes), so agreement across all four on the whole workload zoo pins
-//! the semantics from three independent directions.
+//! Definition 3.1. The optimized engines each take a different shortcut
+//! (precompiled snapshot plans, delta skipping, row-parallel writes,
+//! persistent work-stealing dispatch, run-compressed rows), so
+//! agreement across all of them on the whole workload zoo pins the
+//! semantics from independent directions.
 
 use sg_protocol::protocol::SystolicProtocol;
 use sg_scenario::descriptor::protocol_for;
@@ -16,7 +18,9 @@ use sg_scenario::registry;
 use sg_sim::engine::{run_systolic, run_systolic_with_horizon};
 use sg_sim::frontier::run_systolic_frontier;
 use sg_sim::parallel::apply_round_parallel;
+use sg_sim::pool::run_systolic_pool;
 use sg_sim::reference::run_systolic_reference;
+use sg_sim::sparse::run_systolic_sparse;
 use sg_sim::{Knowledge, SimResult};
 
 /// Runs the parallel engine with the same tracing surface as the other
@@ -54,13 +58,20 @@ fn run_systolic_parallel(
 #[test]
 fn all_registry_protocols_agree_across_engines() {
     let reg = registry();
-    assert_eq!(reg.len(), 29, "registry size drifted; update this suite");
+    assert_eq!(reg.len(), 31, "registry size drifted; update this suite");
 
     let mut pairs_checked = 0usize;
     let mut scenarios_with_protocols = 0usize;
     for scenario in &reg {
         let mut scenario_counted = false;
         for net in &scenario.networks {
+            // The sim-large-* scenarios exist for the sparse engine's
+            // production path; dense-building them here would dwarf the
+            // suite. Their semantics are pinned by the same engines at
+            // conformance sizes.
+            if net.order_hint().is_some_and(|n| n >= 50_000) {
+                continue;
+            }
             let g = net.build();
             let n = g.vertex_count();
             // Directed shift networks have no deterministic protocol;
@@ -78,6 +89,8 @@ fn all_registry_protocols_agree_across_engines() {
             let compiled = run_systolic(&sp, n, budget, true);
             let frontier = run_systolic_frontier(&sp, n, budget, true);
             let parallel = run_systolic_parallel(&sp, n, budget, 4);
+            let pool = run_systolic_pool(&sp, n, budget, 4, true);
+            let sparse = run_systolic_sparse(&sp, n, budget, true);
 
             let label = format!("{} / {} (n = {n})", scenario.name, net.name());
             // `horizon: None` must be byte-identical to the plain
@@ -96,9 +109,19 @@ fn all_registry_protocols_agree_across_engines() {
                 parallel.completed_at, oracle.completed_at,
                 "{label}: parallel completed_at"
             );
+            assert_eq!(
+                pool.completed_at, oracle.completed_at,
+                "{label}: pool completed_at"
+            );
+            assert_eq!(
+                sparse.completed_at, oracle.completed_at,
+                "{label}: sparse completed_at"
+            );
             assert_eq!(compiled.trace, oracle.trace, "{label}: compiled trace");
             assert_eq!(frontier.trace, oracle.trace, "{label}: frontier trace");
             assert_eq!(parallel.trace, oracle.trace, "{label}: parallel trace");
+            assert_eq!(pool.trace, oracle.trace, "{label}: pool trace");
+            assert_eq!(sparse.trace, oracle.trace, "{label}: sparse trace");
             assert!(
                 oracle.completed_at.is_some(),
                 "{label}: zoo protocol should gossip within {budget} rounds"
@@ -151,14 +174,26 @@ fn final_knowledge_states_are_bit_identical() {
             let mut engine = sg_sim::FrontierEngine::for_protocol(&sp, n);
             let mut frontier = Knowledge::initial(n);
             let mut parallel = Knowledge::initial(n);
+            let mut pool_engine = sg_sim::PoolEngine::for_protocol(&sp, n, 3);
+            let mut pool = Knowledge::initial(n);
+            let mut sparse_engine = sg_sim::SparseEngine::for_protocol(&sp, n);
             for i in 0..6 * sp.s() + 20 {
                 sg_sim::apply_round_reference(&mut oracle, sp.round_at(i));
                 sched.apply(&mut compiled, i);
                 engine.apply(&mut frontier, i);
                 apply_round_parallel(&mut parallel, sp.round_at(i), 3);
+                pool_engine.apply(&mut pool, i);
+                sparse_engine.apply(i);
                 assert_eq!(compiled, oracle, "{}: compiled, round {i}", net.name());
                 assert_eq!(frontier, oracle, "{}: frontier, round {i}", net.name());
                 assert_eq!(parallel, oracle, "{}: parallel, round {i}", net.name());
+                assert_eq!(pool, oracle, "{}: pool, round {i}", net.name());
+                assert_eq!(
+                    sparse_engine.to_dense(),
+                    oracle,
+                    "{}: sparse, round {i}",
+                    net.name()
+                );
             }
         }
     }

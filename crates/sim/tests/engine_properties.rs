@@ -8,8 +8,10 @@ use sg_sim::bitset::Knowledge;
 use sg_sim::engine::apply_round;
 use sg_sim::frontier::FrontierEngine;
 use sg_sim::parallel::apply_round_parallel;
+use sg_sim::pool::PoolEngine;
 use sg_sim::reference::apply_round_reference;
 use sg_sim::schedule::CompiledSchedule;
+use sg_sim::sparse::SparseEngine;
 use std::collections::HashSet;
 
 /// Naive reference: per-vertex `HashSet<usize>` with strict
@@ -236,6 +238,87 @@ proptest! {
         }
     }
 
+    /// The persistent-pool engine — dispatch gating, snapshot buffer,
+    /// sequential fallback — is bit-for-bit the reference applier on
+    /// arbitrary arc sets (these small wild rounds all take the
+    /// fallback; the fast path is pinned by the permutation test below).
+    #[test]
+    fn pool_matches_reference_on_wild_rounds(
+        period in proptest::collection::vec(wild_arcs_strategy(11), 1..5),
+        cycles in 1usize..6,
+    ) {
+        let n = 11;
+        let rounds: Vec<Round> = period.iter().cloned().map(Round::new).collect();
+        let mut engine = PoolEngine::new(CompiledSchedule::compile(&rounds, n), 4);
+        let mut fast = Knowledge::initial(n);
+        let mut oracle = Knowledge::initial(n);
+        for i in 0..cycles * rounds.len() {
+            let a = engine.apply(&mut fast, i);
+            let b = apply_round_reference(&mut oracle, &rounds[i % rounds.len()]);
+            prop_assert_eq!(a, b, "changed flag diverged at round {}", i);
+            prop_assert_eq!(&fast, &oracle, "state diverged at round {}", i);
+        }
+    }
+
+    /// Permutation rounds (all targets distinct, ≥ 64 arcs) push the
+    /// pool engine onto its parallel dispatch path; it must stay
+    /// bit-identical to the sequential engine for any worker count.
+    #[test]
+    fn pool_fast_path_matches_sequential(
+        perm_seed in 0u64..10_000,
+        threads in 2usize..9,
+        rounds in 1usize..5,
+    ) {
+        let n = 96;
+        let mut perms: Vec<Round> = Vec::new();
+        let mut state = perm_seed;
+        for _ in 0..rounds {
+            let mut targets: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                targets.swap(i, j);
+            }
+            let arcs: Vec<Arc> = (0..n)
+                .filter(|&v| targets[v] != v)
+                .map(|v| Arc::new(v, targets[v]))
+                .collect();
+            prop_assert!(arcs.len() >= 64, "permutation with too many fixpoints");
+            perms.push(Round::new(arcs));
+        }
+        let mut engine = PoolEngine::new(CompiledSchedule::compile(&perms, n), threads);
+        let mut pool = Knowledge::initial(n);
+        let mut seq = Knowledge::initial(n);
+        for (i, round) in perms.iter().enumerate() {
+            engine.apply(&mut pool, i);
+            apply_round(&mut seq, round);
+        }
+        prop_assert_eq!(seq, pool);
+    }
+
+    /// The sparse delta engine — run-compressed rows, delta fast paths,
+    /// full-row retirement — matches the reference applier bit for bit
+    /// on arbitrary arc sets over many periods.
+    #[test]
+    fn sparse_matches_reference_on_wild_rounds(
+        period in proptest::collection::vec(wild_arcs_strategy(11), 1..5),
+        cycles in 1usize..6,
+    ) {
+        let n = 11;
+        let rounds: Vec<Round> = period.iter().cloned().map(Round::new).collect();
+        let mut engine = SparseEngine::new(CompiledSchedule::compile(&rounds, n));
+        let mut oracle = Knowledge::initial(n);
+        for i in 0..cycles * rounds.len() {
+            let a = engine.apply(i);
+            let b = apply_round_reference(&mut oracle, &rounds[i % rounds.len()]);
+            prop_assert_eq!(a, b, "changed flag diverged at round {}", i);
+            prop_assert_eq!(engine.to_dense(), oracle.clone(), "state diverged at round {}", i);
+            prop_assert_eq!(engine.min_count(), oracle.min_count(), "min diverged at round {}", i);
+        }
+    }
+
     /// The one-shot `apply_round` equals the reference applier on
     /// arbitrary arc sets (it shares the absorb machinery with the
     /// compiled path, so divergence here would leak everywhere).
@@ -314,14 +397,27 @@ fn chain_with_self_loop_and_duplicate_target_pins_semantics() {
     engine.apply(&mut frontier, 0);
     assert_eq!(frontier, oracle);
 
-    // Replaying the same round until saturation keeps all four in step.
+    let mut pool_engine = PoolEngine::new(CompiledSchedule::compile(&rounds, n), 4);
+    let mut pool = Knowledge::initial(n);
+    pool_engine.apply(&mut pool, 0);
+    assert_eq!(pool, oracle);
+
+    let mut sparse_engine = SparseEngine::new(CompiledSchedule::compile(&rounds, n));
+    sparse_engine.apply(0);
+    assert_eq!(sparse_engine.to_dense(), oracle);
+
+    // Replaying the same round until saturation keeps all six in step.
     for i in 1..8 {
         apply_round_reference(&mut oracle, &round);
         apply_round(&mut one_shot, &round);
         sched.apply(&mut compiled, i);
         engine.apply(&mut frontier, i);
+        pool_engine.apply(&mut pool, i);
+        sparse_engine.apply(i);
         assert_eq!(one_shot, oracle);
         assert_eq!(compiled, oracle);
         assert_eq!(frontier, oracle);
+        assert_eq!(pool, oracle);
+        assert_eq!(sparse_engine.to_dense(), oracle);
     }
 }
