@@ -281,6 +281,103 @@ fn no_match_error(filter: &str, valid: &[&str]) -> String {
     )
 }
 
+/// One row of [`FLAG_TABLE`].
+struct FlagSpec {
+    name: &'static str,
+    /// The flag consumes the next argument as its value.
+    takes_value: bool,
+    /// Parsed by [`parse_sweep`]; common flags are parsed by
+    /// [`split_flags`] instead.
+    sweep_only: bool,
+}
+
+/// The single source of truth for the CLI grammar. Both argument
+/// passes consult it: [`split_flags`] parses the common flags and
+/// value-skips the sweep-only ones, [`parse_sweep`] parses the
+/// sweep-only flags and value-skips the common ones. Before this
+/// table each pass kept its own hand-maintained skip list, and they
+/// drifted: `--seed`, `--restarts` and `--iterations` were missing
+/// from `parse_sweep`'s list, so `sg-bench sweep --seed 42 …` died
+/// with "unexpected argument" instead of running.
+const FLAG_TABLE: &[FlagSpec] = &[
+    // Common flags — parsed in `split_flags`.
+    FlagSpec {
+        name: "--threads",
+        takes_value: true,
+        sweep_only: false,
+    },
+    FlagSpec {
+        name: "--sim-threads",
+        takes_value: true,
+        sweep_only: false,
+    },
+    FlagSpec {
+        name: "--filter",
+        takes_value: true,
+        sweep_only: false,
+    },
+    FlagSpec {
+        name: "--seed",
+        takes_value: true,
+        sweep_only: false,
+    },
+    FlagSpec {
+        name: "--restarts",
+        takes_value: true,
+        sweep_only: false,
+    },
+    FlagSpec {
+        name: "--iterations",
+        takes_value: true,
+        sweep_only: false,
+    },
+    FlagSpec {
+        name: "--format",
+        takes_value: true,
+        sweep_only: false,
+    },
+    FlagSpec {
+        name: "--stats",
+        takes_value: false,
+        sweep_only: false,
+    },
+    // Sweep-only flags — parsed in `parse_sweep`.
+    FlagSpec {
+        name: "--task",
+        takes_value: true,
+        sweep_only: true,
+    },
+    FlagSpec {
+        name: "--mode",
+        takes_value: true,
+        sweep_only: true,
+    },
+    FlagSpec {
+        name: "--net",
+        takes_value: true,
+        sweep_only: true,
+    },
+    FlagSpec {
+        name: "--periods",
+        takes_value: true,
+        sweep_only: true,
+    },
+    FlagSpec {
+        name: "--degrees",
+        takes_value: true,
+        sweep_only: true,
+    },
+    FlagSpec {
+        name: "--nonsystolic",
+        takes_value: false,
+        sweep_only: true,
+    },
+];
+
+fn flag_spec(name: &str) -> Option<&'static FlagSpec> {
+    FLAG_TABLE.iter().find(|f| f.name == name)
+}
+
 /// Separates positional arguments from the common flags. Sweep-specific
 /// flags are handled by [`parse_sweep`] and only *allowed* (skipped)
 /// here when `sweep` is set — `sg-bench run` rejects them rather than
@@ -352,17 +449,20 @@ fn split_flags(args: &[String], sweep: bool) -> Result<(Vec<String>, CommonFlags
                 };
             }
             "--stats" => flags.stats = true,
-            f @ ("--task" | "--mode" | "--net" | "--periods" | "--degrees" | "--nonsystolic") => {
-                if !sweep {
-                    return Err(format!("`{f}` only applies to `sg-bench sweep`"));
+            flag if flag.starts_with("--") => match flag_spec(flag) {
+                Some(spec) if spec.sweep_only => {
+                    if !sweep {
+                        return Err(format!("`{flag}` only applies to `sg-bench sweep`"));
+                    }
+                    if spec.takes_value {
+                        i += 1; // skip the flag's value; parse_sweep consumed it
+                    }
                 }
-                if f != "--nonsystolic" {
-                    i += 1; // skip the flag's value; parse_sweep consumed it
-                }
-            }
-            flag if flag.starts_with("--") => {
-                return Err(format!("unknown flag `{flag}`"));
-            }
+                // A common flag in the table without a parse arm above
+                // is a bug the `flag_table` tests catch; at runtime it
+                // is indistinguishable from an unknown flag.
+                _ => return Err(format!("unknown flag `{flag}`")),
+            },
             name => names.push(name.to_string()),
         }
         i += 1;
@@ -438,9 +538,16 @@ fn parse_sweep(args: &[String]) -> Result<Scenario, String> {
                     );
                 }
             }
-            "--threads" | "--sim-threads" | "--format" | "--filter" => i += 1,
-            "--stats" => {}
-            other => return Err(format!("sweep: unexpected argument `{other}`")),
+            other => match flag_spec(other) {
+                // A common flag: `split_flags` parses it; here only its
+                // value is skipped so positional scanning stays aligned.
+                Some(spec) if !spec.sweep_only => {
+                    if spec.takes_value {
+                        i += 1;
+                    }
+                }
+                _ => return Err(format!("sweep: unexpected argument `{other}`")),
+            },
         }
         i += 1;
     }
@@ -473,10 +580,24 @@ fn parse_sweep(args: &[String]) -> Result<Scenario, String> {
     })
 }
 
-/// The one-line thread echo of text output: always the resolved global
-/// budget, plus the per-unit sim override when one was given.
+/// The one-line thread echo of text output: the resolved global thread
+/// *budget*, plus the per-unit sim override when one was given.
+///
+/// Worker-vs-budget convention (see `sg_sim::pool::PoolEngine::new`): a
+/// budget of `t` means the calling thread plus `t - 1` spawned pool
+/// workers. A budget of 1 spawns no workers at all — the batch runs
+/// sequentially on the calling thread — so the echo says exactly that
+/// instead of claiming "1 worker(s)".
 fn thread_echo(opts: &BatchOptions) -> String {
-    let mut echo = format!("threads: {} worker(s)", opts.effective_threads());
+    let budget = opts.effective_threads();
+    let mut echo = if budget <= 1 {
+        "threads: 1 (sequential — no pool workers spawned)".to_string()
+    } else {
+        format!(
+            "threads: {budget} ({} pool worker(s) + the calling thread)",
+            budget - 1
+        )
+    };
     if opts.sim_threads > 0 {
         echo.push_str(&format!(", {} sim thread(s) per unit", opts.sim_threads));
     }
@@ -557,17 +678,133 @@ mod tests {
             sim_threads: flags.sim_threads,
             ..Default::default()
         };
+        // Budget 3 = 2 spawned pool workers + the calling thread
+        // (`PoolEngine::new` spawns `threads - 1`).
         assert_eq!(
             thread_echo(&opts),
-            "threads: 3 worker(s), 2 sim thread(s) per unit"
+            "threads: 3 (2 pool worker(s) + the calling thread), 2 sim thread(s) per unit"
+        );
+        // Budget 1 spawns no workers — the echo must not claim any.
+        let sequential = BatchOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        assert_eq!(
+            thread_echo(&sequential),
+            "threads: 1 (sequential — no pool workers spawned)"
         );
         // With no --sim-threads the echo shows only the resolved global
         // budget — the per-unit split depends on the unit count.
         let auto = BatchOptions::default();
-        assert_eq!(
-            thread_echo(&auto),
-            format!("threads: {} worker(s)", auto.effective_threads())
+        let echo = thread_echo(&auto);
+        assert!(
+            echo.starts_with(&format!("threads: {}", auto.effective_threads())),
+            "{echo}"
         );
+        assert_eq!(echo.contains("sequential"), auto.effective_threads() <= 1);
+    }
+
+    /// A value the flag's own parser accepts — so table-driven probes
+    /// below exercise the real parse arms, not just error paths.
+    fn valid_value(flag: &str) -> &'static str {
+        match flag {
+            "--threads" | "--sim-threads" | "--seed" | "--restarts" | "--iterations" => "3",
+            "--filter" => "fig",
+            "--format" => "json",
+            "--task" => "bound",
+            "--mode" => "fd",
+            "--net" => "cycle:8",
+            "--periods" => "3..4",
+            "--degrees" => "2,3",
+            f => panic!("valid_value: unknown flag `{f}`"),
+        }
+    }
+
+    /// Every flag `split_flags` parses must be value-skipped by
+    /// `parse_sweep`, and vice versa — the drift this table exists to
+    /// prevent (`--seed`/`--restarts`/`--iterations` used to be
+    /// missing from `parse_sweep`'s hand-maintained skip list, so
+    /// `sg-bench sweep --seed 42 …` died with "unexpected argument").
+    #[test]
+    fn every_table_flag_is_parsed_by_one_pass_and_skipped_by_the_other() {
+        let base = [
+            "--task",
+            "bound",
+            "--mode",
+            "fd",
+            "--net",
+            "cycle:8",
+            "--periods",
+            "3..4",
+        ];
+        for spec in FLAG_TABLE {
+            let mut args: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+            args.push(spec.name.to_string());
+            if spec.takes_value {
+                args.push(valid_value(spec.name).to_string());
+            }
+            let scenario = parse_sweep(&args)
+                .unwrap_or_else(|e| panic!("parse_sweep must accept `{}`: {e}", spec.name));
+            if !spec.sweep_only {
+                // A skipped common flag must not disturb the sweep's
+                // own parse (its value read as a positional would).
+                assert_eq!(
+                    scenario.networks.len(),
+                    1,
+                    "`{}`'s value must not be read as a positional",
+                    spec.name
+                );
+            }
+            let (names, _) = split_flags(&args, true)
+                .unwrap_or_else(|e| panic!("split_flags must accept `{}`: {e}", spec.name));
+            assert!(
+                names.is_empty(),
+                "`{}`'s value leaked into positionals: {names:?}",
+                spec.name
+            );
+        }
+    }
+
+    /// The whole grammar at once: one command line carrying every flag
+    /// in the table survives both passes with the common flags parsed.
+    #[test]
+    fn both_passes_accept_a_command_line_with_every_flag() {
+        let mut args: Vec<String> = Vec::new();
+        for spec in FLAG_TABLE {
+            args.push(spec.name.to_string());
+            if spec.takes_value {
+                args.push(valid_value(spec.name).to_string());
+            }
+        }
+        let scenario = parse_sweep(&args).expect("sweep parses the full grammar");
+        assert!(scenario.periods.contains(&Period::NonSystolic));
+        let (names, flags) = split_flags(&args, true).expect("split parses the full grammar");
+        assert!(names.is_empty(), "{names:?}");
+        assert_eq!(flags.threads, 3);
+        assert_eq!(flags.search_seed, Some(3));
+        assert_eq!(flags.search_restarts, Some(3));
+        assert_eq!(flags.search_iterations, Some(3));
+        assert_eq!(flags.format, Format::Json);
+        assert!(flags.stats);
+    }
+
+    /// Sweep-only flags stay sweep-only: `sg-bench run` rejects each
+    /// one by name rather than silently ignoring it.
+    #[test]
+    fn sweep_only_flags_are_rejected_outside_sweep() {
+        for spec in FLAG_TABLE.iter().filter(|s| s.sweep_only) {
+            let mut args = vec![spec.name.to_string()];
+            if spec.takes_value {
+                args.push(valid_value(spec.name).to_string());
+            }
+            let err =
+                split_flags(&args, false).expect_err("sweep-only flag must be rejected by `run`");
+            assert!(
+                err.contains("only applies to `sg-bench sweep`"),
+                "`{}`: {err}",
+                spec.name
+            );
+        }
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! entry is built at most a handful of times (benign build races are
 //! tolerated rather than serialized) and read many times.
 
-use crate::descriptor::ProtocolKind;
+use crate::descriptor::{protocol_for, ProtocolKind};
 use sg_delay::digraph::DelayDigraph;
 use sg_graphs::digraph::Digraph;
 use sg_graphs::group::{automorphism_group, PermGroup};
+use sg_protocol::mode::Mode;
+use sg_protocol::protocol::SystolicProtocol;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -40,14 +42,24 @@ pub struct CacheStats {
     pub group_order_max: u128,
     /// Deepest stabilizer chain computed in the batch.
     pub group_chain_depth_max: usize,
+    /// Deterministic-protocol cache hits.
+    pub protocol_hits: usize,
+    /// Deterministic protocols actually constructed.
+    pub protocol_builds: usize,
     /// Bound-oracle counters: every `(network, mode, period)` is
     /// computed at most once per batch, by construction.
     pub oracle: OracleStats,
 }
 
-/// Shared memo of built digraphs, measured diameters and periodic delay
-/// digraphs, keyed by the network descriptor (plus protocol kind for the
-/// delay structures).
+/// The per-`(network, mode)` deterministic-protocol memo. `None` entries
+/// record that the family has no deterministic protocol in that mode
+/// (directed shift networks), so the absence is also computed once.
+type ProtocolMemo = HashMap<(Network, Mode), Option<(ProtocolKind, Arc<SystolicProtocol>)>>;
+
+/// Shared memo of built digraphs, measured diameters, deterministic
+/// protocols and periodic delay digraphs, keyed by the network
+/// descriptor (plus protocol kind for the delay structures, plus mode
+/// for the protocols).
 #[derive(Debug, Default)]
 pub struct BuildCache {
     oracle: BoundOracle,
@@ -55,6 +67,7 @@ pub struct BuildCache {
     diameters: Mutex<HashMap<Network, Option<u32>>>,
     delays: Mutex<HashMap<(Network, ProtocolKind), Arc<DelayDigraph>>>,
     groups: Mutex<HashMap<Network, Arc<PermGroup>>>,
+    protocols: Mutex<ProtocolMemo>,
     graph_hits: AtomicUsize,
     graph_builds: AtomicUsize,
     diameter_hits: AtomicUsize,
@@ -63,6 +76,8 @@ pub struct BuildCache {
     delay_builds: AtomicUsize,
     group_hits: AtomicUsize,
     group_builds: AtomicUsize,
+    protocol_hits: AtomicUsize,
+    protocol_builds: AtomicUsize,
     /// Batch-wide maxima of (group order, chain depth) — the group
     /// statistics the `--stats` surface reports.
     group_maxima: Mutex<(u128, usize)>,
@@ -138,6 +153,33 @@ impl BuildCache {
         Arc::clone(self.groups.lock().unwrap().entry(*net).or_insert(built))
     }
 
+    /// The deterministic protocol [`protocol_for`] picks for `net` under
+    /// `mode`, constructed once and shared across every unit and
+    /// connection — `None` (no deterministic protocol exists) is
+    /// memoized too. Sharing the schedule is what lets a query daemon
+    /// certify the same reference protocol from many connections without
+    /// rebuilding it per request.
+    pub fn protocol(
+        &self,
+        net: &Network,
+        mode: Mode,
+    ) -> Option<(ProtocolKind, Arc<SystolicProtocol>)> {
+        let key = (*net, mode);
+        if let Some(entry) = self.protocols.lock().unwrap().get(&key) {
+            self.protocol_hits.fetch_add(1, Ordering::Relaxed);
+            return entry.clone();
+        }
+        let g = self.digraph(net);
+        let built = protocol_for(net, &g, mode).map(|(kind, sp)| (kind, Arc::new(sp)));
+        self.protocol_builds.fetch_add(1, Ordering::Relaxed);
+        self.protocols
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(built)
+            .clone()
+    }
+
     /// The batch-wide memoizing bound oracle: every consumer of lower
     /// bounds (bound reports, family tables, certificates, enumeration
     /// floors) resolves through this one instance.
@@ -159,6 +201,8 @@ impl BuildCache {
             group_builds: self.group_builds.load(Ordering::Relaxed),
             group_order_max: maxima.0,
             group_chain_depth_max: maxima.1,
+            protocol_hits: self.protocol_hits.load(Ordering::Relaxed),
+            protocol_builds: self.protocol_builds.load(Ordering::Relaxed),
             oracle: self.oracle.stats(),
         }
     }
@@ -184,6 +228,13 @@ impl std::fmt::Display for CacheStats {
                 self.group_hits,
                 self.group_order_max,
                 self.group_chain_depth_max
+            )?;
+        }
+        if self.protocol_builds > 0 {
+            write!(
+                f,
+                "protocols {} built / {} hits; ",
+                self.protocol_builds, self.protocol_hits
             )?;
         }
         write!(f, "{}", self.oracle)
@@ -239,6 +290,25 @@ mod tests {
         assert_eq!(s.group_order_max, 48);
         assert!(s.group_chain_depth_max >= 2);
         assert!(format!("{s}").contains("automorphism chains 1 built"));
+    }
+
+    #[test]
+    fn protocols_memoize_including_absent_ones() {
+        let cache = BuildCache::new();
+        let net = Network::Hypercube { k: 3 };
+        let (kind_a, a) = cache.protocol(&net, Mode::FullDuplex).unwrap();
+        let (kind_b, b) = cache.protocol(&net, Mode::FullDuplex).unwrap();
+        assert_eq!(kind_a, kind_b);
+        assert!(Arc::ptr_eq(&a, &b), "one shared schedule");
+        // A directed shift network has no deterministic protocol; the
+        // absence is cached rather than re-derived.
+        let none = Network::DeBruijnDirected { d: 2, dd: 3 };
+        assert!(cache.protocol(&none, Mode::Directed).is_none());
+        assert!(cache.protocol(&none, Mode::Directed).is_none());
+        let s = cache.stats();
+        assert_eq!(s.protocol_builds, 2);
+        assert_eq!(s.protocol_hits, 2);
+        assert!(format!("{s}").contains("protocols 2 built"));
     }
 
     #[test]

@@ -205,6 +205,17 @@ pub enum ProtocolKind {
     FullDuplexColoring,
 }
 
+impl ProtocolKind {
+    /// Stable kebab-case label for reports and wire replies.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::Reference => "reference",
+            ProtocolKind::EdgeColoring => "edge-coloring",
+            ProtocolKind::FullDuplexColoring => "full-duplex-coloring",
+        }
+    }
+}
+
 /// Picks the executable protocol for `net` in a scenario running under
 /// `mode`. Directed and half-duplex scenarios take the network's
 /// reference protocol (which already falls back to the universal

@@ -17,11 +17,13 @@
 //! across a persistent worker pool (`sg_sim::pool`), so a batch of three
 //! big simulations on a 16-thread budget runs 3 units × 5 row-workers
 //! instead of 3 × 1. Units whose network order reaches
-//! `LARGE_SIM_MIN_N` (50 000) switch to the sparse delta engine
-//! (`sg_sim::sparse`), which never materializes the n²-bit table.
+//! `BatchOptions::large_sim_min_n` (default `LARGE_SIM_MIN_N`, 50 000)
+//! switch to the sparse delta engine (`sg_sim::sparse`), which never
+//! materializes the n²-bit table — judged by `order_hint()` when the
+//! family has one, else by the built graph's real order.
 
 use crate::cache::{BuildCache, CacheStats};
-use crate::descriptor::{protocol_for, PaperCheck, Scenario, Task, WeightScheme};
+use crate::descriptor::{PaperCheck, Scenario, Task, WeightScheme};
 use crate::tables::{assemble_table, family_row, family_specs, FamilySpec};
 use sg_bounds::pfun::Period;
 use sg_bounds::tables::{FigRow, FigTable};
@@ -45,17 +47,28 @@ use systolic_gossip::{audit_measured, Network, Row};
 /// Knobs of one batch run.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchOptions {
-    /// Worker threads — the global budget shared by unit-level fan-out
+    /// Thread *budget* — the global budget shared by unit-level fan-out
     /// and within-unit row parallelism (`0` = one per available core,
-    /// capped at 16).
+    /// capped at 16). Worker-vs-budget convention (see
+    /// `sg_sim::pool::PoolEngine::new`): a budget of `t` means the
+    /// calling thread plus `t - 1` spawned pool workers, so a budget of
+    /// 1 spawns nothing and runs strictly sequentially.
     pub threads: usize,
-    /// Row-parallel workers per simulate/compare unit (`0` = derive:
-    /// leftover budget when there are fewer units than threads).
+    /// Row-parallel budget per simulate/compare unit (`0` = derive:
+    /// leftover budget when there are fewer units than threads). Same
+    /// convention: `1` means sequential, no workers.
     pub sim_threads: usize,
     /// Options for every λ-search / norm evaluation.
     pub bound_opts: BoundOpts,
     /// Simulation round budget per protocol execution.
     pub sim_budget: usize,
+    /// Order at which simulate units abandon the dense `Knowledge`
+    /// table for the sparse delta engine, and compare units refuse to
+    /// run (defaults to `LARGE_SIM_MIN_N`, 50 000). The gate checks
+    /// `order_hint()` first — so hinted families never even build the
+    /// graph — and falls back to the built graph's real order for the
+    /// hint-less families (trees, butterflies, de Bruijn, Kautz).
+    pub large_sim_min_n: usize,
 }
 
 impl Default for BatchOptions {
@@ -65,6 +78,7 @@ impl Default for BatchOptions {
             sim_threads: 0,
             bound_opts: BoundOpts::default(),
             sim_budget: 1_000_000,
+            large_sim_min_n: LARGE_SIM_MIN_N,
         }
     }
 }
@@ -105,10 +119,11 @@ impl BatchOptions {
 /// automatically when handed one thread.
 const WITHIN_UNIT_PARALLEL_MIN_N: usize = 2048;
 
-/// From this order up, a simulate unit abandons the dense `Knowledge`
-/// table (n² bits — 125 GB at n = 10⁶) and the Ω(n²) bound/audit
-/// machinery for the sparse delta engine: exact completion times, row
-/// storage proportional to the runs actually present.
+/// The default of [`BatchOptions::large_sim_min_n`]: from this order
+/// up, a simulate unit abandons the dense `Knowledge` table (n² bits —
+/// 125 GB at n = 10⁶) and the Ω(n²) bound/audit machinery for the
+/// sparse delta engine: exact completion times, row storage
+/// proportional to the runs actually present.
 const LARGE_SIM_MIN_N: usize = 50_000;
 
 /// Row-storage budget for large sparse units. An unstructured instance
@@ -625,12 +640,24 @@ fn simulate_unit(
     opts: &BatchOptions,
     sim_threads: usize,
 ) -> UnitOut {
-    if net.order_hint().is_some_and(|n| n >= LARGE_SIM_MIN_N) {
-        return simulate_large_unit(net, scenario, opts);
+    // Gate on the hint first so hinted families at large order never
+    // build anything dense…
+    if let Some(n) = net.order_hint().filter(|&n| n >= opts.large_sim_min_n) {
+        return simulate_large_unit(net, scenario, opts, n);
     }
     let g = cache.digraph(net);
     let n = g.vertex_count();
-    let Some((kind, sp)) = protocol_for(net, &g, scenario.mode) else {
+    // …and re-check the *built* order for the hint-less families
+    // (trees, butterflies, de Bruijn, Kautz): a `db:2,17` has hint None
+    // but order 131 072, and the dense n²-bit `Knowledge` table below
+    // would be an OOM, not a slowdown. The digraph itself is only
+    // O(n + m), so building it to learn n is safe.
+    if n >= opts.large_sim_min_n {
+        return simulate_large_unit(net, scenario, opts, n);
+    }
+    // The shared protocol memo: a serve daemon or a second scenario in
+    // the same batch asking for this (network, mode) reuses the build.
+    let Some((kind, sp)) = cache.protocol(net, scenario.mode) else {
         return UnitOut {
             text: Some(format!(
                 "{}: no deterministic protocol in {} mode — skipped",
@@ -741,14 +768,20 @@ fn simulate_unit(
     }
 }
 
-/// Simulate unit for networks at or beyond [`LARGE_SIM_MIN_N`]: runs
-/// the sparse delta engine and reports completion plus resource
+/// Simulate unit for networks at or beyond `opts.large_sim_min_n`:
+/// runs the sparse delta engine and reports completion plus resource
 /// telemetry. Everything Ω(n²) is deliberately absent — no dense
 /// `Knowledge` table, no all-pairs diameter, no λ-search audit, no
 /// protocol validation pass (the builders are conformance-tested at
 /// small n; the sparse engine is bit-identical by the same suite).
-fn simulate_large_unit(net: &Network, scenario: &Scenario, opts: &BatchOptions) -> UnitOut {
-    let n = net.order_hint().expect("large units are gated on a hint");
+/// `n` is the network order, supplied by the caller: the `order_hint`
+/// when one exists, else the built graph's real vertex count.
+fn simulate_large_unit(
+    net: &Network,
+    scenario: &Scenario,
+    opts: &BatchOptions,
+    n: usize,
+) -> UnitOut {
     // Unstructured instances densify: the sparse state can approach the
     // dense n²/8 bytes, so refuse upfront when even that worst case
     // cannot fit, rather than burn minutes to a guaranteed abort.
@@ -884,22 +917,29 @@ fn compare_unit(
     opts: &BatchOptions,
     sim_threads: usize,
 ) -> UnitOut {
-    if net.order_hint().is_some_and(|n| n >= LARGE_SIM_MIN_N) {
-        return UnitOut {
-            text: Some(format!(
-                "{}: order ≥ {LARGE_SIM_MIN_N} — the dense compare unit is skipped \
-                 at this size (use a simulate scenario; the sparse engine covers it)",
-                net.name()
-            )),
-            ..Default::default()
-        };
+    let skip_large = |n: usize| UnitOut {
+        text: Some(format!(
+            "{}: order {n} ≥ {} — the dense compare unit is skipped \
+             at this size (use a simulate scenario; the sparse engine covers it)",
+            net.name(),
+            opts.large_sim_min_n
+        )),
+        ..Default::default()
+    };
+    // Same two-stage gate as `simulate_unit`: hint first, then the
+    // built order for hint-less families.
+    if let Some(n) = net.order_hint().filter(|&n| n >= opts.large_sim_min_n) {
+        return skip_large(n);
     }
     let g = cache.digraph(net);
     let n = g.vertex_count();
+    if n >= opts.large_sim_min_n {
+        return skip_large(n);
+    }
     let mut rows = Vec::new();
     let mut text = String::new();
 
-    match protocol_for(net, &g, scenario.mode) {
+    match cache.protocol(net, scenario.mode) {
         Some((kind, sp)) => {
             // 1. Audit the deterministic protocol against every bound,
             //    measuring the gossip time through the persistent

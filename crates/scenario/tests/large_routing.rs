@@ -1,0 +1,115 @@
+//! Regression test for the large-simulation routing gate. The gate
+//! used to look only at `order_hint()`, so hint-less families (trees,
+//! butterflies, de Bruijn, Kautz) fell through to the dense path at
+//! any order — a `db:2,17` (n = 131 072) would try to allocate the
+//! n²-bit `Knowledge` table and die, while a `cycle:131072` was
+//! correctly routed to the sparse engine. The gate now falls back to
+//! the built graph's real order. `BatchOptions::large_sim_min_n` lets
+//! the test exercise the routing at toy sizes.
+
+use sg_scenario::{run_batch, BatchOptions, Scenario, SearchSpec, Task, WeightScheme};
+use systolic_gossip::sg_protocol::mode::Mode;
+use systolic_gossip::{Network, Value};
+
+fn simulate_scenario(net: Network) -> Scenario {
+    Scenario {
+        name: "large-routing",
+        summary: "routing regression harness",
+        task: Task::Simulate,
+        mode: Mode::HalfDuplex,
+        networks: vec![net],
+        degrees: Vec::new(),
+        periods: Vec::new(),
+        weights: WeightScheme::Unit,
+        checks: Vec::new(),
+        search: SearchSpec::default(),
+    }
+}
+
+/// Which engine a simulate run used, read off the emitted rows:
+/// the sparse path tags rows `kind = "large-sim"`, the dense path
+/// `kind = "audit"`.
+fn engine_kind(net: Network, large_sim_min_n: usize) -> &'static str {
+    let opts = BatchOptions {
+        threads: 1,
+        large_sim_min_n,
+        ..BatchOptions::default()
+    };
+    let report = run_batch(&[simulate_scenario(net)], &opts);
+    let rows = &report.outcomes[0].rows;
+    let kind_of = |k: &str| {
+        rows.iter().any(|r| {
+            r.fields
+                .iter()
+                .any(|(name, v)| name == "kind" && *v == Value::Text(k.to_string()))
+        })
+    };
+    if kind_of("large-sim") {
+        "sparse"
+    } else if kind_of("audit") {
+        "dense"
+    } else {
+        "none"
+    }
+}
+
+/// A de Bruijn graph has `order_hint() == None`; at order ≥ the
+/// threshold it must still route to the sparse engine, judged by the
+/// built graph's real order (db:2,8 has 256 vertices).
+#[test]
+fn hintless_family_over_threshold_routes_to_sparse_engine() {
+    let net = Network::DeBruijn { d: 2, dd: 8 };
+    assert_eq!(
+        net.order_hint(),
+        None,
+        "the regression needs a hint-less family"
+    );
+    assert_eq!(engine_kind(net, 100), "sparse");
+}
+
+/// The same hint-less family below the threshold stays on the dense
+/// path (curve + λ-audit).
+#[test]
+fn hintless_family_under_threshold_stays_dense() {
+    let net = Network::DeBruijn { d: 2, dd: 4 };
+    assert_eq!(net.order_hint(), None);
+    assert_eq!(engine_kind(net, 100), "dense");
+}
+
+/// Hinted families still gate on the hint (no graph build needed):
+/// a cycle over the threshold goes sparse, under it stays dense.
+#[test]
+fn hinted_family_gates_on_the_hint() {
+    assert_eq!(engine_kind(Network::Cycle { n: 128 }, 100), "sparse");
+    assert_eq!(engine_kind(Network::Cycle { n: 64 }, 100), "dense");
+}
+
+/// The compare task refuses both over-threshold shapes — hinted and
+/// hint-less — with the explanatory skip text instead of running the
+/// dense Ω(n²) machinery.
+#[test]
+fn compare_unit_skips_over_threshold_orders_hint_or_not() {
+    for net in [
+        Network::Cycle { n: 128 },         // hint = Some(128)
+        Network::DeBruijn { d: 2, dd: 8 }, // hint = None, order 256
+    ] {
+        let scenario = Scenario {
+            task: Task::Compare,
+            ..simulate_scenario(net)
+        };
+        let opts = BatchOptions {
+            threads: 1,
+            large_sim_min_n: 100,
+            ..BatchOptions::default()
+        };
+        let report = run_batch(&[scenario], &opts);
+        let outcome = &report.outcomes[0];
+        assert!(outcome.rows.is_empty(), "{}: no dense rows", net.name());
+        let text = outcome.text.join("\n");
+        assert!(
+            text.contains("dense compare unit is skipped"),
+            "{}: {text}",
+            net.name()
+        );
+    }
+}

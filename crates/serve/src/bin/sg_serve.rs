@@ -1,0 +1,128 @@
+//! The `sg-serve` daemon binary: bind, serve, drain on SIGTERM/SIGINT.
+//!
+//! ```text
+//! sg-serve [--addr HOST:PORT] [--max-inflight N]
+//!          [--read-timeout-ms MS] [--write-timeout-ms MS]
+//!          [--shutdown-grace-ms MS]
+//!          [--max-bound-n N] [--max-sim-n N] [--max-enumerate-n N]
+//! ```
+//!
+//! Exits `0` iff shutdown drained every in-flight query within the
+//! grace period.
+
+use sg_serve::engine::EngineConfig;
+use sg_serve::server::{Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set by the signal handler; polled by the watcher thread. A signal
+/// handler may only do async-signal-safe work, and a relaxed store is.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    STOP.store(true, Ordering::Relaxed);
+}
+
+/// Installs `on_signal` for SIGINT (2) and SIGTERM (15) through the
+/// C `signal` function std already links — the workspace is offline, so
+/// no `libc` crate.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(2, on_signal);
+        signal(15, on_signal);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sg-serve [--addr HOST:PORT] [--max-inflight N] \
+         [--read-timeout-ms MS] [--write-timeout-ms MS] [--shutdown-grace-ms MS] \
+         [--max-bound-n N] [--max-sim-n N] [--max-enumerate-n N]"
+    );
+    std::process::exit(2)
+}
+
+/// The value of `args[*i + 1]`, advancing past it.
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    args.get(*i).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("sg-serve: {flag} needs a value");
+        usage()
+    })
+}
+
+/// Same, parsed as a number.
+fn flag_num(args: &[String], i: &mut usize, flag: &str) -> u64 {
+    let v = flag_value(args, i, flag);
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("sg-serve: {flag} needs a number, got `{v}`");
+        usage()
+    })
+}
+
+fn main() {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7411".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut engine = EngineConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let f = flag.as_str();
+        match f {
+            "--addr" => cfg.addr = flag_value(&args, &mut i, f).to_string(),
+            "--max-inflight" => cfg.max_inflight = flag_num(&args, &mut i, f) as usize,
+            "--read-timeout-ms" => {
+                cfg.read_timeout = Duration::from_millis(flag_num(&args, &mut i, f))
+            }
+            "--write-timeout-ms" => {
+                cfg.write_timeout = Duration::from_millis(flag_num(&args, &mut i, f))
+            }
+            "--shutdown-grace-ms" => {
+                cfg.shutdown_grace = Duration::from_millis(flag_num(&args, &mut i, f))
+            }
+            "--max-bound-n" => engine.max_bound_n = flag_num(&args, &mut i, f) as usize,
+            "--max-sim-n" => engine.max_sim_n = flag_num(&args, &mut i, f) as usize,
+            "--max-enumerate-n" => engine.max_enumerate_n = flag_num(&args, &mut i, f) as usize,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("sg-serve: unknown flag `{other}`");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    cfg.engine = engine;
+
+    install_signal_handlers();
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sg-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("sg-serve listening on {}", server.local_addr());
+
+    // Watcher: turn the (async-signal-safe) flag into a graceful
+    // shutdown request.
+    let handle = server.handle();
+    std::thread::spawn(move || {
+        while !STOP.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        handle.shutdown();
+    });
+
+    let report = server.join();
+    println!(
+        "sg-serve: {} connections, {} served, {} errors, {} shed, drained: {}",
+        report.connections, report.served, report.errors, report.shed, report.drained
+    );
+    std::process::exit(if report.drained { 0 } else { 1 });
+}

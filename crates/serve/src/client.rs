@@ -1,0 +1,94 @@
+//! A small blocking JSONL client — what the e2e tests, the load
+//! generator and any scripted consumer speak through. One request line
+//! out, one reply line back.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected client with its own receive buffer.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects once.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::with_capacity(1024),
+        })
+    }
+
+    /// Connects with retries — the load generator opens thousands of
+    /// sockets and a freshly-started server (or a briefly-full accept
+    /// queue) refuses some of them transiently.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Copy,
+        attempts: usize,
+    ) -> std::io::Result<Client> {
+        let mut last = None;
+        for i in 0..attempts.max(1) {
+            match Self::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(Duration::from_millis(10 * (i as u64 + 1)));
+                }
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Caps how long [`Client::recv_line`] blocks.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request line (newline appended).
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.stream.write_all(framed.as_bytes())
+    }
+
+    /// Sends raw bytes exactly as given — the malformed-input tests
+    /// need full control of the framing.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Blocks for the next reply line (without its newline).
+    /// `ErrorKind::UnexpectedEof` when the server closed first.
+    pub fn recv_line(&mut self) -> std::io::Result<String> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                return Ok(String::from_utf8_lossy(&line[..pos]).into_owned());
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(k) => self.buf.extend_from_slice(&chunk[..k]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One full round trip.
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        self.send_line(line)?;
+        self.recv_line()
+    }
+}

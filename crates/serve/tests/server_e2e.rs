@@ -1,0 +1,247 @@
+//! End-to-end tests of the daemon over real sockets: single-flight
+//! across connections, malformed input never killing a connection,
+//! overload shedding at the in-flight cap, graceful shutdown draining
+//! in-flight queries, and the idle read timeout.
+
+use sg_serve::json::{self, Json};
+use sg_serve::server::{Server, ServerConfig};
+use sg_serve::Client;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+fn test_server(tweak: impl FnOnce(&mut ServerConfig)) -> Server {
+    let mut cfg = ServerConfig {
+        read_timeout: Duration::from_secs(5),
+        shutdown_grace: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    tweak(&mut cfg);
+    Server::bind(cfg).expect("bind on 127.0.0.1:0")
+}
+
+fn ok_of(line: &str) -> bool {
+    json::parse(line)
+        .expect("reply is valid JSON")
+        .get("ok")
+        .and_then(Json::as_bool)
+        .expect("reply has `ok`")
+}
+
+fn int_of(line: &str, key: &str) -> i64 {
+    json::parse(line)
+        .expect("reply is valid JSON")
+        .get(key)
+        .and_then(Json::as_int)
+        .unwrap_or_else(|| panic!("reply has int `{key}`: {line}"))
+}
+
+fn str_of(line: &str, key: &str) -> String {
+    json::parse(line)
+        .expect("reply is valid JSON")
+        .get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("reply has str `{key}`: {line}"))
+        .to_string()
+}
+
+/// N connections issue the same bound query simultaneously; the engine
+/// computes once, the oracle computes once, everyone gets the answer —
+/// the batch single-flight guarantee (`oracle_batch.rs`) extended
+/// end-to-end over sockets.
+#[test]
+fn identical_concurrent_queries_share_one_compute() {
+    const CONNS: usize = 16;
+    let server = test_server(|_| {});
+    let addr = server.local_addr();
+    let barrier = Barrier::new(CONNS);
+    let answers: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CONNS)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut c = Client::connect_retry(addr, 10).expect("connect");
+                    barrier.wait();
+                    c.roundtrip(r#"{"op":"bound","net":"hypercube:5","mode":"fd","period":4}"#)
+                        .expect("roundtrip")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for line in &answers {
+        assert!(ok_of(line), "every query answered ok: {line}");
+        assert_eq!(
+            int_of(line, "floor_rounds"),
+            int_of(&answers[0], "floor_rounds")
+        );
+    }
+    let mut c = Client::connect(addr).expect("connect");
+    let stats = c.roundtrip(r#"{"op":"stats"}"#).expect("stats");
+    assert_eq!(int_of(&stats, "singleflight_lookups"), CONNS as i64);
+    assert_eq!(
+        int_of(&stats, "singleflight_computes"),
+        1,
+        "one compute for {CONNS} identical queries: {stats}"
+    );
+    assert_eq!(
+        int_of(&stats, "oracle_computes"),
+        1,
+        "the oracle below also computed once: {stats}"
+    );
+    server.handle().shutdown();
+    assert!(server.join().drained);
+}
+
+/// A connection that sends garbage keeps working: every malformed line
+/// gets a structured error, and a valid query afterwards succeeds.
+#[test]
+fn malformed_lines_never_kill_the_connection() {
+    let server = test_server(|_| {});
+    let addr = server.local_addr();
+    let mut c = Client::connect(addr).expect("connect");
+    let bad_lines = [
+        r#"{"op":"bound","net":"hyperc"#, // truncated JSON
+        "not json at all",                // not JSON
+        r#"[1,2,3]"#,                     // not an object
+        r#"{"op":"launch_missiles"}"#,    // unknown op
+        r#"{"op":"bound","net":"path:8","mode":"hd","period":1}"#, // period too small
+        r#"{"op":"bound","net":"path:8","mode":"hd","period":999}"#, // period too large
+        r#"{"op":"bound","net":"blorp:8","mode":"hd","period":4}"#, // unknown family
+        r#"{"op":"bound","mode":"hd","period":4}"#, // missing net
+        r#"{"op":"bound","net":"path:8","period":4}"#, // missing mode
+        r#"{"op":"bound","net":"dbdir:2,4","mode":"fd","period":4}"#, // directed net, fd mode
+        r#"{"op":"sleep","ms":50}"#,      // sleep not enabled
+    ];
+    for bad in bad_lines {
+        let reply = c.roundtrip(bad).expect("connection still alive");
+        assert!(!ok_of(&reply), "`{bad}` must error: {reply}");
+        assert!(
+            !str_of(&reply, "error").is_empty(),
+            "error text present: {reply}"
+        );
+    }
+    // Blank lines are ignored, pipelined requests all answer, ids echo.
+    c.send_raw(b"\n   \n").expect("blank lines");
+    c.send_line(r#"{"op":"ping","id":7}"#).expect("send");
+    c.send_line(r#"{"op":"bound","net":"cycle:8","mode":"fd","period":3,"id":8}"#)
+        .expect("send");
+    let pong = c.recv_line().expect("pong");
+    assert!(ok_of(&pong));
+    assert_eq!(int_of(&pong, "id"), 7);
+    let bound = c.recv_line().expect("bound");
+    assert!(ok_of(&bound), "still serving after garbage: {bound}");
+    assert_eq!(int_of(&bound, "id"), 8);
+    server.handle().shutdown();
+    assert!(server.join().drained);
+}
+
+/// With a cap of 1 in-flight query, a second concurrent query is shed
+/// with `"overloaded"` — and `ping` still answers (gate bypass).
+#[test]
+fn overload_sheds_with_explicit_error() {
+    let server = test_server(|cfg| {
+        cfg.max_inflight = 1;
+        cfg.enable_sleep_op = true;
+    });
+    let addr = server.local_addr();
+    let shed = AtomicUsize::new(0);
+    let served = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        // One slow query occupies the only slot…
+        let slow = s.spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            c.roundtrip(r#"{"op":"sleep","ms":1500}"#).expect("sleep")
+        });
+        std::thread::sleep(Duration::from_millis(300));
+        // …so concurrent queries shed, while ping bypasses the gate.
+        for _ in 0..4 {
+            let mut c = Client::connect(addr).expect("connect");
+            let reply = c
+                .roundtrip(r#"{"op":"bound","net":"cycle:8","mode":"fd","period":3}"#)
+                .expect("reply");
+            if ok_of(&reply) {
+                served.fetch_add(1, Ordering::Relaxed);
+            } else {
+                assert_eq!(str_of(&reply, "error"), "overloaded");
+                shed.fetch_add(1, Ordering::Relaxed);
+            }
+            let pong = c.roundtrip(r#"{"op":"ping"}"#).expect("ping under load");
+            assert!(ok_of(&pong), "ping bypasses the gate: {pong}");
+        }
+        assert!(ok_of(&slow.join().unwrap()));
+    });
+    assert!(
+        shed.load(Ordering::Relaxed) >= 1,
+        "at least one query shed at cap 1"
+    );
+    server.handle().shutdown();
+    let report = server.join();
+    assert!(report.drained);
+    assert!(report.shed >= 1, "report counts shed queries");
+}
+
+/// Shutdown during an in-flight query: the query finishes, its reply is
+/// flushed, and the report says drained.
+#[test]
+fn graceful_shutdown_drains_inflight_queries() {
+    let server = test_server(|cfg| {
+        cfg.enable_sleep_op = true;
+    });
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let reply = std::thread::scope(|s| {
+        let inflight = s.spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            c.roundtrip(r#"{"op":"sleep","ms":1200}"#).expect("reply")
+        });
+        // Let the query start, then pull the plug.
+        std::thread::sleep(Duration::from_millis(300));
+        handle.shutdown();
+        inflight.join().unwrap()
+    });
+    assert!(ok_of(&reply), "in-flight query still answered: {reply}");
+    assert_eq!(int_of(&reply, "slept_ms"), 1200);
+    let report = server.join();
+    assert!(report.drained, "drain confirmed: {report:?}");
+    // New connections are no longer served.
+    assert!(
+        Client::connect(addr)
+            .and_then(|mut c| c.roundtrip(r#"{"op":"ping"}"#))
+            .is_err(),
+        "listener is gone after shutdown"
+    );
+}
+
+/// A silent peer is disconnected after the read timeout; a line longer
+/// than the cap is refused with an error before the close.
+#[test]
+fn idle_and_oversized_connections_are_closed() {
+    let server = test_server(|cfg| {
+        cfg.read_timeout = Duration::from_millis(600);
+    });
+    let addr = server.local_addr();
+
+    let mut idle = Client::connect(addr).expect("connect");
+    idle.set_timeout(Some(Duration::from_secs(5))).unwrap();
+    let t0 = Instant::now();
+    assert!(
+        idle.recv_line().is_err(),
+        "idle connection closed by the server"
+    );
+    assert!(
+        t0.elapsed() >= Duration::from_millis(500),
+        "not closed before the timeout"
+    );
+
+    let mut big = Client::connect(addr).expect("connect");
+    big.set_timeout(Some(Duration::from_secs(5))).unwrap();
+    let blob = vec![b'x'; 80 * 1024]; // 80KiB, no newline
+    big.send_raw(&blob).expect("send oversized line");
+    let reply = big.recv_line().expect("error reply before close");
+    assert!(!ok_of(&reply));
+    assert!(str_of(&reply, "error").contains("64KiB"), "{reply}");
+    assert!(big.recv_line().is_err(), "connection closed after refusal");
+
+    server.handle().shutdown();
+    assert!(server.join().drained);
+}

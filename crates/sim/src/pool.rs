@@ -284,6 +284,13 @@ pub struct PoolEngine {
 impl PoolEngine {
     /// Wraps a compiled schedule, spawning `threads - 1` persistent
     /// workers (the calling thread is the remaining worker).
+    ///
+    /// This is the repo-wide worker-vs-budget convention: `threads` is
+    /// a thread *budget* (the CLI's `--threads`, `BatchOptions`'
+    /// fields), of which the caller itself is one. A budget of 1
+    /// therefore spawns no workers at all and every round takes the
+    /// sequential compiled path — callers echoing the budget must not
+    /// describe it as a worker count.
     pub fn new(sched: CompiledSchedule, threads: usize) -> Self {
         let words = sched.words();
         let max_slots = (0..sched.round_count())
