@@ -1,0 +1,182 @@
+//! Criterion-shim bench for the distributed execution subsystem, and
+//! the fourth file of the repo's perf trajectory: alongside the stdout
+//! report it serializes every recorded timing — plus the deterministic
+//! rounds-to-completion of each workload at fault rates 0, 0.01 and
+//! 0.05 — into `BENCH_exec.json` at the workspace root (override with
+//! `SG_BENCH_EXEC_JSON`), uploaded by CI next to `BENCH_sim.json` /
+//! `BENCH_search.json` / `BENCH_enum.json`.
+//!
+//! The workload is four proven-optimal reference schedules — `P₈`,
+//! `Q₃`, `W(3,8)` and `Torus(4×4)` — each executed as a per-vertex
+//! message-passing node fleet under a seeded `FaultPlan`. Fault
+//! sampling is a pure counter-based function of the seed, so every
+//! recorded round count is bit-deterministic. The run *fails* if a
+//! fault-free execution diverges from the simulator's exact optimum —
+//! the conformance theorem the exec layer is built on must stay
+//! settled.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use sg_exec::{execute_protocol, DriverConfig, FaultPlan, RunReport};
+use systolic_gossip::prelude::*;
+use systolic_gossip::sg_sim::run_systolic;
+
+fn fast_mode() -> bool {
+    std::env::var("SG_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+/// The fault seed every recorded point uses: fixed, so the trajectory
+/// compares like with like across commits.
+const FAULT_SEED: u64 = 1997;
+
+/// Per-link drop probabilities of the recorded sweep.
+const DROP_RATES: [f64; 3] = [0.0, 0.01, 0.05];
+
+/// One executed workload: label and network (the schedule is the
+/// network's proven-optimal reference protocol).
+fn workloads() -> Vec<(&'static str, Network)> {
+    vec![
+        ("path8", Network::Path { n: 8 }),
+        ("hypercube3", Network::Hypercube { k: 3 }),
+        ("knodel38", Network::Knodel { delta: 3, n: 8 }),
+        ("torus4x4", Network::Torus2d { w: 4, h: 4 }),
+    ]
+}
+
+/// The simulator's exact completion round for the network's reference
+/// protocol — the baseline every execution is judged against.
+fn optimum(net: &Network) -> (usize, usize) {
+    let n = net.build().vertex_count();
+    let sp = net.reference_protocol().expect("reference protocol");
+    let t = run_systolic(&sp, n, 40 * n + 200, false)
+        .completed_at
+        .expect("reference protocol completes");
+    (n, t)
+}
+
+/// Executes the network's reference schedule under `drop_prob`.
+fn execute(net: &Network, n: usize, drop_prob: f64) -> RunReport {
+    let sp = net.reference_protocol().expect("reference protocol");
+    let plan = if drop_prob > 0.0 {
+        FaultPlan::lossy(FAULT_SEED, drop_prob)
+    } else {
+        FaultPlan::fault_free()
+    };
+    execute_protocol(
+        &sp,
+        n,
+        plan,
+        DriverConfig {
+            max_rounds: (400 * n + 2000) as u64,
+            ..DriverConfig::default()
+        },
+    )
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("execution");
+    g.sample_size(if fast_mode() { 2 } else { 10 });
+    for (label, net) in workloads() {
+        let (n, _) = optimum(&net);
+        g.bench_with_input(BenchmarkId::new(label, "fault_free"), &net, |b, net| {
+            b.iter(|| black_box(execute(net, n, 0.0)))
+        });
+        g.bench_with_input(BenchmarkId::new(label, "lossy_0.05"), &net, |b, net| {
+            b.iter(|| black_box(execute(net, n, 0.05)))
+        });
+    }
+    g.finish();
+}
+
+/// Where the trajectory file goes: the workspace root, next to the
+/// other `BENCH_*.json` files.
+fn json_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("SG_BENCH_EXEC_JSON") {
+        return p.into();
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_exec.json")
+}
+
+fn write_bench_json(c: &Criterion) {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut out = String::from("{\n");
+    out.push_str("  \"suite\": \"execution\",\n");
+    out.push_str(&format!("  \"fast\": {},\n", fast_mode()));
+    out.push_str(&format!("  \"fault_seed\": {FAULT_SEED},\n"));
+    out.push_str(&format!("  \"generated_unix\": {unix_secs},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in c.results().iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}{}\n",
+            r.name,
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.samples,
+            if i + 1 == c.results().len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // The deterministic fault sweep: every workload at every drop rate,
+    // re-run once each. The trajectory pins *what* the timed machinery
+    // computes, and a fault-free divergence from the proven optimum
+    // fails the run.
+    let mut points: Vec<(String, usize, usize, f64, RunReport)> = Vec::new();
+    for (label, net) in workloads() {
+        let (n, opt) = optimum(&net);
+        for p in DROP_RATES {
+            points.push((label.to_string(), n, opt, p, execute(&net, n, p)));
+        }
+    }
+    out.push_str("  \"executions\": [\n");
+    for (i, (label, n, opt, p, r)) in points.iter().enumerate() {
+        let rounds = r.completed_at.map_or("null".to_string(), |t| t.to_string());
+        out.push_str(&format!(
+            "    {{\"workload\": \"{label}\", \"n\": {n}, \"drop_prob\": {p}, \
+             \"completed_rounds\": {rounds}, \"optimum_rounds\": {opt}, \
+             \"gossip_sent\": {}, \"dropped\": {}, \"retransmissions\": {}}}{}\n",
+            r.gossip_sent,
+            r.dropped,
+            r.retransmissions,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = json_path();
+    std::fs::write(&path, &out).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("\nwrote {}", path.display());
+    for (label, _, opt, p, r) in &points {
+        println!(
+            "  {label} drop={p}: rounds {:?} (optimum {opt}, dropped {}, retx {})",
+            r.completed_at, r.dropped, r.retransmissions
+        );
+        let rounds = r.completed_at.unwrap_or_else(|| {
+            panic!("{label} drop={p}: execution did not complete within budget")
+        });
+        if *p == 0.0 {
+            // The conformance theorem: a fault-free fleet finishes in
+            // exactly the simulator's proven round count.
+            assert_eq!(
+                rounds as usize, *opt,
+                "{label}: fault-free execution diverged from the proven optimum"
+            );
+            assert_eq!(r.dropped, 0, "{label}: fault-free run dropped messages");
+        } else {
+            // Faults cost rounds, never correctness.
+            assert!(
+                rounds as usize >= *opt,
+                "{label} drop={p}: beat the proven optimum — fault sampling broken"
+            );
+        }
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_execution(&mut criterion);
+    write_bench_json(&criterion);
+}

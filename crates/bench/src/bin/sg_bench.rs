@@ -39,7 +39,16 @@ USAGE:
       optimum (or exact infeasibility) as a ProvenOptimal certificate.
       Without names, every enumerate-task scenario runs.
 
-  sg-bench sweep --task <bound|simulate|compare|enumerate> --mode <directed|half-duplex|full-duplex>
+  sg-bench execute [<name>...] [--filter SUBSTR] [--faults P] [--exec-seed N]
+                   [OPTIONS]
+      Run the distributed-execution scenarios (sg-exec): each vertex of
+      a compiled schedule becomes a message-passing node, stepped by a
+      deterministic fault-injecting driver, and the completion round is
+      checked against the lockstep simulator's optimum. --faults
+      overrides the per-link drop probability, --exec-seed the fault
+      seed. Without names, every execute-task scenario runs.
+
+  sg-bench sweep --task <bound|simulate|compare|enumerate|execute> --mode <directed|half-duplex|full-duplex>
                  --net <family:params> [--net ...] [--periods LO..HI] [--nonsystolic]
                  [--degrees D,D,...] [--filter SUBSTR] [OPTIONS]
       Run an ad-hoc scenario assembled from the command line. Each --net
@@ -54,6 +63,8 @@ OPTIONS:
   --sim-threads N      row-parallel threads per simulate/compare unit
                        (default: leftover budget once units are assigned;
                        the effective values are echoed in text output)
+  --faults P           execute: per-link drop probability in [0, 1)
+  --exec-seed N        execute: deterministic fault-sampling seed
   --format FMT         text | json | csv   (default text)
   --filter SUBSTR      restrict list/run/search/enumerate to matching scenario
                        names (sweep: restrict the --net list by network name)
@@ -90,6 +101,22 @@ struct CommonFlags {
     search_seed: Option<u64>,
     search_restarts: Option<usize>,
     search_iterations: Option<usize>,
+    exec_faults: Option<f64>,
+    exec_seed: Option<u64>,
+}
+
+impl CommonFlags {
+    /// `--faults` / `--exec-seed` only make sense where an `ExecSpec`
+    /// exists to override; every other command rejects them by name.
+    fn reject_exec_flags(&self, command: &str) -> Result<(), String> {
+        if self.exec_faults.is_some() || self.exec_seed.is_some() {
+            return Err(format!(
+                "--faults / --exec-seed only apply to `sg-bench execute` or \
+                 `sg-bench sweep --task execute`, not `sg-bench {command}`"
+            ));
+        }
+        Ok(())
+    }
 }
 
 fn run_cli(args: &[String]) -> Result<i32, String> {
@@ -115,6 +142,7 @@ fn run_cli(args: &[String]) -> Result<i32, String> {
                     "--seed / --restarts / --iterations only apply to `sg-bench search`".into(),
                 );
             }
+            flags.reject_exec_flags("list")?;
             let reg: Vec<Scenario> = apply_filter(registry(), flags.filter.as_deref());
             if reg.is_empty() {
                 let valid: Vec<&'static str> = registry().iter().map(|s| s.name).collect();
@@ -150,6 +178,7 @@ fn run_cli(args: &[String]) -> Result<i32, String> {
                     "--seed / --restarts / --iterations only apply to `sg-bench search`".into(),
                 );
             }
+            flags.reject_exec_flags("run")?;
             let scenarios = select_scenarios(&names, &flags, None)?;
             execute(&scenarios, &flags)
         }
@@ -165,11 +194,36 @@ fn run_cli(args: &[String]) -> Result<i32, String> {
                         .into(),
                 );
             }
+            flags.reject_exec_flags("enumerate")?;
             let scenarios = select_scenarios(&names, &flags, Some(Task::Enumerate))?;
+            execute(&scenarios, &flags)
+        }
+        "execute" => {
+            let (names, flags) = split_flags(&args[1..], false)?;
+            if flags.search_seed.is_some()
+                || flags.search_restarts.is_some()
+                || flags.search_iterations.is_some()
+            {
+                return Err(
+                    "--seed / --restarts / --iterations only apply to `sg-bench search` \
+                     (use --exec-seed to vary the fault pattern)"
+                        .into(),
+                );
+            }
+            let mut scenarios = select_scenarios(&names, &flags, Some(Task::Execute))?;
+            for sc in &mut scenarios {
+                if let Some(p) = flags.exec_faults {
+                    sc.exec.drop_prob = p;
+                }
+                if let Some(seed) = flags.exec_seed {
+                    sc.exec.seed = seed;
+                }
+            }
             execute(&scenarios, &flags)
         }
         "search" => {
             let (names, flags) = split_flags(&args[1..], false)?;
+            flags.reject_exec_flags("search")?;
             let mut scenarios = select_scenarios(&names, &flags, Some(Task::Search))?;
             // Effort overrides apply uniformly to every selected search.
             for sc in &mut scenarios {
@@ -188,6 +242,16 @@ fn run_cli(args: &[String]) -> Result<i32, String> {
         "sweep" => {
             let mut scenario = parse_sweep(&args[1..])?;
             let (_, flags) = split_flags(&args[1..], true)?;
+            if scenario.task == Task::Execute {
+                if let Some(p) = flags.exec_faults {
+                    scenario.exec.drop_prob = p;
+                }
+                if let Some(seed) = flags.exec_seed {
+                    scenario.exec.seed = seed;
+                }
+            } else {
+                flags.reject_exec_flags("sweep --task <non-execute>")?;
+            }
             // --filter on a sweep restricts the assembled network list.
             if let Some(f) = &flags.filter {
                 if scenario.networks.is_empty() {
@@ -332,6 +396,16 @@ const FLAG_TABLE: &[FlagSpec] = &[
         sweep_only: false,
     },
     FlagSpec {
+        name: "--faults",
+        takes_value: true,
+        sweep_only: false,
+    },
+    FlagSpec {
+        name: "--exec-seed",
+        takes_value: true,
+        sweep_only: false,
+    },
+    FlagSpec {
         name: "--format",
         takes_value: true,
         sweep_only: false,
@@ -393,6 +467,8 @@ fn split_flags(args: &[String], sweep: bool) -> Result<(Vec<String>, CommonFlags
         search_seed: None,
         search_restarts: None,
         search_iterations: None,
+        exec_faults: None,
+        exec_seed: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -437,6 +513,24 @@ fn split_flags(args: &[String], sweep: bool) -> Result<(Vec<String>, CommonFlags
                     arg_value(args, i, "--iterations")?
                         .parse()
                         .map_err(|_| "--iterations takes an integer".to_string())?,
+                );
+            }
+            "--faults" => {
+                i += 1;
+                let p: f64 = arg_value(args, i, "--faults")?
+                    .parse()
+                    .map_err(|_| "--faults takes a probability".to_string())?;
+                if !(0.0..1.0).contains(&p) {
+                    return Err(format!("--faults must be in [0, 1), got {p}"));
+                }
+                flags.exec_faults = Some(p);
+            }
+            "--exec-seed" => {
+                i += 1;
+                flags.exec_seed = Some(
+                    arg_value(args, i, "--exec-seed")?
+                        .parse()
+                        .map_err(|_| "--exec-seed takes an integer".to_string())?,
                 );
             }
             "--format" => {
@@ -494,6 +588,7 @@ fn parse_sweep(args: &[String]) -> Result<Scenario, String> {
                     "compare" => Task::Compare,
                     "matrices" => Task::Matrices,
                     "enumerate" => Task::Enumerate,
+                    "execute" => Task::Execute,
                     other => return Err(format!("unknown task `{other}`")),
                 });
             }
@@ -577,6 +672,7 @@ fn parse_sweep(args: &[String]) -> Result<Scenario, String> {
         weights: WeightScheme::Unit,
         checks: Vec::new(),
         search: sg_scenario::SearchSpec::default(),
+        exec: sg_scenario::ExecSpec::default(),
     })
 }
 
@@ -660,6 +756,8 @@ mod tests {
             search_seed: None,
             search_restarts: None,
             search_iterations: None,
+            exec_faults: None,
+            exec_seed: None,
         }
     }
 
@@ -708,7 +806,9 @@ mod tests {
     /// below exercise the real parse arms, not just error paths.
     fn valid_value(flag: &str) -> &'static str {
         match flag {
-            "--threads" | "--sim-threads" | "--seed" | "--restarts" | "--iterations" => "3",
+            "--threads" | "--sim-threads" | "--seed" | "--restarts" | "--iterations"
+            | "--exec-seed" => "3",
+            "--faults" => "0.05",
             "--filter" => "fig",
             "--format" => "json",
             "--task" => "bound",
@@ -784,8 +884,77 @@ mod tests {
         assert_eq!(flags.search_seed, Some(3));
         assert_eq!(flags.search_restarts, Some(3));
         assert_eq!(flags.search_iterations, Some(3));
+        assert_eq!(flags.exec_faults, Some(0.05));
+        assert_eq!(flags.exec_seed, Some(3));
         assert_eq!(flags.format, Format::Json);
         assert!(flags.stats);
+    }
+
+    /// Exec flags stay with the execute task: every other command
+    /// rejects them by name instead of silently ignoring them.
+    #[test]
+    fn exec_flags_are_rejected_outside_execute_and_execute_sweeps() {
+        for cmd in ["list", "run", "enumerate", "search"] {
+            for flag in [["--faults", "0.05"], ["--exec-seed", "7"]] {
+                let args: Vec<String> = [cmd, flag[0], flag[1]]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                let err = run_cli(&args).expect_err("exec flags outside execute must be rejected");
+                assert!(
+                    err.contains("--faults / --exec-seed only apply"),
+                    "`{cmd} {}`: {err}",
+                    flag[0]
+                );
+            }
+        }
+        // A non-execute sweep rejects them too…
+        let args: Vec<String> = [
+            "sweep", "--task", "simulate", "--mode", "fd", "--net", "cycle:8", "--faults", "0.05",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = run_cli(&args).expect_err("non-execute sweep rejects exec flags");
+        assert!(err.contains("--faults / --exec-seed only apply"), "{err}");
+        // …while an execute sweep parses into the scenario's ExecSpec.
+        let args: Vec<String> = ["--task", "execute", "--mode", "fd", "--net", "hypercube:3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let scenario = parse_sweep(&args).expect("execute sweeps parse");
+        assert_eq!(scenario.task, Task::Execute);
+    }
+
+    #[test]
+    fn faults_flag_validates_its_probability() {
+        for bad in ["1.0", "-0.1", "lots"] {
+            let args: Vec<String> = ["execute", "--faults", bad]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let err = split_flags(&args[1..], false).expect_err("bad probability rejected");
+            assert!(err.contains("--faults"), "`{bad}`: {err}");
+        }
+    }
+
+    #[test]
+    fn execute_selects_exactly_the_execute_scenarios() {
+        let picked = select_scenarios(&[], &flags_with_filter("exec-"), Some(Task::Execute))
+            .expect("matching filter selects");
+        assert_eq!(picked.len(), 4);
+        assert!(picked.iter().all(|s| s.task == Task::Execute));
+        // And a run-task scenario is refused by name.
+        let err = select_scenarios(
+            &["fig4".into()],
+            &flags_with_filter("fig"),
+            Some(Task::Execute),
+        )
+        .expect_err("non-execute scenario refused");
+        assert!(
+            err.contains("not a execute one") || err.contains("is a"),
+            "{err}"
+        );
     }
 
     /// Sweep-only flags stay sweep-only: `sg-bench run` rejects each

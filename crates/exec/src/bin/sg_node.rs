@@ -1,0 +1,14 @@
+//! `sg-node` — one systolic vertex as a maelstrom-style process.
+//!
+//! Speaks the JSONL wire protocol over stdin/stdout: an `init` line
+//! builds the node, each `round` tick answers with the round's sends
+//! closed by an echoed `round` fence, `gossip`/`ack` lines merge
+//! immediately (emitting `done` the moment the node holds everything),
+//! and a driver-sent `done` (or EOF) shuts the process down.
+
+fn main() {
+    if let Err(e) = sg_exec::serve_stdio() {
+        eprintln!("sg-node: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Declarative fault plans with counter-based deterministic sampling.
+//!
+//! Every fault decision is a pure function of `(seed, round, from, to,
+//! seq)` through a splitmix64-style mix — there is no shared mutable
+//! RNG stream — so a run's faults do not depend on the order the driver
+//! evaluates them in. That is what makes same-seed runs bit-identical
+//! at any thread count (the determinism bar of `sg-search`).
+
+use crate::message::NodeId;
+
+/// One node crash: the node goes down at the *start* of `at_round` and
+/// (optionally) comes back at the start of `restart_round`, knowledge
+/// intact (a warm restart). While down it sends nothing, and every
+/// message addressed to it is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crash {
+    /// The crashing vertex.
+    pub node: NodeId,
+    /// First round the node is down.
+    pub at_round: u64,
+    /// First round the node is back up; `None` = down forever.
+    pub restart_round: Option<u64>,
+}
+
+/// A declarative fault plan the driver injects from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed of the counter-based samplers.
+    pub seed: u64,
+    /// Per-message drop probability on every link, in `[0, 1]`.
+    pub drop_prob: f64,
+    /// Extra delivery delay, uniform over `0..=max_delay` rounds
+    /// (`0` = always delivered in the sending round, the fault-free
+    /// timing).
+    pub max_delay: u32,
+    /// Scheduled crash/restart events.
+    pub crashes: Vec<Crash>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::fault_free()
+    }
+}
+
+/// Mixes the fault-decision counter into a uniform 64-bit word.
+fn mix(seed: u64, round: u64, from: NodeId, to: NodeId, seq: u64, salt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(salt.wrapping_add(1)))
+        .wrapping_add(round.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+        .wrapping_add(u64::from(from) << 32 | u64::from(to))
+        .wrapping_add(seq.wrapping_mul(0xA076_1D64_78BD_642F));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// No faults at all: the conformance configuration.
+    pub fn fault_free() -> Self {
+        Self {
+            seed: 0,
+            drop_prob: 0.0,
+            max_delay: 0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// A seeded lossy-link plan: every message dropped independently
+    /// with probability `drop_prob`.
+    pub fn lossy(seed: u64, drop_prob: f64) -> Self {
+        Self {
+            seed,
+            drop_prob,
+            max_delay: 0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// `true` when the plan injects nothing — the driver then must
+    /// reproduce the lockstep simulator exactly.
+    pub fn is_fault_free(&self) -> bool {
+        self.drop_prob <= 0.0 && self.max_delay == 0 && self.crashes.is_empty()
+    }
+
+    /// Should the message `(from, to, seq)` sent in `round` be dropped?
+    pub fn drops(&self, round: u64, from: NodeId, to: NodeId, seq: u64) -> bool {
+        if self.drop_prob <= 0.0 {
+            return false;
+        }
+        if self.drop_prob >= 1.0 {
+            return true;
+        }
+        let r = mix(self.seed, round, from, to, seq, 0xD0);
+        // Top 53 bits → uniform in [0, 1).
+        let u = (r >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.drop_prob
+    }
+
+    /// Extra delivery delay (in rounds) for the message `(from, to,
+    /// seq)` sent in `round`.
+    pub fn delay(&self, round: u64, from: NodeId, to: NodeId, seq: u64) -> u32 {
+        if self.max_delay == 0 {
+            return 0;
+        }
+        let r = mix(self.seed, round, from, to, seq, 0xDE);
+        (r % u64::from(self.max_delay + 1)) as u32
+    }
+
+    /// Is `node` down during `round`?
+    pub fn down_at(&self, node: NodeId, round: u64) -> bool {
+        self.crashes.iter().any(|c| {
+            c.node == node && round >= c.at_round && c.restart_round.is_none_or(|r| round < r)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_plan_injects_nothing() {
+        let p = FaultPlan::fault_free();
+        assert!(p.is_fault_free());
+        for seq in 0..100 {
+            assert!(!p.drops(seq, 0, 1, seq));
+            assert_eq!(p.delay(seq, 0, 1, seq), 0);
+            assert!(!p.down_at(0, seq));
+        }
+    }
+
+    #[test]
+    fn drop_sampling_is_a_pure_function_of_the_counter() {
+        let p = FaultPlan::lossy(42, 0.3);
+        let a: Vec<bool> = (0..200).map(|s| p.drops(3, 1, 2, s)).collect();
+        let b: Vec<bool> = (0..200).map(|s| p.drops(3, 1, 2, s)).collect();
+        assert_eq!(a, b);
+        let dropped = a.iter().filter(|&&d| d).count();
+        assert!((20..=110).contains(&dropped), "{dropped} of 200 at p=0.3");
+        // A different seed gives a different pattern.
+        let c: Vec<bool> = (0..200)
+            .map(|s| FaultPlan::lossy(43, 0.3).drops(3, 1, 2, s))
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn delay_sampling_stays_in_range() {
+        let p = FaultPlan {
+            seed: 7,
+            drop_prob: 0.0,
+            max_delay: 3,
+            crashes: Vec::new(),
+        };
+        let mut seen = [false; 4];
+        for s in 0..400 {
+            let d = p.delay(s, 0, 1, s);
+            assert!(d <= 3);
+            seen[d as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "all delays realized: {seen:?}");
+    }
+
+    #[test]
+    fn crash_windows_honor_restart() {
+        let p = FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            max_delay: 0,
+            crashes: vec![
+                Crash {
+                    node: 3,
+                    at_round: 2,
+                    restart_round: Some(5),
+                },
+                Crash {
+                    node: 4,
+                    at_round: 1,
+                    restart_round: None,
+                },
+            ],
+        };
+        assert!(!p.down_at(3, 1));
+        assert!(p.down_at(3, 2));
+        assert!(p.down_at(3, 4));
+        assert!(!p.down_at(3, 5));
+        assert!(p.down_at(4, 100));
+        assert!(!p.down_at(0, 2));
+    }
+}

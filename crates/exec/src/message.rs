@@ -1,0 +1,499 @@
+//! The typed wire messages and their JSONL codec.
+//!
+//! Every message is one JSON object per line — the maelstrom convention —
+//! so a node behind the stdio transport and a node stepped in-process
+//! speak byte-identical protocol. The codec is hand-rolled over the
+//! small closed grammar the five message types need (unsigned integers,
+//! short strings, integer arrays, and the nested schedule array), which
+//! keeps the crate dependency-free.
+
+use std::fmt::Write as _;
+
+/// Index of a vertex in the executed network; doubles as the node
+/// address on the wire.
+pub type NodeId = u32;
+
+/// One wire message. `Gossip` and `Ack` are the only messages the
+/// driver routes through the faulty transport; `Init`/`Round`/`Done`
+/// are control-plane and always reliable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Driver → node: identity, network order, and the node's slice of
+    /// the compiled period (`schedule[i]` = targets of round `i mod s`).
+    Init {
+        /// The vertex this node runs.
+        node: NodeId,
+        /// Network order (= number of gossip items).
+        n: u32,
+        /// Per-round-in-period send targets.
+        schedule: Vec<Vec<NodeId>>,
+    },
+    /// Driver → node: round tick. A node behind the wire transport
+    /// echoes the tick back (with `from` set) as the fence closing its
+    /// batch of sends for the round.
+    Round {
+        /// 0-based global round index.
+        round: u64,
+        /// `NodeId::MAX` from the driver; the echoing node's id on the
+        /// fence reply.
+        from: NodeId,
+    },
+    /// Node → node payload: the items of knowledge the sender believes
+    /// the receiver is missing, captured at the beginning of the round.
+    Gossip {
+        /// Sending vertex.
+        from: NodeId,
+        /// Receiving vertex.
+        to: NodeId,
+        /// Per-sender sequence number (the retransmission key).
+        seq: u64,
+        /// Item ids carried (sorted).
+        items: Vec<u32>,
+    },
+    /// Node → node control: a knowledge *summary* — everything the
+    /// acking node currently knows. Updates the receiver's `others_know`
+    /// estimate and is never merged into its knowledge, so the payload
+    /// channel stays exactly the scheduled systolic arcs.
+    Ack {
+        /// Acking vertex.
+        from: NodeId,
+        /// Vertex whose gossip is being acknowledged.
+        to: NodeId,
+        /// Per-sender sequence number.
+        seq: u64,
+        /// Item ids the acking node knows (sorted).
+        items: Vec<u32>,
+    },
+    /// Node → driver: emitted exactly once, when the node first holds
+    /// all `n` items.
+    Done {
+        /// The completed vertex.
+        from: NodeId,
+        /// Round at which completion was observed.
+        round: u64,
+        /// Items held (= `n`).
+        count: u32,
+    },
+}
+
+impl Msg {
+    /// Stable lowercase tag (the wire `type` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Init { .. } => "init",
+            Msg::Round { .. } => "round",
+            Msg::Gossip { .. } => "gossip",
+            Msg::Ack { .. } => "ack",
+            Msg::Done { .. } => "done",
+        }
+    }
+
+    /// The destination vertex, for messages the driver routes between
+    /// nodes (`Gossip`/`Ack`); `None` for control-plane messages.
+    pub fn dest(&self) -> Option<NodeId> {
+        match self {
+            Msg::Gossip { to, .. } | Msg::Ack { to, .. } => Some(*to),
+            _ => None,
+        }
+    }
+
+    /// The originating vertex (`NodeId::MAX` on driver-issued ticks).
+    pub fn src(&self) -> NodeId {
+        match self {
+            Msg::Init { node, .. } => *node,
+            Msg::Round { from, .. }
+            | Msg::Gossip { from, .. }
+            | Msg::Ack { from, .. }
+            | Msg::Done { from, .. } => *from,
+        }
+    }
+
+    /// The per-sender sequence number of routed messages.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            Msg::Gossip { seq, .. } | Msg::Ack { seq, .. } => Some(*seq),
+            _ => None,
+        }
+    }
+}
+
+fn push_items(out: &mut String, key: &str, items: &[u32]) {
+    let _ = write!(out, ",\"{key}\":[");
+    for (i, it) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{it}");
+    }
+    out.push(']');
+}
+
+/// Encodes a message as one JSON line (no trailing newline).
+pub fn encode(msg: &Msg) -> String {
+    let mut out = String::new();
+    match msg {
+        Msg::Init { node, n, schedule } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"init\",\"node\":{node},\"n\":{n},\"schedule\":["
+            );
+            for (i, round) in schedule.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (j, t) in round.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{t}");
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        Msg::Round { round, from } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"round\",\"round\":{round},\"from\":{from}}}"
+            );
+        }
+        Msg::Gossip {
+            from,
+            to,
+            seq,
+            items,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"gossip\",\"from\":{from},\"to\":{to},\"seq\":{seq}"
+            );
+            push_items(&mut out, "items", items);
+            out.push('}');
+        }
+        Msg::Ack {
+            from,
+            to,
+            seq,
+            items,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"ack\",\"from\":{from},\"to\":{to},\"seq\":{seq}"
+            );
+            push_items(&mut out, "items", items);
+            out.push('}');
+        }
+        Msg::Done { from, round, count } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"done\",\"from\":{from},\"round\":{round},\"count\":{count}}}"
+            );
+        }
+    }
+    out
+}
+
+/// Why a line failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, WireError> {
+    Err(WireError(msg.into()))
+}
+
+/// A parsed JSON value of the message grammar: unsigned integers,
+/// strings, and (possibly nested) arrays.
+enum JVal {
+    Num(u64),
+    Str(String),
+    Arr(Vec<JVal>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(line: &'a str) -> Self {
+        Self {
+            bytes: line.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), WireError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\\' {
+                return err("escapes are not part of the message grammar");
+            }
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| WireError("invalid utf-8".into()))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        err("unterminated string")
+    }
+
+    fn number(&mut self) -> Result<u64, WireError> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return err(format!("expected digit at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| WireError("integer out of range".into()))
+    }
+
+    fn value(&mut self) -> Result<JVal, WireError> {
+        match self.peek() {
+            Some(b'"') => Ok(JVal::Str(self.string()?)),
+            Some(b'[') => {
+                self.expect(b'[')?;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(JVal::Arr(items));
+                        }
+                        _ => return err("expected `,` or `]` in array"),
+                    }
+                }
+            }
+            Some(b) if b.is_ascii_digit() => Ok(JVal::Num(self.number()?)),
+            _ => err(format!("unexpected value at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Vec<(String, JVal)>, WireError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(fields);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(fields);
+                }
+                _ => return err("expected `,` or `}` in object"),
+            }
+        }
+    }
+}
+
+fn get_num(fields: &[(String, JVal)], key: &str) -> Result<u64, WireError> {
+    match fields.iter().find(|(k, _)| k == key) {
+        Some((_, JVal::Num(v))) => Ok(*v),
+        _ => err(format!("missing integer field `{key}`")),
+    }
+}
+
+fn as_u32(v: u64, key: &str) -> Result<u32, WireError> {
+    u32::try_from(v).map_err(|_| WireError(format!("field `{key}` exceeds u32")))
+}
+
+fn get_items(fields: &[(String, JVal)], key: &str) -> Result<Vec<u32>, WireError> {
+    let Some((_, JVal::Arr(arr))) = fields.iter().find(|(k, _)| k == key) else {
+        return err(format!("missing array field `{key}`"));
+    };
+    arr.iter()
+        .map(|v| match v {
+            JVal::Num(x) => as_u32(*x, key),
+            _ => err(format!("field `{key}` must hold integers")),
+        })
+        .collect()
+}
+
+/// Decodes one JSON line into a message.
+pub fn decode(line: &str) -> Result<Msg, WireError> {
+    let mut p = Parser::new(line);
+    let fields = p.object()?;
+    if p.peek().is_some() {
+        return err("trailing bytes after the object");
+    }
+    let Some((_, JVal::Str(ty))) = fields.iter().find(|(k, _)| k == "type") else {
+        return err("missing `type` field");
+    };
+    match ty.as_str() {
+        "init" => {
+            let Some((_, JVal::Arr(rounds))) = fields.iter().find(|(k, _)| k == "schedule") else {
+                return err("missing `schedule` field");
+            };
+            let schedule = rounds
+                .iter()
+                .map(|r| match r {
+                    JVal::Arr(ts) => ts
+                        .iter()
+                        .map(|t| match t {
+                            JVal::Num(x) => as_u32(*x, "schedule"),
+                            _ => err("schedule targets must be integers"),
+                        })
+                        .collect(),
+                    _ => err("schedule rounds must be arrays"),
+                })
+                .collect::<Result<Vec<Vec<u32>>, _>>()?;
+            Ok(Msg::Init {
+                node: as_u32(get_num(&fields, "node")?, "node")?,
+                n: as_u32(get_num(&fields, "n")?, "n")?,
+                schedule,
+            })
+        }
+        "round" => Ok(Msg::Round {
+            round: get_num(&fields, "round")?,
+            from: as_u32(get_num(&fields, "from")?, "from")?,
+        }),
+        "gossip" => Ok(Msg::Gossip {
+            from: as_u32(get_num(&fields, "from")?, "from")?,
+            to: as_u32(get_num(&fields, "to")?, "to")?,
+            seq: get_num(&fields, "seq")?,
+            items: get_items(&fields, "items")?,
+        }),
+        "ack" => Ok(Msg::Ack {
+            from: as_u32(get_num(&fields, "from")?, "from")?,
+            to: as_u32(get_num(&fields, "to")?, "to")?,
+            seq: get_num(&fields, "seq")?,
+            items: get_items(&fields, "items")?,
+        }),
+        "done" => Ok(Msg::Done {
+            from: as_u32(get_num(&fields, "from")?, "from")?,
+            round: get_num(&fields, "round")?,
+            count: as_u32(get_num(&fields, "count")?, "count")?,
+        }),
+        other => err(format!(
+            "unknown message type `{other}` (types: init, round, gossip, ack, done)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Msg> {
+        vec![
+            Msg::Init {
+                node: 3,
+                n: 8,
+                schedule: vec![vec![2, 4], vec![], vec![3]],
+            },
+            Msg::Round {
+                round: 7,
+                from: NodeId::MAX,
+            },
+            Msg::Gossip {
+                from: 1,
+                to: 2,
+                seq: 12,
+                items: vec![0, 1, 4],
+            },
+            Msg::Ack {
+                from: 2,
+                to: 1,
+                seq: 12,
+                items: vec![],
+            },
+            Msg::Done {
+                from: 5,
+                round: 9,
+                count: 8,
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for msg in samples() {
+            let line = encode(&msg);
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(decode(&line).unwrap(), msg, "{line}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_plain_jsonl() {
+        let line = encode(&Msg::Gossip {
+            from: 1,
+            to: 2,
+            seq: 3,
+            items: vec![7],
+        });
+        assert_eq!(
+            line,
+            "{\"type\":\"gossip\",\"from\":1,\"to\":2,\"seq\":3,\"items\":[7]}"
+        );
+    }
+
+    #[test]
+    fn decode_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "{\"type\":\"nope\"}",
+            "{\"type\":\"round\",\"round\":1}",
+            "{\"type\":\"gossip\",\"from\":1,\"to\":2,\"seq\":3,\"items\":[\"x\"]}",
+            "{\"type\":\"done\",\"from\":1,\"round\":2,\"count\":3}x",
+        ] {
+            assert!(decode(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn decode_tolerates_whitespace_and_field_order() {
+        let line = " { \"round\" : 4 , \"from\" : 9 , \"type\" : \"round\" } ";
+        assert_eq!(decode(line).unwrap(), Msg::Round { round: 4, from: 9 });
+    }
+}

@@ -1,0 +1,78 @@
+//! The per-run execution report.
+
+/// Everything one driver run produced. Deliberately free of any
+/// "how it was run" detail (thread count, wall-clock): the determinism
+/// suite compares whole reports byte-for-byte across thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Network order (= item count).
+    pub n: usize,
+    /// Systolic period of the executed protocol.
+    pub s: usize,
+    /// 1-based round after which every node held all items, `None` if
+    /// the round budget ran out first.
+    pub completed_at: Option<u64>,
+    /// Rounds actually driven.
+    pub rounds_run: u64,
+    /// Gossip messages handed to the transport.
+    pub gossip_sent: u64,
+    /// Ack messages handed to the transport.
+    pub acks_sent: u64,
+    /// Messages the fault plan dropped.
+    pub dropped: u64,
+    /// Messages the fault plan delayed by ≥ 1 round.
+    pub delayed: u64,
+    /// Messages delivered to a live node.
+    pub delivered: u64,
+    /// Messages lost because the destination was crashed at delivery.
+    pub lost_crash: u64,
+    /// Gossip sends that repeated at least one already-sent item.
+    pub retransmissions: u64,
+    /// `done` announcements collected from the fleet.
+    pub done_msgs: u64,
+    /// Minimum items-known across the fleet after each round.
+    pub min_curve: Vec<u32>,
+    /// Ordered event trace (only when the driver records events).
+    pub events: Vec<String>,
+}
+
+impl RunReport {
+    /// Extra rounds over the fault-free optimum `optimum`; `None` until
+    /// the run completed.
+    pub fn divergence(&self, optimum: u64) -> Option<i64> {
+        self.completed_at.map(|t| t as i64 - optimum as i64)
+    }
+
+    /// The report as a stable human-readable block. Byte-identical for
+    /// byte-identical runs — the determinism suite compares this string.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "n = {}, s = {}: {} after {} rounds\n",
+            self.n,
+            self.s,
+            match self.completed_at {
+                Some(t) => format!("completed at round {t}"),
+                None => "did not complete".to_string(),
+            },
+            self.rounds_run,
+        );
+        out.push_str(&format!(
+            "  gossip {} (retransmitted {}), acks {}, delivered {}, \
+             dropped {}, delayed {}, lost-to-crash {}, done {}\n",
+            self.gossip_sent,
+            self.retransmissions,
+            self.acks_sent,
+            self.delivered,
+            self.dropped,
+            self.delayed,
+            self.lost_crash,
+            self.done_msgs,
+        ));
+        for e in &self.events {
+            out.push_str("  ");
+            out.push_str(e);
+            out.push('\n');
+        }
+        out
+    }
+}

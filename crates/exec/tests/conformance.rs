@@ -1,0 +1,106 @@
+//! Fault-free conformance against the lockstep simulator.
+//!
+//! With an empty fault plan, the driver's completion round must equal
+//! `sg_sim`'s `completed_at` exactly: sends are computed from
+//! beginning-of-round knowledge (the Definition 3.1 snapshot), delta
+//! suppression only ever removes items the receiver already holds, and
+//! zero-delay messages merge at the end of their sending round. The
+//! registry-wide sweep lives in `sg-scenario` (`tests/
+//! exec_conformance.rs`); this suite pins the mechanism on the protocol
+//! zoo directly.
+
+use sg_exec::{execute_protocol, DriverConfig, FaultPlan};
+use sg_sim::run_systolic;
+use systolic_gossip::Network;
+
+#[test]
+fn fault_free_execution_matches_the_simulator_exactly() {
+    let zoo = [
+        Network::Path { n: 8 },
+        Network::Path { n: 13 },
+        Network::Cycle { n: 8 },
+        Network::Cycle { n: 15 },
+        Network::Hypercube { k: 3 },
+        Network::Hypercube { k: 5 },
+        Network::Knodel { delta: 3, n: 8 },
+        Network::Knodel { delta: 4, n: 16 },
+        Network::Torus2d { w: 4, h: 4 },
+        Network::Grid2d { w: 5, h: 4 },
+        Network::DeBruijn { d: 2, dd: 4 },
+        Network::CubeConnectedCycles { k: 3 },
+        Network::WrappedButterfly { d: 2, dd: 3 },
+        Network::Complete { n: 9 },
+        Network::DaryTree { d: 2, h: 3 },
+    ];
+    let mut checked = 0;
+    for net in zoo {
+        let g = net.build();
+        let n = g.vertex_count();
+        let Some(sp) = net.reference_protocol() else {
+            continue;
+        };
+        sp.validate(&g).expect("reference protocols validate");
+        let budget = 40 * n + 200;
+        let sim = run_systolic(&sp, n, budget, true);
+        let report = execute_protocol(
+            &sp,
+            n,
+            FaultPlan::fault_free(),
+            DriverConfig {
+                threads: 1,
+                max_rounds: budget as u64,
+                record_events: false,
+            },
+        );
+        let expected = sim.completed_at.map(|t| t as u64);
+        assert_eq!(
+            report.completed_at,
+            expected,
+            "{}: driver vs simulator rounds",
+            net.name()
+        );
+        assert_eq!(report.dropped + report.delayed + report.lost_crash, 0);
+        // Every curve point the simulator saw, the fleet saw too: the
+        // executed knowledge evolution is identical round for round.
+        let sim_curve: Vec<u32> = sim.trace.iter().map(|&m| m as u32).collect();
+        let driven = report.min_curve.len().min(sim_curve.len());
+        assert_eq!(
+            &report.min_curve[..driven],
+            &sim_curve[..driven],
+            "{}: knowledge curves diverge",
+            net.name()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 14, "only {checked} networks exercised");
+}
+
+#[test]
+fn fault_free_threaded_runs_match_sequential() {
+    let net = Network::Hypercube { k: 5 };
+    let n = net.build().vertex_count();
+    let sp = net.reference_protocol().unwrap();
+    let base = execute_protocol(
+        &sp,
+        n,
+        FaultPlan::fault_free(),
+        DriverConfig {
+            threads: 1,
+            max_rounds: 1000,
+            record_events: true,
+        },
+    );
+    for threads in [2, 8] {
+        let got = execute_protocol(
+            &sp,
+            n,
+            FaultPlan::fault_free(),
+            DriverConfig {
+                threads,
+                max_rounds: 1000,
+                record_events: true,
+            },
+        );
+        assert_eq!(base, got, "threads = {threads}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Same seed + same fault plan ⇒ byte-identical event trace and report
+//! at any thread count — the determinism bar of `sg-search`.
+
+use sg_exec::{execute_protocol, Crash, DriverConfig, FaultPlan};
+use systolic_gossip::Network;
+
+fn faulty_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        drop_prob: 0.08,
+        max_delay: 2,
+        crashes: vec![
+            Crash {
+                node: 0,
+                at_round: 2,
+                restart_round: Some(6),
+            },
+            Crash {
+                node: 5,
+                at_round: 4,
+                restart_round: Some(9),
+            },
+        ],
+    }
+}
+
+#[test]
+fn faulty_runs_are_bit_identical_across_thread_counts() {
+    for net in [
+        Network::Hypercube { k: 4 },
+        Network::Knodel { delta: 4, n: 16 },
+        Network::Cycle { n: 12 },
+    ] {
+        let g = net.build();
+        let n = g.vertex_count();
+        let sp = net.reference_protocol().expect("reference protocol");
+        let reports: Vec<_> = [1usize, 2, 8]
+            .into_iter()
+            .map(|threads| {
+                execute_protocol(
+                    &sp,
+                    n,
+                    faulty_plan(1997),
+                    DriverConfig {
+                        threads,
+                        max_rounds: 4000,
+                        record_events: true,
+                    },
+                )
+            })
+            .collect();
+        let completed = reports[0].completed_at;
+        assert!(
+            completed.is_some(),
+            "{}: faulty run should still complete",
+            net.name()
+        );
+        assert!(
+            !reports[0].events.is_empty(),
+            "{}: trace recorded",
+            net.name()
+        );
+        for r in &reports[1..] {
+            assert_eq!(reports[0], *r, "{}: reports diverged", net.name());
+            assert_eq!(
+                reports[0].render(),
+                r.render(),
+                "{}: rendered reports diverged",
+                net.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_give_different_fault_patterns() {
+    let net = Network::Hypercube { k: 4 };
+    let n = net.build().vertex_count();
+    let sp = net.reference_protocol().unwrap();
+    let cfg = DriverConfig {
+        threads: 1,
+        max_rounds: 4000,
+        record_events: true,
+    };
+    let a = execute_protocol(&sp, n, faulty_plan(1), cfg);
+    let b = execute_protocol(&sp, n, faulty_plan(2), cfg);
+    assert_ne!(a.events, b.events, "seeds must matter");
+}
+
+#[test]
+fn faults_cost_rounds_but_never_correctness() {
+    let net = Network::Knodel { delta: 4, n: 16 };
+    let n = net.build().vertex_count();
+    let sp = net.reference_protocol().unwrap();
+    let cfg = DriverConfig {
+        threads: 2,
+        max_rounds: 4000,
+        record_events: false,
+    };
+    let clean = execute_protocol(&sp, n, FaultPlan::fault_free(), cfg);
+    let lossy = execute_protocol(&sp, n, FaultPlan::lossy(7, 0.10), cfg);
+    let (c, l) = (
+        clean.completed_at.expect("clean completes"),
+        lossy.completed_at.expect("lossy completes"),
+    );
+    assert!(l >= c, "losing messages cannot speed gossip up ({l} < {c})");
+    assert!(lossy.dropped > 0, "10% drops on a real run must fire");
+    assert!(
+        lossy.retransmissions > 0,
+        "dropped deltas must be retransmitted by the repeating period"
+    );
+    assert_eq!(lossy.divergence(c), Some(l as i64 - c as i64));
+    // Every node announced completion exactly once.
+    assert_eq!(clean.done_msgs, n as u64);
+    assert_eq!(lossy.done_msgs, n as u64);
+}

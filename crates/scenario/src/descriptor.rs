@@ -35,6 +35,11 @@ pub enum Task {
     /// valid period-`s` schedule, issuing `ProvenOptimal` certificates
     /// (or exact infeasibility statements) for the period sweep.
     Enumerate,
+    /// Distributed execution: run the network's protocol as a fleet of
+    /// message-passing nodes through `sg-exec`'s deterministic driver,
+    /// injecting faults from the scenario's [`ExecSpec`], and report
+    /// rounds-to-completion against the fault-free optimum.
+    Execute,
 }
 
 impl Task {
@@ -47,6 +52,7 @@ impl Task {
             Task::Matrices => "matrices",
             Task::Search => "search",
             Task::Enumerate => "enumerate",
+            Task::Execute => "execute",
         }
     }
 }
@@ -72,6 +78,34 @@ impl Default for SearchSpec {
             restarts: 6,
             iterations: 400,
             seed: 1997,
+        }
+    }
+}
+
+/// Knobs of a [`Task::Execute`] scenario: the declarative fault plan
+/// the driver injects. Kept separate from `sg_exec::FaultPlan` so the
+/// descriptor stays plain data; the runner folds these into the full
+/// plan (threads come from the batch thread budget).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecSpec {
+    /// Master seed of the counter-based fault samplers.
+    pub seed: u64,
+    /// Per-message link drop probability in `[0, 1]`.
+    pub drop_prob: f64,
+    /// Extra delivery delay, uniform over `0..=max_delay` rounds.
+    pub max_delay: u32,
+    /// Crash events: `(node, first round down, first round back up)`;
+    /// `None` = down forever. Knowledge survives the restart.
+    pub crashes: Vec<(u32, u64, Option<u64>)>,
+}
+
+impl Default for ExecSpec {
+    fn default() -> Self {
+        Self {
+            seed: 2026,
+            drop_prob: 0.0,
+            max_delay: 0,
+            crashes: Vec::new(),
         }
     }
 }
@@ -135,6 +169,8 @@ pub struct Scenario {
     pub checks: Vec<PaperCheck>,
     /// Effort knobs for [`Task::Search`] scenarios (ignored elsewhere).
     pub search: SearchSpec,
+    /// Fault plan for [`Task::Execute`] scenarios (ignored elsewhere).
+    pub exec: ExecSpec,
 }
 
 impl Scenario {
@@ -152,6 +188,7 @@ impl Scenario {
             weights: WeightScheme::Unit,
             checks: Vec::new(),
             search: SearchSpec::default(),
+            exec: ExecSpec::default(),
         }
     }
 
@@ -188,6 +225,12 @@ impl Scenario {
     /// Sets the search effort knobs.
     pub fn search_spec(mut self, spec: SearchSpec) -> Self {
         self.search = spec;
+        self
+    }
+
+    /// Sets the execution fault plan.
+    pub fn exec_spec(mut self, spec: ExecSpec) -> Self {
+        self.exec = spec;
         self
     }
 }

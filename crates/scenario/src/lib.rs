@@ -27,7 +27,7 @@ pub mod tables;
 
 pub use cache::{BuildCache, CacheStats};
 pub use descriptor::{
-    protocol_for, PaperCheck, ProtocolKind, Scenario, SearchSpec, Task, WeightScheme,
+    protocol_for, ExecSpec, PaperCheck, ProtocolKind, Scenario, SearchSpec, Task, WeightScheme,
 };
 pub use registry::{find, registry};
 pub use runner::{run_batch, BatchOptions, BatchReport, CheckOutcome, ScenarioOutcome};

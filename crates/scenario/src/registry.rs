@@ -2,7 +2,7 @@
 //! comparison suites of the former ad-hoc binaries, and the new topology
 //! families the uniform harness unlocks.
 
-use crate::descriptor::{PaperCheck, Scenario, Task, WeightScheme};
+use crate::descriptor::{ExecSpec, PaperCheck, Scenario, Task, WeightScheme};
 use sg_bounds::pfun::{BoundMode, Period};
 use sg_bounds::tables::standard_periods;
 use sg_bounds::{c_broadcast, e_coefficient, e_separator};
@@ -423,6 +423,62 @@ pub fn registry() -> Vec<Scenario> {
         )
         .networks([Network::DeBruijnDirected { d: 2, dd: 3 }])
         .periods(systolic(2..=3)),
+        // ——— Distributed execution under faults (sg-exec) ———
+        Scenario::new(
+            "exec-conformance",
+            "Fault-free message-passing execution matches the lockstep simulator round for round",
+            Task::Execute,
+            Mode::FullDuplex,
+        )
+        .networks([
+            Network::Path { n: 8 },
+            Network::Hypercube { k: 3 },
+            Network::Knodel { delta: 3, n: 8 },
+            Network::Torus2d { w: 4, h: 4 },
+        ]),
+        Scenario::new(
+            "exec-lossy",
+            "Execution under 5% link drops: the repeating period is the retransmission loop",
+            Task::Execute,
+            Mode::FullDuplex,
+        )
+        .networks([
+            Network::Hypercube { k: 4 },
+            Network::Knodel { delta: 4, n: 16 },
+        ])
+        .exec_spec(ExecSpec {
+            drop_prob: 0.05,
+            ..ExecSpec::default()
+        }),
+        Scenario::new(
+            "exec-delayed",
+            "Execution under random delivery delays (≤ 2 rounds) on top of 1% drops",
+            Task::Execute,
+            Mode::HalfDuplex,
+        )
+        .networks([
+            Network::Torus2d { w: 4, h: 4 },
+            Network::DeBruijn { d: 2, dd: 4 },
+        ])
+        .exec_spec(ExecSpec {
+            drop_prob: 0.01,
+            max_delay: 2,
+            ..ExecSpec::default()
+        }),
+        Scenario::new(
+            "exec-crash",
+            "Node 0 crashes at round 2 and warm-restarts at round 6: knowledge survives, lost rounds are re-sent",
+            Task::Execute,
+            Mode::FullDuplex,
+        )
+        .networks([
+            Network::Hypercube { k: 4 },
+            Network::Knodel { delta: 4, n: 16 },
+        ])
+        .exec_spec(ExecSpec {
+            crashes: vec![(0, 2, Some(6))],
+            ..ExecSpec::default()
+        }),
     ]
 }
 
@@ -537,6 +593,56 @@ mod tests {
         let torus = find("enum-torus-3x3").unwrap();
         let g = torus.networks[0].build();
         assert!(sg_graphs::group::automorphism_group(&g).order() >= 16);
+    }
+
+    #[test]
+    fn execute_scenarios_are_registered_small_with_sound_fault_plans() {
+        let mut faulty = 0;
+        for name in [
+            "exec-conformance",
+            "exec-lossy",
+            "exec-delayed",
+            "exec-crash",
+        ] {
+            let sc = find(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(sc.task, Task::Execute, "{name}");
+            assert!(!sc.networks.is_empty(), "{name}: needs networks");
+            assert!(
+                (0.0..1.0).contains(&sc.exec.drop_prob),
+                "{name}: drop probability must stay below certain loss"
+            );
+            for &(node, at, restart) in &sc.exec.crashes {
+                assert!(
+                    restart.is_none_or(|r| r > at),
+                    "{name}: restart after crash"
+                );
+                for net in &sc.networks {
+                    assert!(
+                        (node as usize) < net.build().vertex_count(),
+                        "{name}: crash node exists in every network"
+                    );
+                }
+            }
+            if sc.exec != ExecSpec::default() {
+                faulty += 1;
+            }
+            // Execution fleets are per-node dense: keep them small.
+            for net in &sc.networks {
+                assert!(
+                    net.build().vertex_count() <= 64,
+                    "{name}: keep execution fleets small"
+                );
+            }
+        }
+        assert_eq!(faulty, 3, "lossy, delayed and crash variants inject faults");
+        // The conformance scenario is exactly the fault-free plan.
+        let conf = find("exec-conformance").unwrap();
+        assert_eq!(conf.exec, ExecSpec::default());
+        assert_eq!(
+            registry().len(),
+            35,
+            "registry grew to 35 with the exec scenarios"
+        );
     }
 
     #[test]

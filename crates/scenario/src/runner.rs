@@ -244,6 +244,7 @@ enum Unit {
     Checks { checks: Vec<PaperCheck> },
     Search { net: Network },
     Enumerate { net: Network },
+    Execute { net: Network },
 }
 
 /// What one unit produced.
@@ -293,6 +294,11 @@ fn units_of(scenario: &Scenario) -> Vec<Unit> {
         Task::Enumerate => {
             for &net in &scenario.networks {
                 units.push(Unit::Enumerate { net });
+            }
+        }
+        Task::Execute => {
+            for &net in &scenario.networks {
+                units.push(Unit::Execute { net });
             }
         }
     }
@@ -387,6 +393,183 @@ fn run_unit(
         Unit::Checks { checks } => checks_unit(checks),
         Unit::Search { net } => search_unit(net, scenario, cache, sim_threads),
         Unit::Enumerate { net } => enumerate_unit(net, scenario, cache),
+        Unit::Execute { net } => execute_unit(net, scenario, cache, opts, sim_threads),
+    }
+}
+
+/// Runs the network's protocol as a message-passing fleet through
+/// `sg-exec`'s deterministic driver: once fault-free (the conformance
+/// point, checked against the lockstep simulator's round count) and —
+/// when the scenario's [`crate::descriptor::ExecSpec`] injects anything
+/// — once under the declared fault plan, reporting the round and
+/// message cost of the faults. The protocol build is shared through
+/// [`BuildCache::protocol`] with every other unit in the batch.
+fn execute_unit(
+    net: &Network,
+    scenario: &Scenario,
+    cache: &BuildCache,
+    opts: &BatchOptions,
+    sim_threads: usize,
+) -> UnitOut {
+    use sg_exec::{execute_protocol, Crash, DriverConfig, FaultPlan};
+    // Per-node fleets are dense in n; the same gate as compare units.
+    if let Some(n) = net.order_hint().filter(|&n| n >= opts.large_sim_min_n) {
+        return UnitOut {
+            text: Some(format!(
+                "{}: order {n} ≥ {} — the execution fleet is skipped at this size",
+                net.name(),
+                opts.large_sim_min_n
+            )),
+            ..Default::default()
+        };
+    }
+    let g = cache.digraph(net);
+    let n = g.vertex_count();
+    if n >= opts.large_sim_min_n {
+        return UnitOut {
+            text: Some(format!(
+                "{}: order {n} ≥ {} — the execution fleet is skipped at this size",
+                net.name(),
+                opts.large_sim_min_n
+            )),
+            ..Default::default()
+        };
+    }
+    let Some((kind, sp)) = cache.protocol(net, scenario.mode) else {
+        return UnitOut {
+            text: Some(format!(
+                "{}: no deterministic protocol in {} mode — skipped",
+                net.name(),
+                scenario.mode
+            )),
+            ..Default::default()
+        };
+    };
+    if let Err(e) = sp.validate(&g) {
+        return UnitOut {
+            text: Some(format!("{}: invalid protocol — {e}", net.name())),
+            ..Default::default()
+        };
+    }
+    // The fault-free optimum of *this* protocol, from the lockstep
+    // engine — the yardstick every executed run diverges from.
+    let optimum = systolic_gossip_time_pool(
+        &sp,
+        n,
+        opts.sim_budget,
+        effective_sim_threads(n, sim_threads),
+    );
+    let spec = &scenario.exec;
+    let budget = optimum
+        .map_or(40 * n + 200, |t| 40 * t + 200)
+        .max(spec.crashes.iter().filter_map(|c| c.2).max().unwrap_or(0) as usize + 40 * n)
+        as u64;
+    let cfg = DriverConfig {
+        threads: effective_sim_threads(n, sim_threads),
+        max_rounds: budget,
+        record_events: false,
+    };
+    let plan = FaultPlan {
+        seed: spec.seed,
+        drop_prob: spec.drop_prob,
+        max_delay: spec.max_delay,
+        crashes: spec
+            .crashes
+            .iter()
+            .map(|&(node, at_round, restart_round)| Crash {
+                node,
+                at_round,
+                restart_round,
+            })
+            .collect(),
+    };
+
+    let mut rows = Vec::new();
+    let mut text = format!(
+        "{} — n = {}, s = {}, {} protocol as a {}-node fleet\n",
+        net.name(),
+        n,
+        sp.s(),
+        kind.label(),
+        n,
+    );
+    let mut run_one = |label: &str, plan: FaultPlan| {
+        let fault_free = plan.is_fault_free();
+        let report = execute_protocol(&sp, n, plan.clone(), cfg);
+        let divergence = optimum.and_then(|t| report.divergence(t as u64));
+        let conformant = fault_free.then_some(report.completed_at == optimum.map(|t| t as u64));
+        text.push_str(&format!(
+            "  {label:<11} rounds {:>6}  optimum {:>4}  divergence {:>4}  gossip {:>6} \
+             (retx {:>5})  dropped {:>5}  delayed {:>5}  lost {:>3}{}\n",
+            report.completed_at.map_or("—".into(), |t| t.to_string()),
+            optimum.map_or("—".into(), |t| t.to_string()),
+            divergence.map_or("—".into(), |d| format!("+{d}")),
+            report.gossip_sent,
+            report.retransmissions,
+            report.dropped,
+            report.delayed,
+            report.lost_crash,
+            match conformant {
+                Some(true) => "  conformant",
+                Some(false) => "  NOT CONFORMANT",
+                None => "",
+            },
+        ));
+        rows.push(
+            Row::new()
+                .with("kind", "execute")
+                .with("network", net.name())
+                .with("n", n)
+                .with("s", report.s)
+                .with("protocol", kind.label())
+                .with("mode", scenario.mode.name())
+                .with("plan", label)
+                .with("seed", i64::try_from(spec.seed).unwrap_or(i64::MAX))
+                .with("drop_prob", plan.drop_prob)
+                .with("max_delay", i64::from(plan.max_delay))
+                .with("crashes", plan.crashes.len())
+                .with("completed_rounds", report.completed_at.map(|t| t as i64))
+                .with("optimum_rounds", optimum)
+                .with("divergence", divergence)
+                .with(
+                    "gossip_sent",
+                    i64::try_from(report.gossip_sent).unwrap_or(i64::MAX),
+                )
+                .with(
+                    "retransmissions",
+                    i64::try_from(report.retransmissions).unwrap_or(i64::MAX),
+                )
+                .with(
+                    "acks_sent",
+                    i64::try_from(report.acks_sent).unwrap_or(i64::MAX),
+                )
+                .with("dropped", i64::try_from(report.dropped).unwrap_or(i64::MAX))
+                .with("delayed", i64::try_from(report.delayed).unwrap_or(i64::MAX))
+                .with(
+                    "lost_crash",
+                    i64::try_from(report.lost_crash).unwrap_or(i64::MAX),
+                )
+                .with(
+                    "verdict",
+                    match (report.completed_at.is_some(), conformant) {
+                        (false, _) => "incomplete",
+                        (true, Some(true)) => "conformant",
+                        (true, Some(false)) => "diverged",
+                        (true, None) => "completed",
+                    },
+                ),
+        );
+    };
+    // The fault-free conformance point always runs…
+    run_one("fault-free", FaultPlan::fault_free());
+    // …and the scenario's declared plan when it injects anything.
+    if !plan.is_fault_free() {
+        run_one("faulty", plan);
+    }
+    UnitOut {
+        rows,
+        text: Some(text),
+        ..Default::default()
     }
 }
 

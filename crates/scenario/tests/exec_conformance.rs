@@ -1,0 +1,68 @@
+//! Registry-wide fault-free conformance: for every scenario network
+//! with a deterministic protocol and an exact simulator optimum, the
+//! message-passing `Driver` under an empty `FaultPlan` completes in
+//! exactly the simulator's round count — a differential test of the
+//! distributed execution against the compiled lockstep engine, in the
+//! same shape as `crates/sim/tests/conformance.rs`.
+
+use sg_exec::{execute_protocol, DriverConfig, FaultPlan};
+use sg_scenario::{protocol_for, registry};
+use sg_sim::engine::run_systolic;
+
+#[test]
+fn every_registry_protocol_executes_in_the_simulated_round_count() {
+    let mut pairs_checked = 0usize;
+    for scenario in &registry() {
+        for net in &scenario.networks {
+            // The sim-large-* scenarios are sparse-engine workloads;
+            // a per-vertex node fleet at 10⁵⁺ vertices belongs to the
+            // bench, not the test suite.
+            if net.order_hint().is_some_and(|n| n >= 50_000) {
+                continue;
+            }
+            let g = net.build();
+            let n = g.vertex_count();
+            if n >= 50_000 {
+                continue;
+            }
+            let Some((_, sp)) = protocol_for(net, &g, scenario.mode) else {
+                continue;
+            };
+            sp.validate(&g)
+                .unwrap_or_else(|e| panic!("{}: invalid protocol — {e}", net.name()));
+            let budget = 40 * n + 200;
+            let sim = run_systolic(&sp, n, budget, true);
+            let report = execute_protocol(
+                &sp,
+                n,
+                FaultPlan::fault_free(),
+                DriverConfig {
+                    max_rounds: budget as u64,
+                    ..DriverConfig::default()
+                },
+            );
+            let label = format!("{} / {} (n = {n})", scenario.name, net.name());
+            assert_eq!(
+                report.completed_at,
+                sim.completed_at.map(|r| r as u64),
+                "{label}: executed completion diverged from the simulator"
+            );
+            assert_eq!(
+                report.dropped + report.delayed + report.lost_crash,
+                0,
+                "{label}: fault-free run must not fault"
+            );
+            // The executed min-curve is the simulator's knowledge trace.
+            let prefix: Vec<u32> = sim.trace[..report.min_curve.len()]
+                .iter()
+                .map(|&c| c as u32)
+                .collect();
+            assert_eq!(report.min_curve, prefix, "{label}: min-curve diverged");
+            pairs_checked += 1;
+        }
+    }
+    assert!(
+        pairs_checked >= 30,
+        "expected a registry-wide sweep, checked only {pairs_checked}"
+    );
+}

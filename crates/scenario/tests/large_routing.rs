@@ -7,7 +7,7 @@
 //! the built graph's real order. `BatchOptions::large_sim_min_n` lets
 //! the test exercise the routing at toy sizes.
 
-use sg_scenario::{run_batch, BatchOptions, Scenario, SearchSpec, Task, WeightScheme};
+use sg_scenario::{run_batch, BatchOptions, ExecSpec, Scenario, SearchSpec, Task, WeightScheme};
 use systolic_gossip::sg_protocol::mode::Mode;
 use systolic_gossip::{Network, Value};
 
@@ -23,6 +23,7 @@ fn simulate_scenario(net: Network) -> Scenario {
         weights: WeightScheme::Unit,
         checks: Vec::new(),
         search: SearchSpec::default(),
+        exec: ExecSpec::default(),
     }
 }
 

@@ -18,6 +18,7 @@
 //! empty, and the connection (and server) live on.
 
 use crate::protocol::{net_spec, order_estimate, Query, Request};
+use sg_exec::{execute_protocol, DriverConfig, FaultPlan};
 use sg_scenario::BuildCache;
 use sg_search::certificate::certify_with;
 use sg_search::driver::{search_with_oracle, SearchConfig};
@@ -148,6 +149,10 @@ impl QueryEngine {
             }
             Query::Certificate { net, .. } => {
                 self.guard(net, self.cfg.max_sim_n, "certificate")?;
+                self.memoized(q, net)
+            }
+            Query::Execute { net, .. } => {
+                self.guard(net, self.cfg.max_sim_n, "execute")?;
                 self.memoized(q, net)
             }
         }
@@ -325,6 +330,50 @@ impl QueryEngine {
                 }
                 row
             }
+            Query::Execute { net, mode } => {
+                let g = self.cache.digraph(net);
+                let n = g.vertex_count();
+                let Some((kind, sp)) = self.cache.protocol(net, *mode) else {
+                    panic!(
+                        "{} has no deterministic protocol in {} mode",
+                        net.name(),
+                        mode.name()
+                    );
+                };
+                let budget = 40 * n + 200;
+                let optimum = systolic_gossip_time_pool(&sp, n, budget, 1);
+                let report = execute_protocol(
+                    &sp,
+                    n,
+                    FaultPlan::fault_free(),
+                    DriverConfig {
+                        max_rounds: budget as u64,
+                        ..DriverConfig::default()
+                    },
+                );
+                let conformant = match (report.completed_at, optimum) {
+                    (Some(e), Some(o)) => e == o as u64,
+                    _ => false,
+                };
+                Row::new()
+                    .with("op", "execute")
+                    .with("net", net_spec(net))
+                    .with("n", n)
+                    .with("mode", mode.name())
+                    .with("protocol", kind.label())
+                    .with("period", sp.period().len())
+                    .with("executed_rounds", report.completed_at.map(|r| r as usize))
+                    .with("optimum_rounds", optimum)
+                    .with("conformant", conformant)
+                    .with(
+                        "gossip_sent",
+                        i64::try_from(report.gossip_sent).unwrap_or(i64::MAX),
+                    )
+                    .with(
+                        "acks_sent",
+                        i64::try_from(report.acks_sent).unwrap_or(i64::MAX),
+                    )
+            }
             Query::Ping | Query::Stats | Query::Sleep { .. } => {
                 unreachable!("non-memoized ops never reach compute")
             }
@@ -484,6 +533,32 @@ mod tests {
         assert!(matches!(field(&row, "protocol"), Value::Text(t) if t == "reference"));
         assert!(matches!(field(&row, "found_rounds"), Value::Int(r) if *r > 0));
         assert!(matches!(field(&row, "verdict"), Value::Text(_)));
+    }
+
+    #[test]
+    fn execute_runs_fault_free_and_conforms_to_the_simulator() {
+        let engine = QueryEngine::default();
+        let q = Query::Execute {
+            net: Network::Knodel { delta: 3, n: 8 },
+            mode: Mode::FullDuplex,
+        };
+        let row = engine.handle(&q).unwrap();
+        assert!(matches!(field(&row, "op"), Value::Text(t) if t == "execute"));
+        assert!(matches!(field(&row, "conformant"), Value::Bool(true)));
+        assert_eq!(
+            field(&row, "executed_rounds"),
+            field(&row, "optimum_rounds")
+        );
+        // Identical queries share one compute through the memo.
+        engine.handle(&q).unwrap();
+        assert_eq!(engine.stats().computes, 1);
+        // And the execute op respects the simulation cap.
+        let small = QueryEngine::new(EngineConfig {
+            max_sim_n: 4,
+            ..EngineConfig::default()
+        });
+        let err = small.handle(&q).unwrap_err();
+        assert!(err.contains("`execute` cap"), "{err}");
     }
 
     #[test]

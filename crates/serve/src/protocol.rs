@@ -11,6 +11,7 @@
 //! {"op":"search","net":"cycle:8","mode":"fd","period":3,"seed":7,"restarts":4,"iterations":300}
 //! {"op":"enumerate","net":"knodel:3,8","mode":"fd","period":3}
 //! {"op":"certificate","net":"path:10","mode":"hd"}
+//! {"op":"execute","net":"hypercube:3","mode":"fd"}
 //! ```
 //!
 //! `net` takes the same `family:params` specs as `sg-bench sweep --net`
@@ -89,6 +90,17 @@ pub enum Query {
         /// Communication mode.
         mode: Mode,
     },
+    /// Run the network's deterministic protocol as a fault-free
+    /// message-passing node fleet (sg-exec) and check the completion
+    /// round against the lockstep simulator. Fault injection stays in
+    /// `sg-bench execute` — a shared daemon only serves the
+    /// deterministic, memoizable question.
+    Execute {
+        /// The network.
+        net: Network,
+        /// Communication mode.
+        mode: Mode,
+    },
     /// Occupy one in-flight slot for `ms` milliseconds, then reply.
     /// Only honored when the server enables it — test instrumentation
     /// for backpressure and drain behavior, never on by default.
@@ -161,6 +173,12 @@ impl Request {
                     .with("net", net_spec(net))
                     .with("mode", mode.name());
             }
+            Query::Execute { net, mode } => {
+                row = row
+                    .with("op", "execute")
+                    .with("net", net_spec(net))
+                    .with("mode", mode.name());
+            }
             Query::Sleep { ms } => {
                 row = row
                     .with("op", "sleep")
@@ -230,6 +248,10 @@ impl Request {
                 let (net, mode) = net_and_mode(&v)?;
                 Query::Certificate { net, mode }
             }
+            "execute" => {
+                let (net, mode) = net_and_mode(&v)?;
+                Query::Execute { net, mode }
+            }
             "sleep" => {
                 let ms = match v.get("ms") {
                     None | Some(Json::Null) => 0,
@@ -242,7 +264,8 @@ impl Request {
             }
             other => {
                 return Err(format!(
-                    "unknown op `{other}` (ops: ping, stats, bound, search, enumerate, certificate)"
+                    "unknown op `{other}` (ops: ping, stats, bound, search, enumerate, \
+                     certificate, execute)"
                 ))
             }
         };
@@ -433,6 +456,13 @@ mod tests {
                 net: Network::Path { n: 10 },
                 mode: Mode::HalfDuplex,
             }),
+            Request {
+                id: Some(12),
+                query: Query::Execute {
+                    net: Network::Hypercube { k: 3 },
+                    mode: Mode::FullDuplex,
+                },
+            },
         ];
         for r in reqs {
             let line = r.to_line();
