@@ -10,10 +10,19 @@
 //! directed `C₆` at `s = 2` (optimum 6), the provably infeasible
 //! directed `P₆` at `s = 3`, plus the stabilizer-chain-era instances —
 //! `Torus(3×3)` at `s = 3` full-duplex (optimum 5, |Aut| = 72),
-//! `W(3,8)` at `s = 3` full-duplex (optimum 3, the doubling floor) and
-//! directed `DB(2,3)` at `s = 2` (optimum 8). The run *fails* if any
-//! previously `ProvenOptimal` point regresses to a different value or
-//! loses its proven verdict — a settled theorem must stay settled.
+//! `W(3,8)` at `s = 3` full-duplex (optimum 3, the doubling floor),
+//! directed `DB(2,3)` at `s = 2` (optimum 8) and the parallel-era
+//! heavyweight `W(4,16)` at `s = 2` full-duplex (optimum 8, twice the
+//! doubling floor of 4). The run *fails* if any previously
+//! `ProvenOptimal` point regresses to a different value or loses its
+//! proven verdict — a settled theorem must stay settled.
+//!
+//! A second group, `enumeration_thread_scaling`, is the PR's ablation:
+//! the retired sequential engine (`sg_search::reference`) against the
+//! current engine at 1 and 8 threads on `Torus(3×3)`, with the medians
+//! and speedups summarized in the JSON's `ablation` block. The run
+//! fails if the 8-thread median loses its ≥ 2× edge over the retired
+//! baseline.
 
 use criterion::{black_box, BenchmarkId, Criterion};
 use sg_search::{enumerate, EnumerateConfig, Verdict};
@@ -76,6 +85,13 @@ fn workloads() -> Vec<(&'static str, Network, Mode, usize, Option<usize>)> {
             2,
             Some(8),
         ),
+        (
+            "knodel_w416_fd",
+            Network::Knodel { delta: 4, n: 16 },
+            Mode::FullDuplex,
+            2,
+            Some(8),
+        ),
     ]
 }
 
@@ -89,6 +105,42 @@ fn bench_enumeration(c: &mut Criterion) {
                     &net,
                     mode,
                     &EnumerateConfig::default().exact_period(s),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The instance and period of the thread-scaling ablation (the heaviest
+/// full-duplex point of the settled table).
+const ABLATION: (Network, usize) = (Network::Torus2d { w: 3, h: 3 }, 3);
+
+/// Three engines on the same instance: the retired sequential engine
+/// (`sg_search::reference`, the honest pre-refinement baseline), the new
+/// engine on one thread (isolating the signature/symmetry rework), and
+/// the new engine on eight (adding the fan-out). All three settle the
+/// identical optimum; only wall-clock differs.
+fn bench_thread_ablation(c: &mut Criterion) {
+    let (net, s) = ABLATION;
+    let mut g = c.benchmark_group("enumeration_thread_scaling");
+    g.sample_size(if fast_mode() { 2 } else { 10 });
+    g.bench_function("torus3x3_fd/reference", |b| {
+        b.iter(|| {
+            black_box(sg_search::reference::enumerate_serial(
+                &net,
+                Mode::FullDuplex,
+                &EnumerateConfig::default().exact_period(s),
+            ))
+        })
+    });
+    for threads in [1usize, 8] {
+        g.bench_function(&format!("torus3x3_fd/threads{threads}"), |b| {
+            b.iter(|| {
+                black_box(enumerate(
+                    &net,
+                    Mode::FullDuplex,
+                    &EnumerateConfig::default().exact_period(s).threads(threads),
                 ))
             })
         });
@@ -127,6 +179,36 @@ fn write_bench_json(c: &Criterion) {
         ));
     }
     out.push_str("  ],\n");
+
+    // The thread-scaling ablation in one digestible block: medians of
+    // the three engines plus the speedups the PR claims — the new engine
+    // must hold a ≥ 2× median improvement over the retired serial
+    // baseline at 8 threads, or the run fails.
+    let median_of = |name: &str| -> u128 {
+        c.results()
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("ablation bench {name} missing"))
+            .median_ns
+    };
+    let reference = median_of("enumeration_thread_scaling/torus3x3_fd/reference");
+    let t1 = median_of("enumeration_thread_scaling/torus3x3_fd/threads1");
+    let t8 = median_of("enumeration_thread_scaling/torus3x3_fd/threads8");
+    let speedup = |base: u128, new: u128| base as f64 / new.max(1) as f64;
+    out.push_str(&format!(
+        "  \"ablation\": {{\"workload\": \"torus3x3_fd\", \"period\": {}, \
+         \"reference_median_ns\": {reference}, \"t1_median_ns\": {t1}, \"t8_median_ns\": {t8}, \
+         \"speedup_t1_vs_reference\": {:.2}, \"speedup_t8_vs_reference\": {:.2}}},\n",
+        ABLATION.1,
+        speedup(reference, t1),
+        speedup(reference, t8),
+    ));
+    assert!(
+        speedup(reference, t8) >= 2.0,
+        "thread-scaling regression: torus3x3_fd at 8 threads is only {:.2}x \
+         the retired serial baseline (reference {reference} ns, t8 {t8} ns)",
+        speedup(reference, t8),
+    );
 
     // The settled outcomes, re-run once each: the trajectory pins *what*
     // the timed work proved, and regressing a settled theorem fails the
@@ -200,5 +282,6 @@ fn write_bench_json(c: &Criterion) {
 fn main() {
     let mut criterion = Criterion::default();
     bench_enumeration(&mut criterion);
+    bench_thread_ablation(&mut criterion);
     write_bench_json(&criterion);
 }

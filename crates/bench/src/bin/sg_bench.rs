@@ -60,7 +60,8 @@ USAGE:
 
 OPTIONS:
   --threads N          worker threads (default: one per core, max 16)
-  --sim-threads N      row-parallel threads per simulate/compare unit
+  --sim-threads N      threads per unit: row-parallel simulate/compare,
+                       and the enumerator's exhaustive parallel pass
                        (default: leftover budget once units are assigned;
                        the effective values are echoed in text output)
   --faults P           execute: per-link drop probability in [0, 1)
@@ -673,6 +674,7 @@ fn parse_sweep(args: &[String]) -> Result<Scenario, String> {
         checks: Vec::new(),
         search: sg_scenario::SearchSpec::default(),
         exec: sg_scenario::ExecSpec::default(),
+        enumerate: sg_scenario::EnumerateSpec::default(),
     })
 }
 

@@ -6,11 +6,11 @@
 //! capped it at tiny graphs. This module works with the group as an
 //! object instead:
 //!
-//! * [`automorphism_group`] finds a **generating set** of `Aut(g)` by
-//!   prefix-fixing backtracking — one representative per coset along a
-//!   BFS-ordered base — so the work scales with the number of cosets
-//!   (`≤ n` per level), not with the group order, and no `n ≤ 64` guard
-//!   is needed;
+//! * [`automorphism_group`] finds a **generating set** of `Aut(g)`
+//!   through the individualization–refinement search of
+//!   [`crate::refine`] — equitable-partition refinement does the
+//!   distinguishing work, so look-alike regular families no longer
+//!   drive refutations exponential — and feeds it to Schreier–Sims;
 //! * [`PermGroup`] holds a base and strong generating set computed by
 //!   the deterministic Schreier–Sims algorithm: exact [`PermGroup::order`]
 //!   (a product of orbit lengths, as `u128`), [`PermGroup::chain_depth`],
@@ -24,13 +24,11 @@
 //! group at round 0, and under the (incrementally computed) stabilizer
 //! of the already-fixed prefix at every later round.
 //!
-//! Scope note: the generator search is plain prefix-anchored
-//! backtracking, not individualization–refinement. It is fast across
-//! the repo's zoo well past the retired guard (`Torus(12×12)`,
-//! `Q₇` at `n = 128`, `CCC(4)`, de Bruijn), but large Knödel graphs
-//! (`W(5, 64)` and up) — locally ultra-symmetric and regular — can
-//! drive its refutations exponential; a partition-refinement canonical
-//! form is the known next step if those ever become targets.
+//! The retired prefix-anchored backtracking search survives as
+//! [`automorphism_generators_backtracking`]: it is the independent
+//! comparator the refinement path is pinned against (same group orders
+//! on Petersen, `Q₇`, the Knödel/de Bruijn zoo), and a second opinion
+//! for anyone auditing the refined search.
 //!
 //! ```
 //! use sg_graphs::{generators, group::automorphism_group};
@@ -440,17 +438,22 @@ impl PermGroup {
     }
 }
 
-/// Finds a generating set of `Aut(g)` by prefix-fixing backtracking:
-/// for each level of a BFS-ordered base, one automorphism per new orbit
-/// of the base point under the stabilizer of the earlier points — the
-/// cosets of the stabilizer chain, not the group's elements. Orbit
-/// bookkeeping is an indexed [`UnionFind`], so any `n` is accepted.
-///
-/// The base follows BFS from vertex 0 (then any remaining components),
-/// so each level's point is adjacent to already-fixed vertices whenever
-/// connectivity allows — its images are confined to their neighborhoods
-/// and both the searches and the refutations stay narrow.
+/// Finds a generating set of `Aut(g)` — the individualization–refinement
+/// search of [`crate::refine::automorphism_generators_refined`], where
+/// equitable-partition refinement (degree and distance invariants,
+/// iterated after every individualization) does the distinguishing work
+/// that the retired backtracking search paid for with exponential
+/// refutations on regular look-alike families.
 pub fn automorphism_generators(g: &Digraph) -> Vec<Perm> {
+    crate::refine::automorphism_generators_refined(g)
+}
+
+/// The retired generator search, by prefix-fixing backtracking: for each
+/// level of a BFS-ordered base, one automorphism per new orbit of the
+/// base point under the stabilizer of the earlier points. Kept as the
+/// independent comparator for the refined path (the two must agree on
+/// every group order); not used on any hot path.
+pub fn automorphism_generators_backtracking(g: &Digraph) -> Vec<Perm> {
     let n = g.vertex_count();
     if n == 0 {
         return Vec::new();

@@ -21,8 +21,13 @@
 //!   networks, the lexicographic symmetry-breaking substrate of the
 //!   schedule enumerator;
 //! * [`group`] — permutation groups as stabilizer chains (Schreier–Sims):
-//!   generator-finding backtracking, exact orders of huge groups,
-//!   pointwise stabilizers, union-find orbit partitions at any `n`.
+//!   generator-finding searches, exact orders of huge groups, pointwise
+//!   stabilizers, union-find orbit partitions at any `n`;
+//! * [`refine`] — equitable-partition refinement and
+//!   individualization–refinement canonical labeling (nauty-style):
+//!   canonical forms as exact isomorphism keys, refined automorphism
+//!   generator search, combined graph+state canonicalization for the
+//!   enumerator's isomorph-rejection memo.
 
 pub mod automorphism;
 pub mod codec;
@@ -30,6 +35,7 @@ pub mod digraph;
 pub mod generators;
 pub mod group;
 pub mod matching;
+pub mod refine;
 pub mod separator;
 pub mod traversal;
 pub mod weighted;
@@ -37,5 +43,6 @@ pub mod weighted;
 pub use automorphism::{automorphisms, is_orbit_representative};
 pub use digraph::{Arc, Digraph};
 pub use group::{automorphism_group, PermGroup};
+pub use refine::{canonical_graph, Canonical, Relations};
 pub use separator::{ConcreteSeparator, SeparatorParams};
 pub use weighted::WeightedDigraph;

@@ -110,6 +110,17 @@ impl Default for ExecSpec {
     }
 }
 
+/// Knobs of a [`Task::Enumerate`] scenario. Kept separate from
+/// `sg_search::EnumerateConfig` so the descriptor stays plain data; the
+/// runner folds these into the full config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnumerateSpec {
+    /// Thread budget of the exhaustive pass; `0` (the default) inherits
+    /// the batch thread budget (`--sim-threads`). Outcomes are
+    /// bit-identical at any budget — this only trades wall-clock.
+    pub threads: usize,
+}
+
 /// Arc-weight assignment for the Section 7 weighted-diameter comparisons.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WeightScheme {
@@ -171,6 +182,8 @@ pub struct Scenario {
     pub search: SearchSpec,
     /// Fault plan for [`Task::Execute`] scenarios (ignored elsewhere).
     pub exec: ExecSpec,
+    /// Knobs for [`Task::Enumerate`] scenarios (ignored elsewhere).
+    pub enumerate: EnumerateSpec,
 }
 
 impl Scenario {
@@ -189,6 +202,7 @@ impl Scenario {
             checks: Vec::new(),
             search: SearchSpec::default(),
             exec: ExecSpec::default(),
+            enumerate: EnumerateSpec::default(),
         }
     }
 
@@ -231,6 +245,12 @@ impl Scenario {
     /// Sets the execution fault plan.
     pub fn exec_spec(mut self, spec: ExecSpec) -> Self {
         self.exec = spec;
+        self
+    }
+
+    /// Sets the enumeration knobs.
+    pub fn enumerate_spec(mut self, spec: EnumerateSpec) -> Self {
+        self.enumerate = spec;
         self
     }
 }

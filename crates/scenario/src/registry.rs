@@ -423,6 +423,15 @@ pub fn registry() -> Vec<Scenario> {
         )
         .networks([Network::DeBruijnDirected { d: 2, dd: 3 }])
         .periods(systolic(2..=3)),
+        // ——— Individualization–refinement reach (parallel pass) ———
+        Scenario::new(
+            "enum-knodel-w416",
+            "Exact optimum on W(4,16) at s = 2: provably cannot double — 8 rounds vs floor 4",
+            Task::Enumerate,
+            Mode::FullDuplex,
+        )
+        .networks([Network::Knodel { delta: 4, n: 16 }])
+        .periods([Period::Systolic(2)]),
         // ——— Distributed execution under faults (sg-exec) ———
         Scenario::new(
             "exec-conformance",
@@ -563,6 +572,7 @@ mod tests {
             "enum-knodel",
             "enum-torus-3x3",
             "enum-debruijn-directed",
+            "enum-knodel-w416",
         ] {
             let sc = find(name).unwrap_or_else(|| panic!("missing {name}"));
             assert_eq!(sc.task, Task::Enumerate, "{name}");
@@ -640,8 +650,8 @@ mod tests {
         assert_eq!(conf.exec, ExecSpec::default());
         assert_eq!(
             registry().len(),
-            35,
-            "registry grew to 35 with the exec scenarios"
+            36,
+            "registry grew to 36 with the W(4,16) enumeration scenario"
         );
     }
 

@@ -392,7 +392,7 @@ fn run_unit(
         Unit::Matrices => matrices_unit(),
         Unit::Checks { checks } => checks_unit(checks),
         Unit::Search { net } => search_unit(net, scenario, cache, sim_threads),
-        Unit::Enumerate { net } => enumerate_unit(net, scenario, cache),
+        Unit::Enumerate { net } => enumerate_unit(net, scenario, cache, sim_threads),
         Unit::Execute { net } => execute_unit(net, scenario, cache, opts, sim_threads),
     }
 }
@@ -577,12 +577,24 @@ fn execute_unit(
 /// sweep: the optimum over *all* valid period-`s` schedules, proved by
 /// oracle-pruned exhaustion, or an exact infeasibility statement. The
 /// automorphism stabilizer chain is computed once per network through
-/// the batch cache and shared across the period sweep.
-fn enumerate_unit(net: &Network, scenario: &Scenario, cache: &BuildCache) -> UnitOut {
+/// the batch cache and shared across the period sweep. The exhaustive
+/// pass fans out over the scenario's thread budget (or, by default, the
+/// batch `--sim-threads` budget); outcomes are bit-identical either way.
+fn enumerate_unit(
+    net: &Network,
+    scenario: &Scenario,
+    cache: &BuildCache,
+    sim_threads: usize,
+) -> UnitOut {
     use sg_search::{enumerate_with_group, EnumerateConfig};
     let g = cache.digraph(net);
     let diameter = cache.diameter(net);
     let group = cache.perm_group(net);
+    let threads = if scenario.enumerate.threads > 0 {
+        scenario.enumerate.threads
+    } else {
+        sim_threads.max(1)
+    };
     let mut rows = Vec::new();
     let mut text = String::new();
     for p in &scenario.periods {
@@ -602,7 +614,7 @@ fn enumerate_unit(net: &Network, scenario: &Scenario, cache: &BuildCache) -> Uni
             );
             continue;
         };
-        let cfg = EnumerateConfig::default().exact_period(*s);
+        let cfg = EnumerateConfig::default().exact_period(*s).threads(threads);
         let out = enumerate_with_group(
             cache.oracle(),
             net,
@@ -627,7 +639,8 @@ fn enumerate_unit(net: &Network, scenario: &Scenario, cache: &BuildCache) -> Uni
             .with("chain_depth", out.chain_depth)
             .with("stabilizer_pruned", out.stabilizer_pruned)
             .with("memo_hits", out.memo_hits)
-            .with("automorphisms", out.automorphisms);
+            .with("automorphisms", out.automorphisms)
+            .with("threads", out.threads);
         match &out.certificate {
             Some(cert) => {
                 text.push_str(&format!("{cert}\n"));

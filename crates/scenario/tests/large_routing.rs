@@ -7,7 +7,9 @@
 //! the built graph's real order. `BatchOptions::large_sim_min_n` lets
 //! the test exercise the routing at toy sizes.
 
-use sg_scenario::{run_batch, BatchOptions, ExecSpec, Scenario, SearchSpec, Task, WeightScheme};
+use sg_scenario::{
+    run_batch, BatchOptions, EnumerateSpec, ExecSpec, Scenario, SearchSpec, Task, WeightScheme,
+};
 use systolic_gossip::sg_protocol::mode::Mode;
 use systolic_gossip::{Network, Value};
 
@@ -24,6 +26,7 @@ fn simulate_scenario(net: Network) -> Scenario {
         checks: Vec::new(),
         search: SearchSpec::default(),
         exec: ExecSpec::default(),
+        enumerate: EnumerateSpec::default(),
     }
 }
 

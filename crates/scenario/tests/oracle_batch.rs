@@ -142,3 +142,35 @@ fn enumeration_scenarios_settle_the_gaps() {
         Some(Value::Text("proven-optimal".into()))
     );
 }
+
+/// The batch `--sim-threads` budget reaches the enumerator's exhaustive
+/// pass — and cannot change what it settles.
+#[test]
+fn enumeration_thread_budget_flows_through_the_batch() {
+    let run = |sim_threads| {
+        let opts = BatchOptions {
+            threads: 2,
+            sim_threads,
+            ..Default::default()
+        };
+        run_batch(&[find("enum-hypercube").expect("registered")], &opts)
+    };
+    let extract = |report: &sg_scenario::BatchReport, field: &str| -> Option<Value> {
+        report.outcomes[0]
+            .rows
+            .iter()
+            .find(|r| r.get("s") == Some(&Value::Int(2)))
+            .and_then(|r| r.get(field).cloned())
+    };
+    let serial = run(1);
+    let wide = run(4);
+    assert_eq!(extract(&serial, "threads"), Some(Value::Int(1)));
+    assert_eq!(extract(&wide, "threads"), Some(Value::Int(4)));
+    for field in ["optimal_rounds", "enumerated", "pruned", "verdict"] {
+        assert_eq!(
+            extract(&serial, field),
+            extract(&wide, field),
+            "{field} must be thread-count-independent"
+        );
+    }
+}

@@ -9,8 +9,9 @@
 //! theorem — the "rigorous minimal time" program applied to the paper's
 //! open small cases (`Q₃` at `s = 2` full-duplex, `C₈` full-duplex at
 //! `s = 3`, the directed variants) and, with stabilizer-chain symmetry
-//! breaking, to richer families (Knödel graphs, tori, directed
-//! de Bruijn networks).
+//! breaking and individualization–refinement canonical forms, to richer
+//! families (Knödel graphs up to `W(4,16)`, tori, directed de Bruijn
+//! networks, complete graphs whose groups dwarf any element list).
 //!
 //! ```
 //! use sg_search::{enumerate, EnumerateConfig, Verdict};
@@ -41,61 +42,89 @@
 //!    schedule is dominated by one whose rounds are *maximal* valid
 //!    rounds, so the enumeration ranges over those alone, for both the
 //!    optimum and the infeasibility direction.
-//! 2. **Stabilizer-chain symmetry breaking at every depth.** Relabeling
-//!    all processors by a graph automorphism maps schedules to schedules
+//! 2. **Exact symmetry breaking at every depth.** Relabeling all
+//!    processors by a graph automorphism maps schedules to schedules
 //!    with identical completion times. Round 0 is restricted to one
 //!    lexicographic representative per orbit of the full automorphism
 //!    group ([`sg_graphs::group::PermGroup`]); after fixing rounds
 //!    `0..k`, round `k+1` is restricted to representatives under the
 //!    **stabilizer of the prefix** (the subgroup mapping every fixed
-//!    round to itself), computed incrementally as the search descends —
-//!    each deeper round shrinks the stabilizer, and pruning stops
-//!    automatically once it collapses to the identity. Pruned branches
-//!    are exact mirror images of explored ones, so both the optimum and
-//!    infeasibility stay exact. Mechanically, the group's element list
-//!    is materialized once through the chain ([`SYMMETRY_ELEMENT_CAP`];
-//!    past it, a sound identity+generators+inverses subset prunes less
-//!    but never misses a schedule) and the stabilizer is the filtered
-//!    index set threaded down the recursion.
+//!    round to itself), computed incrementally as the search descends.
+//!    Mechanically, groups up to [`SYMMETRY_ELEMENT_CAP`] materialize
+//!    their element list once through the chain and thread a filtered
+//!    index set down the recursion; larger groups act on candidate
+//!    indices through a stabilizer chain rebuilt per fixed round, with
+//!    orbit minima from a union-find closure over the stabilizer's
+//!    strong generators — exact at *any* group order, where the retired
+//!    engine fell back to a sound-but-weak generator subset.
 //! 3. **Isomorph-rejection memo on canonical knowledge signatures.** The
 //!    relaxation distance (how many all-arcs rounds a knowledge state
 //!    needs to complete, or that it never can) depends only on the state
 //!    — and is invariant under automorphisms. It is memoized per
-//!    *canonical* state signature (the minimum over the group of the
-//!    relabeled bitset image), so symmetric branches that reach
-//!    equivalent states share one relaxation sweep.
+//!    *canonical* state signature: the exact orbit minimum of the
+//!    relabeled bitset image when the element list is materialized
+//!    (early-abort lexicographic scan), or the
+//!    individualization–refinement canonical form of the combined
+//!    (adjacency, knowledge) relational structure
+//!    ([`sg_graphs::refine`]) beyond the cap. Either way the signature
+//!    is exactly canonical — the old `CANONICAL_PERM_CAP` identity
+//!    fallback is gone.
 //! 4. **Oracle floors and relaxation cuts.** The shared [`BoundOracle`]
-//!    supplies the exact floor — an incumbent meeting it ends the whole
-//!    search — and every prefix is cut when even the *relaxed* future
-//!    (all arcs active every round, which dominates every valid round)
-//!    cannot beat the incumbent. Complete schedules are evaluated
-//!    through the compiled engine with the incumbent as horizon, and a
-//!    knowledge fixed point across a full period proves a schedule never
-//!    completes — which is what makes the infeasibility verdict exact
-//!    rather than budget-relative.
+//!    supplies the exact floor — a seed protocol meeting it settles the
+//!    instance without search — and every prefix is cut when even the
+//!    *relaxed* future (all arcs active every round, which dominates
+//!    every valid round) cannot beat the bound. A knowledge fixed point
+//!    across a full period proves a schedule never completes — which is
+//!    what makes the infeasibility verdict exact rather than
+//!    budget-relative.
+//!
+//! # Parallel execution, deterministic results
+//!
+//! Seeded instances (a refitted upper-bound construction completes at
+//! some `U` rounds) run **one exhaustive pass with the fixed cap
+//! `U − 1`**: every schedule that could beat the seed is either
+//! enumerated or cut by a bound that depends only on the subtree, never
+//! on discovery order. The pass fans out over a breadth-first frontier
+//! of subtree tasks claimed from an atomic cursor by scoped workers
+//! (the idiom of `sg-sim`'s work-stealing pool), each with private
+//! scratch and a sharded single-flight memo; because pruning is a pure
+//! function of the node, the set of visited nodes — hence every counter
+//! — is identical at any thread count, and the witness is the
+//! lexicographically least minimum-value completion regardless of which
+//! worker found it. Unseeded instances (no valid completing seed
+//! exists) run the sequential incumbent-tightening descent — already
+//! deterministic — on one thread.
+//!
+//! The retired pre-refinement engine survives verbatim as
+//! [`crate::reference::enumerate_serial`]: the differential oracle the
+//! tests compare against, and the serial baseline of the enumeration
+//! bench.
 
 use crate::certificate::{certify_with, Certificate, Verdict};
 use crate::seeds::{fit_to_period, seed_protocols};
 use sg_bounds::pfun::Period;
 use sg_graphs::digraph::{Arc, Digraph};
-use sg_graphs::group::{automorphism_group, identity, invert, Perm, PermGroup};
+use sg_graphs::group::{invert, Perm, PermGroup, UnionFind};
+use sg_graphs::refine::{canonical_form, distance_seed, Cells, Relations};
 use sg_protocol::mode::Mode;
 use sg_protocol::protocol::SystolicProtocol;
 use sg_protocol::round::Round;
 use sg_sim::{CompiledSchedule, CompletionCursor, Knowledge};
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrd};
+use std::sync::Mutex;
 use systolic_gossip::{BoundOracle, Network};
 
 /// Largest group for which symmetry breaking materializes the full
-/// element list; bigger groups fall back to a sound generator subset
-/// (identity, generators and their inverses) — less pruning, never a
-/// missed schedule.
+/// element list; bigger groups act on candidate indices through a
+/// stabilizer chain (exact orbit minima, no pruning lost) and key the
+/// memo on individualization–refinement canonical forms.
 pub const SYMMETRY_ELEMENT_CAP: usize = 4096;
 
-/// Largest element list used for canonical state signatures; beyond it
-/// the memo keys on the raw signature (still sound, fewer cross-branch
-/// hits).
-pub const CANONICAL_PERM_CAP: usize = 256;
+/// Frontier tasks carved per worker thread before the pass fans out —
+/// enough slack that an early-finishing worker keeps claiming work.
+const TASKS_PER_THREAD: usize = 16;
 
 /// Knobs of one exact enumeration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +137,10 @@ pub struct EnumerateConfig {
     pub max_round_candidates: usize,
     /// Hard cap on visited search-tree nodes (same rationale).
     pub max_nodes: usize,
+    /// Thread budget for the exhaustive pass: the calling thread plus
+    /// `threads − 1` scoped workers. `0` and `1` both mean sequential.
+    /// Results are bit-identical at any budget; only wall-clock varies.
+    pub threads: usize,
 }
 
 impl Default for EnumerateConfig {
@@ -116,6 +149,7 @@ impl Default for EnumerateConfig {
             period: 2,
             max_round_candidates: 20_000,
             max_nodes: 20_000_000,
+            threads: 1,
         }
     }
 }
@@ -124,6 +158,12 @@ impl EnumerateConfig {
     /// An exact enumeration at period `s`.
     pub fn exact_period(mut self, s: usize) -> Self {
         self.period = s;
+        self
+    }
+
+    /// An exact enumeration on `t` threads.
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads = t;
         self
     }
 }
@@ -159,8 +199,9 @@ pub struct EnumerateOutcome {
     pub group_order: u128,
     /// Depth of the group's stabilizer chain (base length).
     pub chain_depth: usize,
-    /// Symmetry permutations actually applied (the full element list, or
-    /// the generator fallback beyond [`SYMMETRY_ELEMENT_CAP`]).
+    /// Symmetry permutations materialized: the full element list up to
+    /// [`SYMMETRY_ELEMENT_CAP`], or the stabilizer chain's generator
+    /// count beyond it (the chain itself prunes exactly either way).
     pub symmetry_perms: usize,
     /// Candidates skipped at depths `≥ 1` because a prefix-stabilizer
     /// element maps them to a lexicographically smaller round — the
@@ -172,9 +213,12 @@ pub struct EnumerateOutcome {
     pub memo_hits: usize,
     /// Distinct canonical knowledge signatures the memo holds.
     pub memo_entries: usize,
-    /// `true` when the search ended early because the incumbent met the
-    /// oracle floor (exhaustion unnecessary).
+    /// `true` when the optimum meets the oracle floor — settled by a
+    /// seed protocol without any search, or proved tight by the pass.
     pub met_floor: bool,
+    /// Thread budget the enumeration ran with (results are identical at
+    /// any budget; this records what was actually used).
+    pub threads: usize,
 }
 
 /// Enumerates every *maximal* valid round of `g` under `mode`, in
@@ -251,133 +295,432 @@ fn maximal_sets(
 
 /// The all-arcs relaxation round: dominates every valid round of any
 /// mode, which is what makes prefix cuts sound.
-fn relaxation_round(g: &Digraph) -> Round {
+pub(crate) fn relaxation_round(g: &Digraph) -> Round {
     Round::new(g.arcs().filter(|a| !a.is_loop()).collect())
 }
 
-struct Search {
-    compiled: Vec<CompiledSchedule>,
-    slots: usize,
-    n: usize,
-    relaxed: CompiledSchedule,
-    floor: usize,
-    max_nodes: usize,
-    /// Symmetry permutations (identity first; full element list or the
-    /// generator fallback).
-    perms: Vec<Perm>,
-    /// `action[p][c]`: the candidate index `perms[p]` maps candidate `c`
-    /// to. Candidates are sorted, so index order *is* lexicographic
-    /// order and orbit representatives are orbit minima.
-    action: Vec<Vec<u32>>,
-    /// Perms usable for canonical signatures (`perms` when small enough,
-    /// just the identity beyond [`CANONICAL_PERM_CAP`]).
-    canonical_perms: usize,
-    /// Canonical knowledge signature → exact relaxation distance
-    /// (`None` = even the all-arcs relaxation never completes).
-    relax_memo: HashMap<Vec<u64>, Option<u32>>,
-    // Mutable search state.
-    chosen: Vec<usize>,
-    incumbent: Option<(usize, Vec<usize>)>,
-    enumerated: usize,
-    pruned: usize,
-    pruned_per_level: Vec<usize>,
-    stabilizer_pruned: usize,
-    memo_hits: usize,
-    nodes: usize,
-    met_floor: bool,
+/// The action of one vertex permutation on the sorted candidate list:
+/// `action[c]` is the index the automorphism maps candidate `c` to.
+/// Candidates are lexicographically sorted, so index order *is* round
+/// order and orbit minima are index minima.
+pub(crate) fn candidate_action(p: &Perm, candidates: &[Round], name: &str) -> Vec<u32> {
+    (0..candidates.len())
+        .map(|i| {
+            let mapped = sg_graphs::automorphism::map_arcs(p, candidates[i].arcs());
+            candidates
+                .binary_search_by(|r| r.arcs().cmp(mapped.as_slice()))
+                .unwrap_or_else(|_| {
+                    panic!("{name}: automorphism does not permute the maximal rounds")
+                }) as u32
+        })
+        .collect()
 }
 
-impl Search {
-    /// The canonical signature of a knowledge state: the minimum, over
-    /// the symmetry permutations, of the flattened bitset image with
-    /// both processors and items relabeled. Automorphic states share a
-    /// signature, so the memo recognizes branches that are mirror images
-    /// of ones already analyzed.
-    fn canonical_signature(&self, state: &Knowledge) -> Vec<u64> {
-        let n = self.n;
-        let words = state.words();
-        if self.canonical_perms == 1 {
-            // Identity only (group beyond CANONICAL_PERM_CAP): the
-            // signature is the raw state — no bit-twiddling needed.
-            let mut sig = Vec::with_capacity(n * words);
-            for v in 0..n {
-                sig.extend_from_slice(state.row(v));
-            }
-            return sig;
+// ---------------------------------------------------------------------
+// Symmetry machinery: exact representatives at any group order.
+// ---------------------------------------------------------------------
+
+/// How symmetry breaking acts on the candidate list.
+enum Symmetry {
+    /// Full element list (`|G| ≤` [`SYMMETRY_ELEMENT_CAP`]): the action
+    /// table `action[p][c]` and stabilizers as filtered index sets.
+    Elements { action: Vec<Vec<u32>> },
+    /// Stabilizer chain over the candidate-index domain: pointwise
+    /// stabilizers rebuilt per fixed round, orbit minima from a
+    /// union-find closure over the chain's strong generators.
+    Chain { group: PermGroup },
+}
+
+/// The prefix stabilizer a node threads down the descent.
+#[derive(Clone)]
+enum Stab {
+    /// Indices into the element list whose action fixes every round of
+    /// the prefix (identity always among them).
+    Elements(Vec<u32>),
+    /// Pointwise stabilizer acting on candidate indices, plus the orbit
+    /// minimum of every candidate under it.
+    Chain {
+        orbit_min: Vec<u32>,
+        group: PermGroup,
+    },
+}
+
+/// Orbit minima of the candidate indices under `group` (acting on the
+/// candidate domain): union-find closure over the strong generators.
+fn orbit_minima(group: &PermGroup) -> Vec<u32> {
+    let m = group.n();
+    let mut uf = UnionFind::new(m);
+    for gen in group.generators() {
+        uf.union_perm(gen);
+    }
+    let mut min = vec![u32::MAX; m];
+    let mut root_min = vec![u32::MAX; m];
+    for c in 0..m {
+        let r = uf.find(c);
+        root_min[r] = root_min[r].min(c as u32);
+    }
+    for (c, slot) in min.iter_mut().enumerate() {
+        *slot = root_min[uf.find(c)];
+    }
+    min
+}
+
+impl Symmetry {
+    /// The root stabilizer: the whole group.
+    fn root(&self) -> Stab {
+        match self {
+            Symmetry::Elements { action } => Stab::Elements((0..action.len() as u32).collect()),
+            Symmetry::Chain { group } => Stab::Chain {
+                orbit_min: orbit_minima(group),
+                group: group.clone(),
+            },
         }
-        let mut best: Option<Vec<u64>> = None;
-        let mut sig = vec![0u64; n * words];
-        for p in &self.perms[..self.canonical_perms] {
-            sig.iter_mut().for_each(|w| *w = 0);
-            for v in 0..n {
-                let pv = p[v] as usize;
+    }
+
+    /// `true` when `stab` still contains a non-identity element — the
+    /// only case the representative test can reject anything.
+    fn nontrivial(&self, stab: &Stab) -> bool {
+        match stab {
+            Stab::Elements(idx) => idx.len() > 1,
+            Stab::Chain { group, .. } => group.order() > 1,
+        }
+    }
+
+    /// `true` when candidate `c` is the lexicographic minimum of its
+    /// orbit under `stab`.
+    fn is_representative(&self, stab: &Stab, c: usize) -> bool {
+        match (self, stab) {
+            (Symmetry::Elements { action }, Stab::Elements(idx)) => {
+                idx.iter().all(|&p| action[p as usize][c] as usize >= c)
+            }
+            (_, Stab::Chain { orbit_min, .. }) => orbit_min[c] as usize == c,
+            _ => unreachable!("stabilizer kind matches symmetry kind"),
+        }
+    }
+
+    /// The stabilizer of the prefix extended by fixed round `c`.
+    fn child(&self, stab: &Stab, c: usize) -> Stab {
+        match (self, stab) {
+            (Symmetry::Elements { action }, Stab::Elements(idx)) => Stab::Elements(
+                idx.iter()
+                    .copied()
+                    .filter(|&p| action[p as usize][c] as usize == c)
+                    .collect(),
+            ),
+            (_, Stab::Chain { group, .. }) => {
+                let sub = group.pointwise_stabilizer(&[c]);
+                Stab::Chain {
+                    orbit_min: orbit_minima(&sub),
+                    group: sub,
+                }
+            }
+            _ => unreachable!("stabilizer kind matches symmetry kind"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Canonical state signatures: exact orbit keys at any group order.
+// ---------------------------------------------------------------------
+
+/// Shared (immutable) data the per-worker signature engines build on.
+enum SigMode {
+    /// Exact orbit minimum over the full element list, found by an
+    /// early-abort lexicographic scan (most permutations lose within
+    /// the first row).
+    Perms { perms: Vec<Perm>, inv: Vec<Perm> },
+    /// Individualization–refinement canonical form of the combined
+    /// (adjacency, knowledge) relational structure — exact for groups
+    /// too large to materialize. An isomorphism of the combined
+    /// structure maps the adjacency relation to itself, so two states
+    /// share a form iff some automorphism of the graph maps one
+    /// knowledge matrix to the other.
+    Canonical { graph: Relations, seed: Cells },
+}
+
+/// Worker-private signature scratch over a shared [`SigMode`].
+struct SigEngine<'a> {
+    mode: &'a SigMode,
+    best: Vec<u64>,
+    row: Vec<u64>,
+    /// Lazily built local copy of the graph relations with the
+    /// knowledge slot appended (canonical mode only).
+    combined: Option<Relations>,
+    flat: Vec<u64>,
+}
+
+impl<'a> SigEngine<'a> {
+    fn new(mode: &'a SigMode) -> Self {
+        Self {
+            mode,
+            best: Vec::new(),
+            row: Vec::new(),
+            combined: None,
+            flat: Vec::new(),
+        }
+    }
+
+    /// The canonical signature of a knowledge state: equal exactly when
+    /// some automorphism maps one state to the other.
+    fn signature(&mut self, state: &Knowledge, n: usize) -> Vec<u64> {
+        let mode = self.mode;
+        match mode {
+            SigMode::Perms { perms, inv } => self.exact_orbit_min(perms, inv, state, n),
+            SigMode::Canonical { graph, seed } => {
+                let words = graph.words();
+                let combined = self.combined.get_or_insert_with(|| {
+                    let mut r = graph.clone();
+                    r.push_rows(vec![0u64; n * words]);
+                    r
+                });
+                self.flat.clear();
+                for v in 0..n {
+                    self.flat.extend_from_slice(state.row(v));
+                }
+                combined.set_rows(1, &self.flat);
+                canonical_form(combined, seed).form
+            }
+        }
+    }
+
+    /// Minimum over the element list of the relabeled bitset image,
+    /// with both processors and items relabeled. Rows are compared in
+    /// target order as they are built, so a permutation is abandoned at
+    /// the first row that exceeds the best image so far; once a
+    /// permutation is strictly ahead, its remaining rows are copied
+    /// without comparing.
+    fn exact_orbit_min(
+        &mut self,
+        perms: &[Perm],
+        inv: &[Perm],
+        state: &Knowledge,
+        n: usize,
+    ) -> Vec<u64> {
+        let words = state.words();
+        self.best.clear();
+        for v in 0..n {
+            // Identity image first: `perms[0]` is sorted-first, i.e. id.
+            self.best.extend_from_slice(state.row(v));
+        }
+        for (p, pinv) in perms.iter().zip(inv).skip(1) {
+            let mut winning = false;
+            for (i, &src) in pinv.iter().enumerate().take(n) {
+                let v = src as usize;
+                self.row.clear();
+                self.row.resize(words, 0);
                 for (w, &bits) in state.row(v).iter().enumerate() {
                     let mut bits = bits;
                     while bits != 0 {
                         let b = bits.trailing_zeros() as usize;
                         bits &= bits - 1;
                         let item = p[w * 64 + b] as usize;
-                        sig[pv * words + item / 64] |= 1u64 << (item % 64);
+                        self.row[item / 64] |= 1u64 << (item % 64);
                     }
                 }
-            }
-            if best.as_ref().is_none_or(|b| sig < *b) {
-                best = Some(sig.clone());
+                let dst = &mut self.best[i * words..(i + 1) * words];
+                if winning {
+                    dst.copy_from_slice(&self.row);
+                    continue;
+                }
+                match self.row[..].cmp(dst) {
+                    Ordering::Less => {
+                        winning = true;
+                        dst.copy_from_slice(&self.row);
+                    }
+                    Ordering::Greater => break,
+                    Ordering::Equal => {}
+                }
             }
         }
-        best.unwrap_or(sig)
+        self.best.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded single-flight memo for relaxation distances.
+// ---------------------------------------------------------------------
+
+const MEMO_SHARDS: usize = 16;
+
+/// Encoded relaxation distance in an atomic slot: `0` = pending,
+/// `1` = never completes, `d + 2` = completes in `d` rounds.
+type MemoSlot = std::sync::Arc<AtomicU64>;
+
+/// Canonical signature → relaxation distance, sharded by signature hash
+/// with single-flight computation: the first thread to miss claims the
+/// slot and computes outside the shard lock; concurrent lookups of the
+/// same signature spin on the slot instead of recomputing. The set of
+/// signatures ever queried is a pure function of the visited node set,
+/// so hit/entry counts are thread-count-independent.
+pub(crate) struct SharedMemo {
+    shards: Vec<Mutex<HashMap<Vec<u64>, MemoSlot>>>,
+}
+
+impl SharedMemo {
+    pub(crate) fn new() -> Self {
+        Self {
+            shards: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
     }
 
-    /// Exact number of all-arcs relaxation rounds `state` needs to reach
-    /// completion (`None` when it never completes — then nothing below
-    /// any prefix reaching this state ever gossips). Memoized per
-    /// canonical signature; the relaxation dominates every valid round,
-    /// so `t + distance` lower-bounds every continuation from `state`.
-    fn relax_distance(&mut self, state: &Knowledge) -> Option<usize> {
-        let sig = self.canonical_signature(state);
-        if let Some(&d) = self.relax_memo.get(&sig) {
-            self.memo_hits += 1;
-            return d.map(|x| x as usize);
+    fn shard_of(sig: &[u64]) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &w in sig {
+            h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
         }
-        let mut k = state.clone();
-        let mut cursor = CompletionCursor::new();
-        let mut dist = 0u32;
-        let result = loop {
-            if cursor.complete(&k) {
-                break Some(dist);
+        (h >> 32) as usize % MEMO_SHARDS
+    }
+
+    /// Looks `sig` up, computing (and publishing) with `compute` on a
+    /// miss. Exactly one thread computes any given signature.
+    fn distance(&self, sig: Vec<u64>, compute: impl FnOnce() -> Option<u32>) -> Option<u32> {
+        let shard = &self.shards[Self::shard_of(&sig)];
+        let (slot, owner) = {
+            let mut map = shard.lock().expect("memo shard poisoned");
+            match map.entry(sig) {
+                std::collections::hash_map::Entry::Occupied(e) => (e.get().clone(), false),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let slot = MemoSlot::new(AtomicU64::new(0));
+                    e.insert(slot.clone());
+                    (slot, true)
+                }
             }
-            if !self.relaxed.apply(&mut k, 0) {
-                break None; // fixed point below completion
-            }
-            dist += 1;
         };
-        self.relax_memo.insert(sig, result);
-        result.map(|d| d as usize)
+        let encoded = if owner {
+            let encoded = match compute() {
+                None => 1,
+                Some(d) => u64::from(d) + 2,
+            };
+            slot.store(encoded, AtomicOrd::Release);
+            encoded
+        } else {
+            let mut spins = 0u32;
+            loop {
+                let v = slot.load(AtomicOrd::Acquire);
+                if v != 0 {
+                    break v;
+                }
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        };
+        match encoded {
+            1 => None,
+            d => Some((d - 2) as u32),
+        }
     }
 
-    /// Exact gossip time of the complete schedule `chosen`, continuing
-    /// from `state` (the knowledge after its first period). Returns
-    /// `None` when the schedule provably never completes (knowledge
-    /// fixed point across a full period) or cannot beat `horizon`.
-    fn finish_schedule(&mut self, state: &Knowledge, horizon: Option<usize>) -> Option<usize> {
-        let s = self.slots;
+    /// Distinct signatures held (call after all workers joined).
+    fn entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").len())
+            .sum()
+    }
+}
+
+/// Exact number of all-arcs relaxation rounds `state` needs to reach
+/// completion (`None` when it never completes — then nothing below any
+/// prefix reaching this state ever gossips).
+fn relax_probe(relaxed: &mut CompiledSchedule, state: &Knowledge) -> Option<u32> {
+    let mut k = state.clone();
+    let mut cursor = CompletionCursor::new();
+    let mut dist = 0u32;
+    loop {
+        if cursor.complete(&k) {
+            break Some(dist);
+        }
+        if !relaxed.apply(&mut k, 0) {
+            break None; // fixed point below completion
+        }
+        dist += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// The exhaustive pass: fixed cap, frontier fan-out, deterministic merge.
+// ---------------------------------------------------------------------
+
+/// Immutable data one exhaustive pass shares across workers.
+struct PassShared<'a> {
+    compiled: &'a [CompiledSchedule],
+    relaxed: &'a CompiledSchedule,
+    sym: &'a Symmetry,
+    sig_mode: &'a SigMode,
+    memo: &'a SharedMemo,
+    nodes: &'a AtomicUsize,
+    slots: usize,
+    n: usize,
+    /// Completions are only worth recording at or under this bound, and
+    /// subtrees that cannot reach it are cut.
+    cap: usize,
+    max_nodes: usize,
+}
+
+/// One frontier task: an unexplored subtree rooted at `prefix`.
+struct PassTask {
+    prefix: Vec<usize>,
+    state: Knowledge,
+    stab: Stab,
+}
+
+/// Worker-private mutable resources (compiled schedules carry scratch
+/// buffers, so each worker clones its own set).
+struct Ctx<'a> {
+    shared: &'a PassShared<'a>,
+    compiled: Vec<CompiledSchedule>,
+    relaxed: CompiledSchedule,
+    sig: SigEngine<'a>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(shared: &'a PassShared<'a>) -> Self {
+        Self {
+            shared,
+            compiled: shared.compiled.to_vec(),
+            relaxed: shared.relaxed.clone(),
+            sig: SigEngine::new(shared.sig_mode),
+        }
+    }
+
+    /// Memoized relaxation distance of `state` (counts the lookup).
+    fn relax(&mut self, state: &Knowledge, acc: &mut PassAcc) -> Option<usize> {
+        acc.memo_lookups += 1;
+        let sig = self.sig.signature(state, self.shared.n);
+        let relaxed = &mut self.relaxed;
+        self.shared
+            .memo
+            .distance(sig, || relax_probe(relaxed, state))
+            .map(|d| d as usize)
+    }
+
+    /// Exact gossip time of the complete schedule `prefix`, continuing
+    /// from `state` (the knowledge after its first period). `None` when
+    /// the schedule never completes (periodic fixed point) or cannot
+    /// make the cap.
+    fn finish_schedule(&mut self, prefix: &[usize], state: &Knowledge) -> Option<usize> {
+        let s = self.shared.slots;
         let mut k = state.clone();
         let mut cursor = CompletionCursor::new();
         if cursor.complete(&k) {
             return Some(s);
         }
-        let cap = horizon.unwrap_or(usize::MAX);
         let mut t = s;
         loop {
             let mut changed = false;
-            for slot in 0..s {
-                let idx = self.chosen[slot];
+            for &idx in prefix.iter().take(s) {
                 changed |= self.compiled[idx].apply(&mut k, 0);
                 t += 1;
                 if cursor.complete(&k) {
                     return Some(t);
                 }
-                if t >= cap {
+                if t >= self.shared.cap {
                     return None;
                 }
             }
@@ -386,88 +729,349 @@ impl Search {
             }
         }
     }
+}
 
-    /// `true` when candidate `c` is the lexicographic minimum of its
-    /// orbit under the stabilizer `stab` (indices into `perms`).
-    fn is_representative(&self, stab: &[u32], c: usize) -> bool {
-        stab.iter()
-            .all(|&p| self.action[p as usize][c] as usize >= c)
+/// Per-task (and per-worker) result accumulator. Counters add; the best
+/// completion merges by `(value, prefix)` — minimum value first, then
+/// the lexicographically least choice sequence, which is exactly the
+/// first completion a sequential depth-first scan would keep.
+struct PassAcc {
+    enumerated: usize,
+    pruned: usize,
+    pruned_per_level: Vec<usize>,
+    stabilizer_pruned: usize,
+    memo_lookups: usize,
+    best: Option<(usize, Vec<usize>)>,
+}
+
+impl PassAcc {
+    fn new(slots: usize) -> Self {
+        Self {
+            enumerated: 0,
+            pruned: 0,
+            pruned_per_level: vec![0; slots],
+            stabilizer_pruned: 0,
+            memo_lookups: 0,
+            best: None,
+        }
     }
 
-    /// One search level: `stab` is the pointwise stabilizer of the fixed
-    /// round prefix (as indices into `perms`, always containing the
-    /// identity at index 0), shrunk incrementally as rounds are fixed.
-    fn descend(&mut self, state: &Knowledge, slot: usize, stab: &[u32]) {
+    fn consider(&mut self, value: usize, prefix: &[usize]) {
+        let better = match &self.best {
+            None => true,
+            Some((v, p)) => (value, prefix) < (*v, p.as_slice()),
+        };
+        if better {
+            self.best = Some((value, prefix.to_vec()));
+        }
+    }
+
+    fn merge(&mut self, other: PassAcc) {
+        self.enumerated += other.enumerated;
+        self.pruned += other.pruned;
+        for (a, b) in self
+            .pruned_per_level
+            .iter_mut()
+            .zip(&other.pruned_per_level)
+        {
+            *a += b;
+        }
+        self.stabilizer_pruned += other.stabilizer_pruned;
+        self.memo_lookups += other.memo_lookups;
+        if let Some((v, p)) = other.best {
+            self.consider(v, &p);
+        }
+    }
+}
+
+/// Visits one node: applies each representative candidate, settles
+/// first-period completions, cuts by the relaxation bound, evaluates
+/// leaves, and either recurses into children (`spill` = `None`) or
+/// enqueues them as frontier tasks. Counters are identical either way —
+/// which is what makes the frontier split invisible in the outcome.
+fn pass_node(
+    ctx: &mut Ctx,
+    prefix: &mut Vec<usize>,
+    state: &Knowledge,
+    stab: &Stab,
+    acc: &mut PassAcc,
+    spill: &mut Option<&mut VecDeque<PassTask>>,
+) {
+    let shared = ctx.shared;
+    let visited = shared.nodes.fetch_add(1, AtomicOrd::Relaxed) + 1;
+    assert!(
+        visited <= shared.max_nodes,
+        "exact enumeration exceeded {} nodes — instance too large",
+        shared.max_nodes
+    );
+    let slot = prefix.len();
+    let symmetric = shared.sym.nontrivial(stab);
+    for idx in 0..ctx.compiled.len() {
+        // Symmetry breaking at *every* depth: a candidate that some
+        // prefix-stabilizing automorphism maps to a smaller round is
+        // the mirror image of a branch this loop already explored.
+        if symmetric && !shared.sym.is_representative(stab, idx) {
+            if slot > 0 {
+                acc.stabilizer_pruned += 1;
+            }
+            continue;
+        }
+        let mut next = state.clone();
+        ctx.compiled[idx].apply(&mut next, 0);
+        let t = slot + 1;
+        let mut cursor = CompletionCursor::new();
+        if cursor.complete(&next) {
+            // Completed inside the first period: every deeper choice
+            // yields exactly this time — the subtree is settled.
+            acc.enumerated += 1;
+            if t <= shared.cap {
+                prefix.push(idx);
+                acc.consider(t, prefix);
+                prefix.pop();
+            }
+            continue;
+        }
+        // Relaxation cut: even all-arcs rounds from here cannot make
+        // the cap (or complete at all). The bound depends only on the
+        // subtree, never on what other workers found — that purity is
+        // the determinism argument.
+        match ctx.relax(&next, acc) {
+            None => {
+                acc.pruned += 1;
+                acc.pruned_per_level[slot] += 1;
+                continue;
+            }
+            Some(d) if t + d > shared.cap => {
+                acc.pruned += 1;
+                acc.pruned_per_level[slot] += 1;
+                continue;
+            }
+            Some(_) => {}
+        }
+        if slot + 1 == shared.slots {
+            acc.enumerated += 1;
+            prefix.push(idx);
+            if let Some(found) = ctx.finish_schedule(prefix, &next) {
+                acc.consider(found, prefix);
+            }
+            prefix.pop();
+        } else {
+            let child = shared.sym.child(stab, idx);
+            match spill {
+                Some(queue) => {
+                    let mut p = prefix.clone();
+                    p.push(idx);
+                    queue.push_back(PassTask {
+                        prefix: p,
+                        state: next,
+                        stab: child,
+                    });
+                }
+                None => {
+                    prefix.push(idx);
+                    pass_node(ctx, prefix, &next, &child, acc, spill);
+                    prefix.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Runs one exhaustive pass under `shared.cap` with `threads` workers:
+/// carves a breadth-first frontier, then claims tasks from an atomic
+/// cursor until drained. The visited node set is a pure function of the
+/// instance and cap, so the merged counters and the `(value, prefix)`-
+/// minimal completion are identical at any thread count.
+fn run_pass(shared: &PassShared, root_stab: Stab, threads: usize) -> PassAcc {
+    let mut acc = PassAcc::new(shared.slots);
+    let root = PassTask {
+        prefix: Vec::new(),
+        state: Knowledge::initial(shared.n),
+        stab: root_stab,
+    };
+    if threads <= 1 {
+        let mut ctx = Ctx::new(shared);
+        let mut prefix = root.prefix;
+        pass_node(
+            &mut ctx,
+            &mut prefix,
+            &root.state,
+            &root.stab,
+            &mut acc,
+            &mut None,
+        );
+        return acc;
+    }
+
+    // Carve the frontier: expand shallow tasks breadth-first until
+    // there is enough slack for every worker. Expansion runs the exact
+    // per-child logic of the descent, so the split never shows up in
+    // the counters.
+    let target = threads * TASKS_PER_THREAD;
+    let mut queue = VecDeque::new();
+    let mut ready: Vec<PassTask> = Vec::new();
+    queue.push_back(root);
+    {
+        let mut ctx = Ctx::new(shared);
+        while ready.len() + queue.len() < target {
+            let Some(task) = queue.pop_front() else { break };
+            if task.prefix.len() + 1 >= shared.slots {
+                // Leaf-level subtree: cheaper to run than to split.
+                ready.push(task);
+                continue;
+            }
+            let mut prefix = task.prefix;
+            let mut spill = Some(&mut queue);
+            pass_node(
+                &mut ctx,
+                &mut prefix,
+                &task.state,
+                &task.stab,
+                &mut acc,
+                &mut spill,
+            );
+        }
+    }
+    ready.extend(queue);
+
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<PassAcc>> = Mutex::new(Vec::new());
+    let tasks = &ready;
+    let workers = threads.min(tasks.len().max(1));
+    std::thread::scope(|scope| {
+        let work = || {
+            let mut ctx = Ctx::new(shared);
+            let mut local = PassAcc::new(shared.slots);
+            loop {
+                let i = cursor.fetch_add(1, AtomicOrd::Relaxed);
+                let Some(task) = tasks.get(i) else { break };
+                let mut prefix = task.prefix.clone();
+                pass_node(
+                    &mut ctx,
+                    &mut prefix,
+                    &task.state,
+                    &task.stab,
+                    &mut local,
+                    &mut None,
+                );
+            }
+            results.lock().expect("pass results poisoned").push(local);
+        };
+        for _ in 1..workers {
+            scope.spawn(work);
+        }
+        work(); // the calling thread claims tasks too
+    });
+    for local in results.into_inner().expect("pass results poisoned") {
+        acc.merge(local);
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------
+// Sequential incumbent descent for unseeded instances.
+// ---------------------------------------------------------------------
+
+/// The incumbent-tightening depth-first descent, used when no seed
+/// protocol completes (then no sound fixed cap exists up front, and the
+/// feasibility question itself is open). Sequential and deterministic;
+/// the thread budget is ignored on this path.
+struct IncumbentDfs<'a> {
+    ctx: Ctx<'a>,
+    floor: usize,
+    chosen: Vec<usize>,
+    incumbent: Option<(usize, Vec<usize>)>,
+    acc: PassAcc,
+    met_floor: bool,
+}
+
+impl IncumbentDfs<'_> {
+    fn descend(&mut self, state: &Knowledge, slot: usize, stab: &Stab) {
         if self.met_floor {
             return;
         }
-        self.nodes += 1;
+        let shared = self.ctx.shared;
+        let visited = shared.nodes.fetch_add(1, AtomicOrd::Relaxed) + 1;
         assert!(
-            self.nodes <= self.max_nodes,
+            visited <= shared.max_nodes,
             "exact enumeration exceeded {} nodes — instance too large",
-            self.max_nodes
+            shared.max_nodes
         );
-        let symmetric = stab.len() > 1;
-        for idx in 0..self.compiled.len() {
+        let symmetric = shared.sym.nontrivial(stab);
+        for idx in 0..self.ctx.compiled.len() {
             if self.met_floor {
                 return;
             }
-            // Symmetry breaking at *every* depth: a candidate that some
-            // prefix-stabilizing automorphism maps to a smaller round is
-            // the mirror image of a branch this loop already explored.
-            if symmetric && !self.is_representative(stab, idx) {
+            if symmetric && !shared.sym.is_representative(stab, idx) {
                 if slot > 0 {
-                    self.stabilizer_pruned += 1;
+                    self.acc.stabilizer_pruned += 1;
                 }
                 continue;
             }
             let mut next = state.clone();
-            self.compiled[idx].apply(&mut next, 0);
+            self.ctx.compiled[idx].apply(&mut next, 0);
             self.chosen[slot] = idx;
             let t = slot + 1;
             let mut cursor = CompletionCursor::new();
             if cursor.complete(&next) {
-                // Completed inside the first period: every deeper choice
-                // yields exactly this time — the subtree is settled.
-                self.enumerated += 1;
+                self.acc.enumerated += 1;
                 self.record(t, slot);
                 continue;
             }
-            // Relaxation cut: even all-arcs rounds from here cannot beat
-            // the incumbent (or complete at all).
             let cap = self
                 .incumbent
                 .as_ref()
                 .map_or(usize::MAX - 1, |(best, _)| best.saturating_sub(1));
-            match self.relax_distance(&next) {
+            match self.ctx.relax(&next, &mut self.acc) {
                 None => {
-                    // Nothing below this prefix ever completes.
-                    self.pruned += 1;
-                    self.pruned_per_level[slot] += 1;
+                    self.acc.pruned += 1;
+                    self.acc.pruned_per_level[slot] += 1;
                     continue;
                 }
                 Some(d) if t + d > cap => {
-                    self.pruned += 1;
-                    self.pruned_per_level[slot] += 1;
+                    self.acc.pruned += 1;
+                    self.acc.pruned_per_level[slot] += 1;
                     continue;
                 }
                 Some(_) => {}
             }
-            if slot + 1 == self.slots {
-                self.enumerated += 1;
-                let horizon = self.incumbent.as_ref().map(|(best, _)| best - 1);
-                if let Some(found) = self.finish_schedule(&next, horizon) {
+            if slot + 1 == shared.slots {
+                self.acc.enumerated += 1;
+                if let Some(found) = self.finish_capped(&next, cap) {
                     self.record(found, slot);
                 }
             } else {
-                // The child prefix additionally fixes round `idx`: its
-                // stabilizer is the subset that maps `idx` to itself.
-                let child_stab: Vec<u32> = stab
-                    .iter()
-                    .copied()
-                    .filter(|&p| self.action[p as usize][idx] as usize == idx)
-                    .collect();
-                self.descend(&next, slot + 1, &child_stab);
+                let child = shared.sym.child(stab, idx);
+                self.descend(&next, slot + 1, &child);
+            }
+        }
+    }
+
+    /// [`Ctx::finish_schedule`] against the *current* incumbent horizon
+    /// rather than the pass cap.
+    fn finish_capped(&mut self, state: &Knowledge, cap: usize) -> Option<usize> {
+        let s = self.ctx.shared.slots;
+        let mut k = state.clone();
+        let mut cursor = CompletionCursor::new();
+        if cursor.complete(&k) {
+            return Some(s);
+        }
+        let mut t = s;
+        loop {
+            let mut changed = false;
+            for slot in 0..s {
+                let idx = self.chosen[slot];
+                changed |= self.ctx.compiled[idx].apply(&mut k, 0);
+                t += 1;
+                if cursor.complete(&k) {
+                    return Some(t);
+                }
+                if t > cap {
+                    return None;
+                }
+            }
+            if !changed {
+                return None;
             }
         }
     }
@@ -493,6 +1097,10 @@ impl Search {
     }
 }
 
+// ---------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------
+
 /// Runs the exact enumeration for `net` in `mode`, building the graph
 /// and a throwaway oracle on the spot. See [`enumerate_with_oracle`] for
 /// the batch entry point.
@@ -512,123 +1120,22 @@ pub fn enumerate_with_oracle(
     mode: Mode,
     cfg: &EnumerateConfig,
 ) -> EnumerateOutcome {
-    let group = automorphism_group(g);
+    let group = sg_graphs::group::automorphism_group(g);
     enumerate_with_group(oracle, net, g, diameter, mode, &group, cfg)
 }
 
-/// The symmetry permutations used for breaking: the full element list
-/// when the group is small enough, otherwise the sound generator subset
-/// (identity, generators, inverses). Identity first either way.
-fn symmetry_perms(group: &PermGroup) -> Vec<Perm> {
-    if let Some(elements) = group.elements_capped(SYMMETRY_ELEMENT_CAP) {
-        return elements;
-    }
-    let mut perms = vec![identity(group.n())];
-    for gen in group.generators() {
-        perms.push(gen.clone());
-        perms.push(invert(gen));
-    }
-    perms.sort_unstable();
-    perms.dedup();
-    perms
-}
-
-/// The exact branch-and-bound against a shared memoizing [`BoundOracle`]
-/// and a precomputed automorphism group (stabilizer chain).
-/// Deterministic: identical inputs give identical outcomes, including
-/// the witness schedule and every counter.
-pub fn enumerate_with_group(
-    oracle: &BoundOracle,
+/// Evaluates every seed protocol refitted to period `s`, returning the
+/// fastest completing one (the upper bound `U` the pass runs under).
+/// Seeds are upper bounds on the optimum by dominance — every schedule
+/// is dominated by a maximal-rounds one — so they are sound bounds even
+/// though their own rounds need not be maximal.
+pub(crate) fn best_seed(
     net: &Network,
     g: &Digraph,
-    diameter: Option<u32>,
     mode: Mode,
-    group: &PermGroup,
-    cfg: &EnumerateConfig,
-) -> EnumerateOutcome {
-    assert!(cfg.period >= 2, "enumeration needs a period of at least 2");
+    s: usize,
+) -> Option<(usize, SystolicProtocol)> {
     let n = g.vertex_count();
-    let s = cfg.period;
-    let ob = oracle.bounds_on(net, g, diameter, mode, Period::Systolic(s));
-    let floor = ob.floor_rounds;
-
-    let candidates = maximal_rounds(g, mode);
-    assert!(
-        !candidates.is_empty(),
-        "{}: no valid non-empty round exists",
-        net.name()
-    );
-    assert!(
-        candidates.len() <= cfg.max_round_candidates,
-        "{}: {} candidate rounds exceed the exact-enumeration cap {}",
-        net.name(),
-        candidates.len(),
-        cfg.max_round_candidates
-    );
-
-    let perms = symmetry_perms(group);
-    // Automorphisms permute the maximal rounds among themselves, and the
-    // candidate list is lexicographically sorted, so the group action
-    // reduces to an index table: orbit minima are index minima.
-    let action: Vec<Vec<u32>> = perms
-        .iter()
-        .map(|p| {
-            (0..candidates.len())
-                .map(|i| {
-                    let mapped = sg_graphs::automorphism::map_arcs(p, candidates[i].arcs());
-                    candidates
-                        .binary_search_by(|r| r.arcs().cmp(mapped.as_slice()))
-                        .unwrap_or_else(|_| {
-                            panic!(
-                                "{}: automorphism does not permute the maximal rounds",
-                                net.name()
-                            )
-                        }) as u32
-                })
-                .collect()
-        })
-        .collect();
-    let all_perm_indices: Vec<u32> = (0..perms.len() as u32).collect();
-    let compiled: Vec<CompiledSchedule> = candidates
-        .iter()
-        .map(|r| CompiledSchedule::compile(std::slice::from_ref(r), n))
-        .collect();
-
-    let mut search = Search {
-        compiled,
-        slots: s,
-        n,
-        relaxed: CompiledSchedule::compile(std::slice::from_ref(&relaxation_round(g)), n),
-        floor,
-        max_nodes: cfg.max_nodes,
-        canonical_perms: if perms.len() <= CANONICAL_PERM_CAP {
-            perms.len()
-        } else {
-            1
-        },
-        perms,
-        action,
-        relax_memo: HashMap::new(),
-        chosen: vec![0; s],
-        incumbent: None,
-        enumerated: 0,
-        pruned: 0,
-        pruned_per_level: vec![0; s],
-        stabilizer_pruned: 0,
-        memo_hits: 0,
-        nodes: 0,
-        met_floor: false,
-    };
-    let representatives = (0..search.compiled.len())
-        .filter(|&i| search.is_representative(&all_perm_indices, i))
-        .count();
-
-    // Seed the incumbent from the repo's upper-bound constructions
-    // refitted to the period — a completing start makes the horizon and
-    // relaxation cuts effective from the first node. Seeds are upper
-    // bounds on the optimum by dominance (every schedule is dominated by
-    // a maximal-rounds one), so they are sound incumbents even though
-    // their own rounds need not be maximal.
     let mut seed_best: Option<(usize, SystolicProtocol)> = None;
     for sp in seed_protocols(net, g, mode) {
         let cand = fit_to_period(&sp, s, mode);
@@ -663,67 +1170,216 @@ pub fn enumerate_with_group(
             }
         }
     }
-    if let Some((t, _)) = &seed_best {
-        search.incumbent = Some((*t, vec![0; s])); // witness replaced below
-        search.met_floor = *t <= floor;
-    }
+    seed_best
+}
 
-    let initial = Knowledge::initial(n);
+/// The exact branch-and-bound against a shared memoizing [`BoundOracle`]
+/// and a precomputed automorphism group (stabilizer chain).
+/// Deterministic at any thread budget: identical inputs give identical
+/// outcomes, including the witness schedule and every counter.
+pub fn enumerate_with_group(
+    oracle: &BoundOracle,
+    net: &Network,
+    g: &Digraph,
+    diameter: Option<u32>,
+    mode: Mode,
+    group: &PermGroup,
+    cfg: &EnumerateConfig,
+) -> EnumerateOutcome {
+    assert!(cfg.period >= 2, "enumeration needs a period of at least 2");
+    let n = g.vertex_count();
+    let s = cfg.period;
+    let threads = cfg.threads.max(1);
+    let ob = oracle.bounds_on(net, g, diameter, mode, Period::Systolic(s));
+    let floor = ob.floor_rounds;
+
+    let candidates = maximal_rounds(g, mode);
+    assert!(
+        !candidates.is_empty(),
+        "{}: no valid non-empty round exists",
+        net.name()
+    );
+    assert!(
+        candidates.len() <= cfg.max_round_candidates,
+        "{}: {} candidate rounds exceed the exact-enumeration cap {}",
+        net.name(),
+        candidates.len(),
+        cfg.max_round_candidates
+    );
+
+    // Symmetry + signature machinery: element lists up to the cap,
+    // stabilizer chains and canonical forms beyond it — exact orbit
+    // reasoning either way.
+    let name = net.name();
+    let (sym, sig_mode, symmetry_perms) = match group.elements_capped(SYMMETRY_ELEMENT_CAP) {
+        Some(perms) => {
+            let action: Vec<Vec<u32>> = perms
+                .iter()
+                .map(|p| candidate_action(p, &candidates, &name))
+                .collect();
+            let inv: Vec<Perm> = perms.iter().map(|p| invert(p)).collect();
+            let count = perms.len();
+            (
+                Symmetry::Elements { action },
+                SigMode::Perms { perms, inv },
+                count,
+            )
+        }
+        None => {
+            let gen_action: Vec<Perm> = group
+                .generators()
+                .iter()
+                .map(|p| candidate_action(p, &candidates, &name))
+                .collect();
+            let count = gen_action.len();
+            let action_group = PermGroup::from_generators(candidates.len(), gen_action);
+            (
+                Symmetry::Chain {
+                    group: action_group,
+                },
+                SigMode::Canonical {
+                    graph: Relations::from_digraph(g),
+                    seed: distance_seed(g),
+                },
+                count,
+            )
+        }
+    };
+    let root_stab = sym.root();
+    let representatives = (0..candidates.len())
+        .filter(|&i| !sym.nontrivial(&root_stab) || sym.is_representative(&root_stab, i))
+        .count();
+
+    let compiled: Vec<CompiledSchedule> = candidates
+        .iter()
+        .map(|r| CompiledSchedule::compile(std::slice::from_ref(r), n))
+        .collect();
+    let relaxed = CompiledSchedule::compile(std::slice::from_ref(&relaxation_round(g)), n);
+    let memo = SharedMemo::new();
+    let nodes = AtomicUsize::new(0);
+
+    let seed_best = best_seed(net, g, mode, s);
+
+    let mut acc = PassAcc::new(s);
+    let mut met_floor = false;
     let mut improved_over_seed = false;
-    if !search.met_floor {
-        let before = search.incumbent.as_ref().map(|(b, _)| *b);
-        search.descend(&initial, 0, &all_perm_indices);
-        improved_over_seed = match (before, &search.incumbent) {
-            (Some(b), Some((now, _))) => now < &b,
-            (None, Some(_)) => true,
-            _ => false,
-        };
+    // (optimum, chosen candidate indices) — the indices empty when the
+    // seed protocol itself is the witness.
+    let settled: Option<(usize, Vec<usize>)>;
+
+    match &seed_best {
+        Some((u, _)) if *u <= floor => {
+            // The seed meets the oracle floor: settled without search.
+            met_floor = true;
+            settled = Some((*u, Vec::new()));
+        }
+        Some((u, _)) => {
+            // One exhaustive pass under the fixed cap U − 1: everything
+            // that could beat the seed is enumerated or soundly cut.
+            let shared = PassShared {
+                compiled: &compiled,
+                relaxed: &relaxed,
+                sym: &sym,
+                sig_mode: &sig_mode,
+                memo: &memo,
+                nodes: &nodes,
+                slots: s,
+                n,
+                cap: *u - 1,
+                max_nodes: cfg.max_nodes,
+            };
+            acc = run_pass(&shared, root_stab, threads);
+            match acc.best.take() {
+                Some((t, mut prefix)) => {
+                    let last = *prefix.last().expect("completion fixes a round");
+                    prefix.resize(s, last); // any valid round works
+                    improved_over_seed = true;
+                    met_floor = t <= floor;
+                    settled = Some((t, prefix));
+                }
+                None => {
+                    // Every faster schedule refuted: the seed is optimal.
+                    settled = Some((*u, Vec::new()));
+                }
+            }
+        }
+        None => {
+            // No completing seed: feasibility itself is open, so run the
+            // sequential incumbent-tightening descent.
+            let shared = PassShared {
+                compiled: &compiled,
+                relaxed: &relaxed,
+                sym: &sym,
+                sig_mode: &sig_mode,
+                memo: &memo,
+                nodes: &nodes,
+                slots: s,
+                n,
+                cap: usize::MAX - 1,
+                max_nodes: cfg.max_nodes,
+            };
+            let mut dfs = IncumbentDfs {
+                ctx: Ctx::new(&shared),
+                floor,
+                chosen: vec![0; s],
+                incumbent: None,
+                acc: PassAcc::new(s),
+                met_floor: false,
+            };
+            dfs.descend(&Knowledge::initial(n), 0, &root_stab);
+            met_floor = dfs.met_floor;
+            improved_over_seed = dfs.incumbent.is_some();
+            settled = dfs.incumbent.take();
+            acc = dfs.acc;
+        }
     }
 
-    let (best_rounds, best) = match (&search.incumbent, &seed_best) {
-        (Some((t, chosen)), seed) => {
-            let t = *t;
-            // Prefer the enumerated witness when it improved (or no seed
-            // exists); otherwise the seed protocol is the witness.
-            let proto = if improved_over_seed || seed.is_none() {
+    let (best_rounds, best) = match settled {
+        Some((t, chosen)) => {
+            let proto = if improved_over_seed || seed_best.is_none() {
                 SystolicProtocol::new(
                     chosen.iter().map(|&i| candidates[i].clone()).collect(),
                     mode,
                 )
             } else {
-                seed.as_ref().map(|(_, p)| p.clone()).unwrap()
+                seed_best
+                    .as_ref()
+                    .map(|(_, p)| p.clone())
+                    .expect("seed witness")
             };
             (Some(t), Some(proto))
         }
-        (None, _) => (None, None),
+        None => (None, None),
     };
 
     let certificate = best_rounds.map(|t| {
         let mut cert = certify_with(oracle, net, g, diameter, mode, s, t, best.as_ref());
         cert.verdict = Verdict::ProvenOptimal {
-            enumerated: search.enumerated,
+            enumerated: acc.enumerated,
         };
         cert
     });
 
+    let memo_entries = memo.entries();
     EnumerateOutcome {
         best,
         best_rounds,
         certificate,
         proven_infeasible: best_rounds.is_none(),
-        enumerated: search.enumerated,
-        pruned: search.pruned,
+        enumerated: acc.enumerated,
+        pruned: acc.pruned,
         round_candidates: candidates.len(),
         representatives,
         automorphisms: usize::try_from(group.order()).unwrap_or(usize::MAX),
         group_order: group.order(),
         chain_depth: group.chain_depth(),
-        symmetry_perms: search.perms.len(),
-        stabilizer_pruned: search.stabilizer_pruned,
-        pruned_per_level: search.pruned_per_level,
-        memo_hits: search.memo_hits,
-        memo_entries: search.relax_memo.len(),
-        met_floor: search.met_floor,
+        symmetry_perms,
+        stabilizer_pruned: acc.stabilizer_pruned,
+        pruned_per_level: acc.pruned_per_level,
+        memo_hits: acc.memo_lookups - memo_entries,
+        memo_entries,
+        met_floor,
+        threads,
     }
 }
 
@@ -836,8 +1492,8 @@ mod tests {
     fn deeper_slots_get_stabilizer_pruning_and_memo_hits() {
         // C_8 at s = 3: round 1 candidates are pruned under the
         // stabilizer of round 0 (the perfect matchings have nontrivial
-        // setwise... pointwise-prefix stabilizers), which plain round-0
-        // breaking never did.
+        // pointwise-prefix stabilizers), which plain round-0 breaking
+        // never did.
         let out = enumerate(
             &Network::Cycle { n: 8 },
             Mode::FullDuplex,
@@ -850,5 +1506,56 @@ mod tests {
         assert_eq!(out.pruned_per_level.len(), 3);
         assert_eq!(out.pruned_per_level.iter().sum::<usize>(), out.pruned);
         assert_eq!(out.best_rounds, Some(5), "the settled optimum is intact");
+    }
+
+    #[test]
+    fn complete_graph_uses_the_stabilizer_chain_regime() {
+        // K_8: |Aut| = 8! = 40320 > SYMMETRY_ELEMENT_CAP, so symmetry
+        // breaking runs through the chain on candidate indices and the
+        // memo keys on IR canonical forms. The 105 maximal matchings of
+        // K_8 are all perfect (any smaller matching extends inside a
+        // complete graph) and form a single orbit — one representative.
+        let out = enumerate(
+            &Network::Complete { n: 8 },
+            Mode::FullDuplex,
+            &EnumerateConfig::default().exact_period(2),
+        );
+        assert_eq!(out.round_candidates, 105);
+        assert_eq!(out.group_order, 40_320);
+        assert_eq!(out.representatives, 1, "perfect matchings are one orbit");
+        assert!(
+            out.symmetry_perms < 105,
+            "chain regime materializes generators, not 40320 elements"
+        );
+        let t = out.best_rounds.expect("K_8 gossips at s = 2");
+        assert!(t >= 3, "doubling floor: ⌈log₂ 8⌉ rounds");
+    }
+
+    #[test]
+    fn thread_budget_never_changes_the_outcome() {
+        let run = |threads| {
+            enumerate(
+                &Network::Cycle { n: 8 },
+                Mode::FullDuplex,
+                &EnumerateConfig::default().exact_period(3).threads(threads),
+            )
+        };
+        let base = run(1);
+        for threads in [2, 8] {
+            let out = run(threads);
+            assert_eq!(out.threads, threads);
+            assert_eq!(out.best_rounds, base.best_rounds, "{threads} threads");
+            assert_eq!(out.enumerated, base.enumerated, "{threads} threads");
+            assert_eq!(out.pruned, base.pruned, "{threads} threads");
+            assert_eq!(out.pruned_per_level, base.pruned_per_level);
+            assert_eq!(out.stabilizer_pruned, base.stabilizer_pruned);
+            assert_eq!(out.memo_entries, base.memo_entries);
+            assert_eq!(out.memo_hits, base.memo_hits);
+            assert_eq!(
+                out.best.as_ref().map(|p| p.period().to_vec()),
+                base.best.as_ref().map(|p| p.period().to_vec()),
+                "witness identical at {threads} threads"
+            );
+        }
     }
 }

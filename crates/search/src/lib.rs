@@ -24,16 +24,22 @@
 //!   time, `ProvenOptimal` when exhaustive enumeration certified the
 //!   exact optimum;
 //! * [`mod@enumerate`] — oracle-pruned exact branch-and-bound over every
-//!   valid period-`s` schedule: maximal-round dominance, stabilizer-chain
-//!   symmetry breaking at every depth, canonical-signature memoization,
-//!   relaxation cuts — the machinery that turns a reported gap into a
-//!   settled theorem.
+//!   valid period-`s` schedule: maximal-round dominance, exact symmetry
+//!   breaking at every depth (element lists or stabilizer chains),
+//!   canonical-signature memoization (orbit minima or
+//!   individualization–refinement forms), relaxation cuts, and a
+//!   deterministic parallel fixed-cap pass — the machinery that turns a
+//!   reported gap into a settled theorem;
+//! * [`mod@reference`] — the retired sequential pre-refinement enumerator,
+//!   kept as the differential-conformance oracle and the serial
+//!   baseline of the enumeration bench.
 
 pub mod candidate;
 pub mod certificate;
 pub mod driver;
 pub mod enumerate;
 pub mod kernel;
+pub mod reference;
 pub mod seeds;
 
 pub use candidate::Candidate;

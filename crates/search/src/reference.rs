@@ -1,0 +1,389 @@
+//! The retired pre-refinement enumeration engine, preserved verbatim.
+//!
+//! This is the sequential incumbent-tightening branch-and-bound that
+//! [`mod@crate::enumerate`] replaced: element-list symmetry breaking with a
+//! sound-but-weak generator fallback past [`SYMMETRY_ELEMENT_CAP`],
+//! canonical signatures degrading to the raw state past
+//! `CANONICAL_PERM_CAP`, and a single-threaded descent. It survives
+//! for the same reason `sg-sim` keeps its retired dense engine:
+//!
+//! * **conformance oracle** — the differential tests assert that the
+//!   parallel fixed-cap engine settles exactly the optima this engine
+//!   settles, on every instance small enough for both;
+//! * **serial baseline** — the enumeration bench's thread-scaling
+//!   ablation measures the new engine (at one thread and many) against
+//!   this engine, so speedups are relative to the real pre-refinement
+//!   code path rather than a synthetic strawman.
+//!
+//! New call sites should use [`crate::enumerate::enumerate`]; nothing
+//! here is tuned further.
+
+use crate::certificate::Verdict;
+use crate::enumerate::{
+    best_seed, candidate_action, maximal_rounds, relaxation_round, EnumerateConfig,
+    EnumerateOutcome, SYMMETRY_ELEMENT_CAP,
+};
+use sg_bounds::pfun::Period;
+use sg_graphs::group::{automorphism_group, identity, invert, Perm, PermGroup};
+use sg_protocol::mode::Mode;
+use sg_protocol::protocol::SystolicProtocol;
+use sg_sim::{CompiledSchedule, CompletionCursor, Knowledge};
+use std::collections::HashMap;
+use systolic_gossip::{BoundOracle, Network};
+
+/// Largest element list the retired engine used for canonical state
+/// signatures; beyond it the memo keyed on the raw signature (still
+/// sound, fewer cross-branch hits).
+const CANONICAL_PERM_CAP: usize = 256;
+
+struct Search {
+    compiled: Vec<CompiledSchedule>,
+    slots: usize,
+    n: usize,
+    relaxed: CompiledSchedule,
+    floor: usize,
+    max_nodes: usize,
+    /// Symmetry permutations (identity first; full element list or the
+    /// generator fallback).
+    perms: Vec<Perm>,
+    /// `action[p][c]`: the candidate index `perms[p]` maps candidate `c`
+    /// to.
+    action: Vec<Vec<u32>>,
+    /// Perms usable for canonical signatures (`perms` when small enough,
+    /// just the identity beyond `CANONICAL_PERM_CAP`).
+    canonical_perms: usize,
+    relax_memo: HashMap<Vec<u64>, Option<u32>>,
+    // Mutable search state.
+    chosen: Vec<usize>,
+    incumbent: Option<(usize, Vec<usize>)>,
+    enumerated: usize,
+    pruned: usize,
+    pruned_per_level: Vec<usize>,
+    stabilizer_pruned: usize,
+    memo_hits: usize,
+    nodes: usize,
+    met_floor: bool,
+}
+
+impl Search {
+    fn canonical_signature(&self, state: &Knowledge) -> Vec<u64> {
+        let n = self.n;
+        let words = state.words();
+        if self.canonical_perms == 1 {
+            let mut sig = Vec::with_capacity(n * words);
+            for v in 0..n {
+                sig.extend_from_slice(state.row(v));
+            }
+            return sig;
+        }
+        let mut best: Option<Vec<u64>> = None;
+        let mut sig = vec![0u64; n * words];
+        for p in &self.perms[..self.canonical_perms] {
+            sig.iter_mut().for_each(|w| *w = 0);
+            for v in 0..n {
+                let pv = p[v] as usize;
+                for (w, &bits) in state.row(v).iter().enumerate() {
+                    let mut bits = bits;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let item = p[w * 64 + b] as usize;
+                        sig[pv * words + item / 64] |= 1u64 << (item % 64);
+                    }
+                }
+            }
+            if best.as_ref().is_none_or(|b| sig < *b) {
+                best = Some(sig.clone());
+            }
+        }
+        best.unwrap_or(sig)
+    }
+
+    fn relax_distance(&mut self, state: &Knowledge) -> Option<usize> {
+        let sig = self.canonical_signature(state);
+        if let Some(&d) = self.relax_memo.get(&sig) {
+            self.memo_hits += 1;
+            return d.map(|x| x as usize);
+        }
+        let mut k = state.clone();
+        let mut cursor = CompletionCursor::new();
+        let mut dist = 0u32;
+        let result = loop {
+            if cursor.complete(&k) {
+                break Some(dist);
+            }
+            if !self.relaxed.apply(&mut k, 0) {
+                break None;
+            }
+            dist += 1;
+        };
+        self.relax_memo.insert(sig, result);
+        result.map(|d| d as usize)
+    }
+
+    fn finish_schedule(&mut self, state: &Knowledge, horizon: Option<usize>) -> Option<usize> {
+        let s = self.slots;
+        let mut k = state.clone();
+        let mut cursor = CompletionCursor::new();
+        if cursor.complete(&k) {
+            return Some(s);
+        }
+        let cap = horizon.unwrap_or(usize::MAX);
+        let mut t = s;
+        loop {
+            let mut changed = false;
+            for slot in 0..s {
+                let idx = self.chosen[slot];
+                changed |= self.compiled[idx].apply(&mut k, 0);
+                t += 1;
+                if cursor.complete(&k) {
+                    return Some(t);
+                }
+                if t >= cap {
+                    return None;
+                }
+            }
+            if !changed {
+                return None;
+            }
+        }
+    }
+
+    fn is_representative(&self, stab: &[u32], c: usize) -> bool {
+        stab.iter()
+            .all(|&p| self.action[p as usize][c] as usize >= c)
+    }
+
+    fn descend(&mut self, state: &Knowledge, slot: usize, stab: &[u32]) {
+        if self.met_floor {
+            return;
+        }
+        self.nodes += 1;
+        assert!(
+            self.nodes <= self.max_nodes,
+            "exact enumeration exceeded {} nodes — instance too large",
+            self.max_nodes
+        );
+        let symmetric = stab.len() > 1;
+        for idx in 0..self.compiled.len() {
+            if self.met_floor {
+                return;
+            }
+            if symmetric && !self.is_representative(stab, idx) {
+                if slot > 0 {
+                    self.stabilizer_pruned += 1;
+                }
+                continue;
+            }
+            let mut next = state.clone();
+            self.compiled[idx].apply(&mut next, 0);
+            self.chosen[slot] = idx;
+            let t = slot + 1;
+            let mut cursor = CompletionCursor::new();
+            if cursor.complete(&next) {
+                self.enumerated += 1;
+                self.record(t, slot);
+                continue;
+            }
+            let cap = self
+                .incumbent
+                .as_ref()
+                .map_or(usize::MAX - 1, |(best, _)| best.saturating_sub(1));
+            match self.relax_distance(&next) {
+                None => {
+                    self.pruned += 1;
+                    self.pruned_per_level[slot] += 1;
+                    continue;
+                }
+                Some(d) if t + d > cap => {
+                    self.pruned += 1;
+                    self.pruned_per_level[slot] += 1;
+                    continue;
+                }
+                Some(_) => {}
+            }
+            if slot + 1 == self.slots {
+                self.enumerated += 1;
+                let horizon = self.incumbent.as_ref().map(|(best, _)| best - 1);
+                if let Some(found) = self.finish_schedule(&next, horizon) {
+                    self.record(found, slot);
+                }
+            } else {
+                let child_stab: Vec<u32> = stab
+                    .iter()
+                    .copied()
+                    .filter(|&p| self.action[p as usize][idx] as usize == idx)
+                    .collect();
+                self.descend(&next, slot + 1, &child_stab);
+            }
+        }
+    }
+
+    fn record(&mut self, found: usize, filled: usize) {
+        let better = self
+            .incumbent
+            .as_ref()
+            .is_none_or(|(best, _)| found < *best);
+        if better {
+            let mut rounds = self.chosen.clone();
+            for r in rounds.iter_mut().skip(filled + 1) {
+                *r = self.chosen[filled]; // any valid round works
+            }
+            self.incumbent = Some((found, rounds));
+            if found <= self.floor {
+                self.met_floor = true;
+            }
+        }
+    }
+}
+
+/// The retired engine's symmetry permutations: the full element list
+/// when the group is small enough, otherwise the sound generator subset
+/// (identity, generators, inverses). Identity first either way.
+fn symmetry_perms(group: &PermGroup) -> Vec<Perm> {
+    if let Some(elements) = group.elements_capped(SYMMETRY_ELEMENT_CAP) {
+        return elements;
+    }
+    let mut perms = vec![identity(group.n())];
+    for gen in group.generators() {
+        perms.push(gen.clone());
+        perms.push(invert(gen));
+    }
+    perms.sort_unstable();
+    perms.dedup();
+    perms
+}
+
+/// Runs the retired engine end to end for `net` in `mode`: sequential
+/// incumbent-tightening descent, exactly the pre-refinement semantics.
+/// `cfg.threads` is ignored; the outcome reports `threads == 1`.
+pub fn enumerate_serial(net: &Network, mode: Mode, cfg: &EnumerateConfig) -> EnumerateOutcome {
+    assert!(cfg.period >= 2, "enumeration needs a period of at least 2");
+    let g = net.build();
+    let diameter = sg_graphs::traversal::diameter(&g);
+    let oracle = BoundOracle::new();
+    let group = automorphism_group(&g);
+    let n = g.vertex_count();
+    let s = cfg.period;
+    let ob = oracle.bounds_on(net, &g, diameter, mode, Period::Systolic(s));
+    let floor = ob.floor_rounds;
+
+    let candidates = maximal_rounds(&g, mode);
+    assert!(
+        !candidates.is_empty(),
+        "{}: no valid non-empty round exists",
+        net.name()
+    );
+    assert!(
+        candidates.len() <= cfg.max_round_candidates,
+        "{}: {} candidate rounds exceed the exact-enumeration cap {}",
+        net.name(),
+        candidates.len(),
+        cfg.max_round_candidates
+    );
+
+    let perms = symmetry_perms(&group);
+    let name = net.name();
+    let action: Vec<Vec<u32>> = perms
+        .iter()
+        .map(|p| candidate_action(p, &candidates, &name))
+        .collect();
+    let all_perm_indices: Vec<u32> = (0..perms.len() as u32).collect();
+    let compiled: Vec<CompiledSchedule> = candidates
+        .iter()
+        .map(|r| CompiledSchedule::compile(std::slice::from_ref(r), n))
+        .collect();
+
+    let mut search = Search {
+        compiled,
+        slots: s,
+        n,
+        relaxed: CompiledSchedule::compile(std::slice::from_ref(&relaxation_round(&g)), n),
+        floor,
+        max_nodes: cfg.max_nodes,
+        canonical_perms: if perms.len() <= CANONICAL_PERM_CAP {
+            perms.len()
+        } else {
+            1
+        },
+        perms,
+        action,
+        relax_memo: HashMap::new(),
+        chosen: vec![0; s],
+        incumbent: None,
+        enumerated: 0,
+        pruned: 0,
+        pruned_per_level: vec![0; s],
+        stabilizer_pruned: 0,
+        memo_hits: 0,
+        nodes: 0,
+        met_floor: false,
+    };
+    let representatives = (0..search.compiled.len())
+        .filter(|&i| search.is_representative(&all_perm_indices, i))
+        .count();
+
+    let seed_best = best_seed(net, &g, mode, s);
+    if let Some((t, _)) = &seed_best {
+        search.incumbent = Some((*t, vec![0; s])); // witness replaced below
+        search.met_floor = *t <= floor;
+    }
+
+    let initial = Knowledge::initial(n);
+    let mut improved_over_seed = false;
+    if !search.met_floor {
+        let before = search.incumbent.as_ref().map(|(b, _)| *b);
+        search.descend(&initial, 0, &all_perm_indices);
+        improved_over_seed = match (before, &search.incumbent) {
+            (Some(b), Some((now, _))) => now < &b,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+    }
+
+    let (best_rounds, best) = match (&search.incumbent, &seed_best) {
+        (Some((t, chosen)), seed) => {
+            let t = *t;
+            let proto = if improved_over_seed || seed.is_none() {
+                SystolicProtocol::new(
+                    chosen.iter().map(|&i| candidates[i].clone()).collect(),
+                    mode,
+                )
+            } else {
+                seed.as_ref().map(|(_, p)| p.clone()).expect("seed witness")
+            };
+            (Some(t), Some(proto))
+        }
+        (None, _) => (None, None),
+    };
+
+    let certificate = best_rounds.map(|t| {
+        let mut cert =
+            crate::certificate::certify_with(&oracle, net, &g, diameter, mode, s, t, best.as_ref());
+        cert.verdict = Verdict::ProvenOptimal {
+            enumerated: search.enumerated,
+        };
+        cert
+    });
+
+    EnumerateOutcome {
+        best,
+        best_rounds,
+        certificate,
+        proven_infeasible: best_rounds.is_none(),
+        enumerated: search.enumerated,
+        pruned: search.pruned,
+        round_candidates: candidates.len(),
+        representatives,
+        automorphisms: usize::try_from(group.order()).unwrap_or(usize::MAX),
+        group_order: group.order(),
+        chain_depth: group.chain_depth(),
+        symmetry_perms: search.perms.len(),
+        stabilizer_pruned: search.stabilizer_pruned,
+        pruned_per_level: search.pruned_per_level,
+        memo_hits: search.memo_hits,
+        memo_entries: search.relax_memo.len(),
+        met_floor: search.met_floor,
+        threads: 1,
+    }
+}

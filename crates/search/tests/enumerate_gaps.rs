@@ -187,6 +187,40 @@ fn knodel38_full_duplex_optima() {
     assert_eq!(s3.group_order, 48);
 }
 
+/// Individualization–refinement era, settled: the Knödel graph
+/// `W(4,16)` — 16 vertices, 32 edges, 2014 maximal matchings — provably
+/// cannot double at period 2: the optimum is **8 rounds against the
+/// `⌈log₂ 16⌉ = 4` doubling floor**, a gap of 4. The 175 round-0
+/// representatives and quarter-million-node tree are exactly what the
+/// refinement-seeded group layer and the parallel fixed-cap pass were
+/// built for; the backtracking-era engine conceded this family as
+/// exponential.
+#[test]
+fn knodel_w416_full_duplex_s2_optimum_is_eight() {
+    let out = enumerate(
+        &Network::Knodel { delta: 4, n: 16 },
+        Mode::FullDuplex,
+        &EnumerateConfig::default().exact_period(2),
+    );
+    assert_eq!(out.best_rounds, Some(8));
+    assert!(!out.met_floor, "the doubling floor 4 is unreachable");
+    let cert = out.certificate.expect("certificate");
+    assert_eq!(cert.floor_rounds, 4);
+    assert_eq!(cert.floor_source, FloorSource::Doubling);
+    assert!(matches!(cert.verdict, Verdict::ProvenOptimal { .. }));
+    assert_eq!(cert.gap_rounds(), 4, "the settled floor-to-optimum gap");
+    assert_eq!(out.round_candidates, 2014);
+    assert_eq!(out.representatives, 175);
+    assert_eq!(out.group_order, 16);
+    let sp = out.best.expect("witness");
+    sp.validate(&Network::Knodel { delta: 4, n: 16 }.build())
+        .expect("valid");
+    assert_eq!(
+        systolic_gossip::sg_sim::engine::systolic_gossip_time(&sp, 16, 100),
+        Some(8)
+    );
+}
+
 /// Stabilizer-chain era, settled: directed `DB(2,3)` at `s = 2` — the
 /// degenerate linear floor `n − 1 = 7` is off by exactly one (8 rounds),
 /// mirroring the directed `C₆` story on a de Bruijn family member.
