@@ -48,7 +48,16 @@ USAGE:
       overrides the per-link drop probability, --exec-seed the fault
       seed. Without names, every execute-task scenario runs.
 
-  sg-bench sweep --task <bound|simulate|compare|enumerate|execute> --mode <directed|half-duplex|full-duplex>
+  sg-bench randomized [<name>...] [--filter SUBSTR] [--trials N] [--rand-seed N]
+                      [OPTIONS]
+      Run the randomized-baseline scenarios: seeded push/pull/exchange
+      gossip trials over the sparse row table, summarized
+      (mean/median/p95/max stopping times) against the exact systolic
+      optimum or lower-bound floor of the same network. --trials
+      overrides the per-model trial count, --rand-seed the master seed.
+      Without names, every randomized-task scenario runs.
+
+  sg-bench sweep --task <bound|simulate|compare|enumerate|execute|randomized> --mode <directed|half-duplex|full-duplex>
                  --net <family:params> [--net ...] [--periods LO..HI] [--nonsystolic]
                  [--degrees D,D,...] [--filter SUBSTR] [OPTIONS]
       Run an ad-hoc scenario assembled from the command line. Each --net
@@ -66,6 +75,8 @@ OPTIONS:
                        the effective values are echoed in text output)
   --faults P           execute: per-link drop probability in [0, 1)
   --exec-seed N        execute: deterministic fault-sampling seed
+  --trials N           randomized: independent trials per activation model
+  --rand-seed N        randomized: master seed of the counter-based streams
   --format FMT         text | json | csv   (default text)
   --filter SUBSTR      restrict list/run/search/enumerate to matching scenario
                        names (sweep: restrict the --net list by network name)
@@ -104,6 +115,8 @@ struct CommonFlags {
     search_iterations: Option<usize>,
     exec_faults: Option<f64>,
     exec_seed: Option<u64>,
+    rand_trials: Option<usize>,
+    rand_seed: Option<u64>,
 }
 
 impl CommonFlags {
@@ -114,6 +127,19 @@ impl CommonFlags {
             return Err(format!(
                 "--faults / --exec-seed only apply to `sg-bench execute` or \
                  `sg-bench sweep --task execute`, not `sg-bench {command}`"
+            ));
+        }
+        Ok(())
+    }
+
+    /// `--trials` / `--rand-seed` only make sense where a
+    /// `RandomizedSpec` exists to override; every other command rejects
+    /// them by name.
+    fn reject_rand_flags(&self, command: &str) -> Result<(), String> {
+        if self.rand_trials.is_some() || self.rand_seed.is_some() {
+            return Err(format!(
+                "--trials / --rand-seed only apply to `sg-bench randomized` or \
+                 `sg-bench sweep --task randomized`, not `sg-bench {command}`"
             ));
         }
         Ok(())
@@ -144,6 +170,7 @@ fn run_cli(args: &[String]) -> Result<i32, String> {
                 );
             }
             flags.reject_exec_flags("list")?;
+            flags.reject_rand_flags("list")?;
             let reg: Vec<Scenario> = apply_filter(registry(), flags.filter.as_deref());
             if reg.is_empty() {
                 let valid: Vec<&'static str> = registry().iter().map(|s| s.name).collect();
@@ -180,6 +207,7 @@ fn run_cli(args: &[String]) -> Result<i32, String> {
                 );
             }
             flags.reject_exec_flags("run")?;
+            flags.reject_rand_flags("run")?;
             let scenarios = select_scenarios(&names, &flags, None)?;
             execute(&scenarios, &flags)
         }
@@ -196,6 +224,7 @@ fn run_cli(args: &[String]) -> Result<i32, String> {
                 );
             }
             flags.reject_exec_flags("enumerate")?;
+            flags.reject_rand_flags("enumerate")?;
             let scenarios = select_scenarios(&names, &flags, Some(Task::Enumerate))?;
             execute(&scenarios, &flags)
         }
@@ -211,6 +240,7 @@ fn run_cli(args: &[String]) -> Result<i32, String> {
                         .into(),
                 );
             }
+            flags.reject_rand_flags("execute")?;
             let mut scenarios = select_scenarios(&names, &flags, Some(Task::Execute))?;
             for sc in &mut scenarios {
                 if let Some(p) = flags.exec_faults {
@@ -222,9 +252,34 @@ fn run_cli(args: &[String]) -> Result<i32, String> {
             }
             execute(&scenarios, &flags)
         }
+        "randomized" => {
+            let (names, flags) = split_flags(&args[1..], false)?;
+            if flags.search_seed.is_some()
+                || flags.search_restarts.is_some()
+                || flags.search_iterations.is_some()
+            {
+                return Err(
+                    "--seed / --restarts / --iterations only apply to `sg-bench search` \
+                     (use --rand-seed to vary the trial streams)"
+                        .into(),
+                );
+            }
+            flags.reject_exec_flags("randomized")?;
+            let mut scenarios = select_scenarios(&names, &flags, Some(Task::Randomized))?;
+            for sc in &mut scenarios {
+                if let Some(t) = flags.rand_trials {
+                    sc.randomized.trials = t;
+                }
+                if let Some(seed) = flags.rand_seed {
+                    sc.randomized.seed = seed;
+                }
+            }
+            execute(&scenarios, &flags)
+        }
         "search" => {
             let (names, flags) = split_flags(&args[1..], false)?;
             flags.reject_exec_flags("search")?;
+            flags.reject_rand_flags("search")?;
             let mut scenarios = select_scenarios(&names, &flags, Some(Task::Search))?;
             // Effort overrides apply uniformly to every selected search.
             for sc in &mut scenarios {
@@ -252,6 +307,16 @@ fn run_cli(args: &[String]) -> Result<i32, String> {
                 }
             } else {
                 flags.reject_exec_flags("sweep --task <non-execute>")?;
+            }
+            if scenario.task == Task::Randomized {
+                if let Some(t) = flags.rand_trials {
+                    scenario.randomized.trials = t;
+                }
+                if let Some(seed) = flags.rand_seed {
+                    scenario.randomized.seed = seed;
+                }
+            } else {
+                flags.reject_rand_flags("sweep --task <non-randomized>")?;
             }
             // --filter on a sweep restricts the assembled network list.
             if let Some(f) = &flags.filter {
@@ -407,6 +472,16 @@ const FLAG_TABLE: &[FlagSpec] = &[
         sweep_only: false,
     },
     FlagSpec {
+        name: "--trials",
+        takes_value: true,
+        sweep_only: false,
+    },
+    FlagSpec {
+        name: "--rand-seed",
+        takes_value: true,
+        sweep_only: false,
+    },
+    FlagSpec {
         name: "--format",
         takes_value: true,
         sweep_only: false,
@@ -470,6 +545,8 @@ fn split_flags(args: &[String], sweep: bool) -> Result<(Vec<String>, CommonFlags
         search_iterations: None,
         exec_faults: None,
         exec_seed: None,
+        rand_trials: None,
+        rand_seed: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -534,6 +611,24 @@ fn split_flags(args: &[String], sweep: bool) -> Result<(Vec<String>, CommonFlags
                         .map_err(|_| "--exec-seed takes an integer".to_string())?,
                 );
             }
+            "--trials" => {
+                i += 1;
+                let t: usize = arg_value(args, i, "--trials")?
+                    .parse()
+                    .map_err(|_| "--trials takes an integer".to_string())?;
+                if t == 0 {
+                    return Err("--trials must be at least 1".into());
+                }
+                flags.rand_trials = Some(t);
+            }
+            "--rand-seed" => {
+                i += 1;
+                flags.rand_seed = Some(
+                    arg_value(args, i, "--rand-seed")?
+                        .parse()
+                        .map_err(|_| "--rand-seed takes an integer".to_string())?,
+                );
+            }
             "--format" => {
                 i += 1;
                 flags.format = match arg_value(args, i, "--format")? {
@@ -590,6 +685,7 @@ fn parse_sweep(args: &[String]) -> Result<Scenario, String> {
                     "matrices" => Task::Matrices,
                     "enumerate" => Task::Enumerate,
                     "execute" => Task::Execute,
+                    "randomized" => Task::Randomized,
                     other => return Err(format!("unknown task `{other}`")),
                 });
             }
@@ -675,6 +771,7 @@ fn parse_sweep(args: &[String]) -> Result<Scenario, String> {
         search: sg_scenario::SearchSpec::default(),
         exec: sg_scenario::ExecSpec::default(),
         enumerate: sg_scenario::EnumerateSpec::default(),
+        randomized: sg_scenario::RandomizedSpec::default(),
     })
 }
 
@@ -760,6 +857,8 @@ mod tests {
             search_iterations: None,
             exec_faults: None,
             exec_seed: None,
+            rand_trials: None,
+            rand_seed: None,
         }
     }
 
@@ -809,7 +908,7 @@ mod tests {
     fn valid_value(flag: &str) -> &'static str {
         match flag {
             "--threads" | "--sim-threads" | "--seed" | "--restarts" | "--iterations"
-            | "--exec-seed" => "3",
+            | "--exec-seed" | "--trials" | "--rand-seed" => "3",
             "--faults" => "0.05",
             "--filter" => "fig",
             "--format" => "json",
@@ -888,8 +987,65 @@ mod tests {
         assert_eq!(flags.search_iterations, Some(3));
         assert_eq!(flags.exec_faults, Some(0.05));
         assert_eq!(flags.exec_seed, Some(3));
+        assert_eq!(flags.rand_trials, Some(3));
+        assert_eq!(flags.rand_seed, Some(3));
         assert_eq!(flags.format, Format::Json);
         assert!(flags.stats);
+    }
+
+    /// Randomized flags stay with the randomized task: every other
+    /// command rejects them by name instead of silently ignoring them.
+    #[test]
+    fn rand_flags_are_rejected_outside_randomized_and_randomized_sweeps() {
+        for cmd in ["list", "run", "enumerate", "execute", "search"] {
+            for flag in [["--trials", "50"], ["--rand-seed", "7"]] {
+                let args: Vec<String> = [cmd, flag[0], flag[1]]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                let err =
+                    run_cli(&args).expect_err("rand flags outside randomized must be rejected");
+                assert!(
+                    err.contains("--trials / --rand-seed only apply"),
+                    "`{cmd} {}`: {err}",
+                    flag[0]
+                );
+            }
+        }
+        // A non-randomized sweep rejects them too…
+        let args: Vec<String> = [
+            "sweep", "--task", "simulate", "--mode", "fd", "--net", "cycle:8", "--trials", "50",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = run_cli(&args).expect_err("non-randomized sweep rejects rand flags");
+        assert!(err.contains("--trials / --rand-seed only apply"), "{err}");
+        // …while a randomized sweep parses the task.
+        let args: Vec<String> = ["--task", "randomized", "--mode", "fd", "--net", "cycle:8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let scenario = parse_sweep(&args).expect("randomized sweeps parse");
+        assert_eq!(scenario.task, Task::Randomized);
+    }
+
+    #[test]
+    fn trials_flag_validates_its_count() {
+        let args: Vec<String> = ["randomized", "--trials", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = split_flags(&args[1..], false).expect_err("zero trials rejected");
+        assert!(err.contains("--trials must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn randomized_selects_exactly_the_randomized_scenarios() {
+        let picked = select_scenarios(&[], &flags_with_filter("rand-"), Some(Task::Randomized))
+            .expect("matching filter selects");
+        assert_eq!(picked.len(), 4);
+        assert!(picked.iter().all(|s| s.task == Task::Randomized));
     }
 
     /// Exec flags stay with the execute task: every other command

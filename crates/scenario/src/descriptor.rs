@@ -40,6 +40,11 @@ pub enum Task {
     /// injecting faults from the scenario's [`ExecSpec`], and report
     /// rounds-to-completion against the fault-free optimum.
     Execute,
+    /// Randomized baselines: seeded push/pull/exchange gossip trials
+    /// (the scenario's [`RandomizedSpec`]) with mean/median/p95/max
+    /// stopping times and the ratio to the exact systolic optimum or
+    /// lower-bound floor on the same network.
+    Randomized,
 }
 
 impl Task {
@@ -53,6 +58,7 @@ impl Task {
             Task::Search => "search",
             Task::Enumerate => "enumerate",
             Task::Execute => "execute",
+            Task::Randomized => "randomized",
         }
     }
 }
@@ -106,6 +112,31 @@ impl Default for ExecSpec {
             drop_prob: 0.0,
             max_delay: 0,
             crashes: Vec::new(),
+        }
+    }
+}
+
+/// Knobs of a [`Task::Randomized`] scenario: how many independent
+/// randomized-gossip trials run per activation model, and under which
+/// master seed. Kept separate from `sg_sim::RandomizedConfig` so the
+/// descriptor stays plain data; the runner folds these into the full
+/// config (round budget from the batch sim budget, threads from the
+/// batch thread budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomizedSpec {
+    /// Independent trials per activation model.
+    pub trials: usize,
+    /// Master seed; trial `t` draws from counter-based
+    /// `(seed, t, round)` streams, so batches are thread-count
+    /// independent.
+    pub seed: u64,
+}
+
+impl Default for RandomizedSpec {
+    fn default() -> Self {
+        Self {
+            trials: 200,
+            seed: 1997,
         }
     }
 }
@@ -184,6 +215,9 @@ pub struct Scenario {
     pub exec: ExecSpec,
     /// Knobs for [`Task::Enumerate`] scenarios (ignored elsewhere).
     pub enumerate: EnumerateSpec,
+    /// Trial batch for [`Task::Randomized`] scenarios (ignored
+    /// elsewhere).
+    pub randomized: RandomizedSpec,
 }
 
 impl Scenario {
@@ -203,6 +237,7 @@ impl Scenario {
             search: SearchSpec::default(),
             exec: ExecSpec::default(),
             enumerate: EnumerateSpec::default(),
+            randomized: RandomizedSpec::default(),
         }
     }
 
@@ -251,6 +286,12 @@ impl Scenario {
     /// Sets the enumeration knobs.
     pub fn enumerate_spec(mut self, spec: EnumerateSpec) -> Self {
         self.enumerate = spec;
+        self
+    }
+
+    /// Sets the randomized trial batch.
+    pub fn randomized_spec(mut self, spec: RandomizedSpec) -> Self {
+        self.randomized = spec;
         self
     }
 }

@@ -27,8 +27,8 @@ pub mod tables;
 
 pub use cache::{BuildCache, CacheStats};
 pub use descriptor::{
-    protocol_for, EnumerateSpec, ExecSpec, PaperCheck, ProtocolKind, Scenario, SearchSpec, Task,
-    WeightScheme,
+    protocol_for, EnumerateSpec, ExecSpec, PaperCheck, ProtocolKind, RandomizedSpec, Scenario,
+    SearchSpec, Task, WeightScheme,
 };
 pub use registry::{find, registry};
 pub use runner::{run_batch, BatchOptions, BatchReport, CheckOutcome, ScenarioOutcome};

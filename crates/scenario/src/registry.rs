@@ -2,7 +2,7 @@
 //! comparison suites of the former ad-hoc binaries, and the new topology
 //! families the uniform harness unlocks.
 
-use crate::descriptor::{ExecSpec, PaperCheck, Scenario, Task, WeightScheme};
+use crate::descriptor::{ExecSpec, PaperCheck, RandomizedSpec, Scenario, Task, WeightScheme};
 use sg_bounds::pfun::{BoundMode, Period};
 use sg_bounds::tables::standard_periods;
 use sg_bounds::{c_broadcast, e_coefficient, e_separator};
@@ -488,6 +488,43 @@ pub fn registry() -> Vec<Scenario> {
             crashes: vec![(0, 2, Some(6))],
             ..ExecSpec::default()
         }),
+        // ——— Randomized baselines (push / pull / exchange) ———
+        Scenario::new(
+            "rand-cycle",
+            "Randomized gossip on C_64: Θ(n) stopping times vs the exact systolic optimum",
+            Task::Randomized,
+            Mode::HalfDuplex,
+        )
+        .networks([Network::Cycle { n: 64 }]),
+        Scenario::new(
+            "rand-hypercube",
+            "Randomized gossip on Q_8: Θ(log n) trials vs the dimension-sweep optimum",
+            Task::Randomized,
+            Mode::FullDuplex,
+        )
+        .networks([Network::Hypercube { k: 8 }]),
+        Scenario::new(
+            "rand-knodel",
+            "Randomized gossip on W(6,64) vs the minimum-gossip-family optimum",
+            Task::Randomized,
+            Mode::FullDuplex,
+        )
+        .networks([Network::Knodel { delta: 6, n: 64 }]),
+        Scenario::new(
+            "rand-large-rr",
+            "Randomized gossip at n = 10⁵ on a random 3-regular graph: sparse rows, ⌈lg n⌉ doubling floor",
+            Task::Randomized,
+            Mode::HalfDuplex,
+        )
+        .networks([Network::RandomRegular {
+            n: 100_000,
+            d: 3,
+            seed: 1997,
+        }])
+        .randomized_spec(RandomizedSpec {
+            trials: 3,
+            ..RandomizedSpec::default()
+        }),
     ]
 }
 
@@ -650,9 +687,45 @@ mod tests {
         assert_eq!(conf.exec, ExecSpec::default());
         assert_eq!(
             registry().len(),
-            36,
-            "registry grew to 36 with the W(4,16) enumeration scenario"
+            40,
+            "registry grew to 40 with the randomized-baseline scenarios"
         );
+    }
+
+    #[test]
+    fn randomized_scenarios_are_registered_undirected_with_sound_specs() {
+        let mut large = 0;
+        for name in [
+            "rand-cycle",
+            "rand-hypercube",
+            "rand-knodel",
+            "rand-large-rr",
+        ] {
+            let sc = find(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(sc.task, Task::Randomized, "{name}");
+            assert!(!sc.networks.is_empty(), "{name}: needs networks");
+            assert!(sc.randomized.trials >= 1, "{name}: needs trials");
+            for net in &sc.networks {
+                // Pull/exchange read along the reversed arc: the model is
+                // only defined on symmetric networks.
+                assert!(!net.is_directed(), "{name}: {} is directed", net.name());
+                if net.order_hint().is_some_and(|n| n >= 100_000) {
+                    large += 1;
+                    // Large batches stay feasible: a few trials, and the
+                    // worst-case dense state fits the memory ceiling.
+                    assert!(sc.randomized.trials <= 8, "{name}: too many large trials");
+                } else {
+                    // Small batches carry the statistics: enough trials
+                    // for the Θ-bound suite to be stable.
+                    assert!(sc.randomized.trials >= 100, "{name}: too few trials");
+                    assert!(
+                        net.build().vertex_count() <= 1024,
+                        "{name}: keep statistical batches small"
+                    );
+                }
+            }
+        }
+        assert_eq!(large, 1, "exactly one n ≥ 10⁵ randomized point");
     }
 
     #[test]

@@ -42,7 +42,7 @@ use sg_sim::sparse::run_systolic_sparse_with_limit;
 use sg_sim::trace::knowledge_curve_pool;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use systolic_gossip::{audit_measured, Network, Row};
+use systolic_gossip::{audit_measured, ceil_log2, Network, Row};
 
 /// Knobs of one batch run.
 #[derive(Debug, Clone, Copy)]
@@ -245,6 +245,7 @@ enum Unit {
     Search { net: Network },
     Enumerate { net: Network },
     Execute { net: Network },
+    Randomized { net: Network },
 }
 
 /// What one unit produced.
@@ -299,6 +300,11 @@ fn units_of(scenario: &Scenario) -> Vec<Unit> {
         Task::Execute => {
             for &net in &scenario.networks {
                 units.push(Unit::Execute { net });
+            }
+        }
+        Task::Randomized => {
+            for &net in &scenario.networks {
+                units.push(Unit::Randomized { net });
             }
         }
     }
@@ -394,6 +400,7 @@ fn run_unit(
         Unit::Search { net } => search_unit(net, scenario, cache, sim_threads),
         Unit::Enumerate { net } => enumerate_unit(net, scenario, cache, sim_threads),
         Unit::Execute { net } => execute_unit(net, scenario, cache, opts, sim_threads),
+        Unit::Randomized { net } => randomized_unit(net, scenario, cache, opts, sim_threads),
     }
 }
 
@@ -565,6 +572,196 @@ fn execute_unit(
     // …and the scenario's declared plan when it injects anything.
     if !plan.is_fault_free() {
         run_one("faulty", plan);
+    }
+    UnitOut {
+        rows,
+        text: Some(text),
+        ..Default::default()
+    }
+}
+
+/// Randomized-gossip baselines: for each activation model (push, pull,
+/// exchange) runs the scenario's [`crate::descriptor::RandomizedSpec`]
+/// trial batch over the sparse row table, then reports
+/// mean/median/p95/max stopping times and the ratio to the network's
+/// systolic yardstick — the measured optimum of its deterministic
+/// protocol (plus the oracle's strongest lower bound) at small n, or
+/// the ⌈lg n⌉ doubling floor at large n, where every Ω(n²) computation
+/// is deliberately absent. Trials are keyed by pure `(seed, trial,
+/// round)` counters, so batches are bit-identical at any thread count.
+fn randomized_unit(
+    net: &Network,
+    scenario: &Scenario,
+    cache: &BuildCache,
+    opts: &BatchOptions,
+    sim_threads: usize,
+) -> UnitOut {
+    use sg_sim::random::{run_randomized, summarize, ActivationModel, RandomizedConfig};
+    // Pull and exchange read along the reversed arc, so the model is
+    // only well-defined on symmetric networks.
+    if net.is_directed() {
+        return UnitOut {
+            text: Some(format!(
+                "{}: randomized pull/exchange need symmetric arcs — \
+                 directed networks are skipped",
+                net.name()
+            )),
+            ..Default::default()
+        };
+    }
+    // Randomized gossip scatters knowledge, so rows densify toward the
+    // dense n²/8 bytes whatever the topology — refuse upfront when even
+    // one trial's worst case cannot fit (same idiom as the large
+    // simulate unit). `order_hint()` first, so hinted families never
+    // build the graph just to be refused.
+    let skip_mem = |n: usize| UnitOut {
+        rows: vec![Row::new()
+            .with("kind", "randomized")
+            .with("network", net.name())
+            .with("n", n)
+            .with("verdict", "skipped-mem")],
+        text: Some(format!(
+            "{}: randomized rows densify — worst-case sparse state \
+             ≈ {:.1} GiB exceeds the {:.1} GiB budget, skipped\n",
+            net.name(),
+            ((n / 8).saturating_mul(n)) as f64 / (1u64 << 30) as f64,
+            LARGE_SIM_MEM_LIMIT as f64 / (1u64 << 30) as f64,
+        )),
+        ..Default::default()
+    };
+    let too_big =
+        |n: usize| n >= opts.large_sim_min_n && (n / 8).saturating_mul(n) > LARGE_SIM_MEM_LIMIT;
+    if let Some(n) = net.order_hint().filter(|&n| too_big(n)) {
+        return skip_mem(n);
+    }
+    let g = cache.digraph(net);
+    let n = g.vertex_count();
+    if too_big(n) {
+        return skip_mem(n);
+    }
+    let large = n >= opts.large_sim_min_n;
+    // The yardstick every randomized mean is measured against: at small
+    // n the exact behaviour of the network's deterministic protocol
+    // (with the oracle's strongest floor alongside); at large n only the
+    // ⌈lg n⌉ doubling floor — diameters and λ-searches are Ω(n²) there.
+    let mut optimum = None;
+    let mut optimum_s = None;
+    let mut optimum_kind = None;
+    let mut floor = ceil_log2(n) as f64;
+    let mut yardstick = "doubling-floor";
+    if !large {
+        if let Some((kind, sp)) = cache.protocol(net, scenario.mode) {
+            if sp.validate(&g).is_ok() {
+                optimum = systolic_gossip_time_pool(
+                    &sp,
+                    n,
+                    opts.sim_budget,
+                    effective_sim_threads(n, sim_threads),
+                );
+                let ob = cache.oracle().bounds_on(
+                    net,
+                    &g,
+                    cache.diameter(net),
+                    sp.mode(),
+                    Period::Systolic(sp.s()),
+                );
+                floor = ob.report.best_rounds;
+                optimum_s = Some(sp.s());
+                optimum_kind = Some(kind.label());
+                if optimum.is_some() {
+                    yardstick = "systolic-optimal";
+                } else {
+                    yardstick = "oracle-floor";
+                }
+            }
+        }
+    }
+    let spec = &scenario.randomized;
+    let mut rows = Vec::new();
+    let mut text = format!(
+        "{} — n = {}, {} randomized trials/model, seed {}, yardstick: {}\n",
+        net.name(),
+        n,
+        spec.trials,
+        spec.seed,
+        match (optimum, yardstick) {
+            (Some(t), _) => format!(
+                "systolic optimum {t} rounds ({}, s = {})",
+                optimum_kind.unwrap_or("?"),
+                optimum_s.unwrap_or(0),
+            ),
+            (None, "oracle-floor") => format!("oracle floor {floor:.1} rounds"),
+            _ => format!("doubling floor ⌈lg n⌉ = {floor:.0} rounds"),
+        },
+    );
+    text.push_str(&format!(
+        "  {:<9} {:>11} {:>8} {:>7} {:>6} {:>6} {:>11}\n",
+        "model", "completed", "mean", "median", "p95", "max", "×yardstick"
+    ));
+    for model in ActivationModel::ALL {
+        let cfg = RandomizedConfig {
+            model,
+            trials: spec.trials,
+            seed: spec.seed,
+            max_rounds: opts.sim_budget,
+            threads: sim_threads.max(1),
+            // Fixed per trial (never divided by the thread count), so
+            // outcomes stay thread-count independent.
+            mem_limit: Some(LARGE_SIM_MEM_LIMIT),
+        };
+        let started = std::time::Instant::now();
+        let trials = run_randomized(&g, &cfg);
+        let elapsed = started.elapsed();
+        let summary = summarize(&trials);
+        let aborted = trials.iter().any(|t| t.aborted_mem);
+        let completed = summary.map_or(0, |s| s.completed);
+        let peak = trials.iter().map(|t| t.peak_bytes).max().unwrap_or(0);
+        let denominator = optimum.map_or(floor, |t| t as f64);
+        let ratio = summary
+            .filter(|_| denominator > 0.0)
+            .map(|s| s.mean / denominator);
+        text.push_str(&format!(
+            "  {:<9} {:>5}/{:<5} {:>8} {:>7} {:>6} {:>6} {:>11}\n",
+            model.label(),
+            completed,
+            spec.trials,
+            summary.map_or("—".into(), |s| format!("{:.1}", s.mean)),
+            summary.map_or("—".into(), |s| s.median.to_string()),
+            summary.map_or("—".into(), |s| s.p95.to_string()),
+            summary.map_or("—".into(), |s| s.max.to_string()),
+            ratio.map_or("—".into(), |r| format!("{r:.2}")),
+        ));
+        rows.push(
+            Row::new()
+                .with("kind", "randomized")
+                .with("network", net.name())
+                .with("n", n)
+                .with("model", model.label())
+                .with("trials", spec.trials)
+                .with("seed", i64::try_from(spec.seed).unwrap_or(i64::MAX))
+                .with("completed", completed)
+                .with("mean_rounds", summary.map(|s| s.mean))
+                .with("median_rounds", summary.map(|s| s.median))
+                .with("p95_rounds", summary.map(|s| s.p95))
+                .with("max_rounds", summary.map(|s| s.max))
+                .with("min_rounds", summary.map(|s| s.min))
+                .with("optimum_rounds", optimum)
+                .with("floor_rounds", floor)
+                .with("ratio_to_optimum", ratio)
+                .with("yardstick", yardstick)
+                .with("peak_state_bytes", peak)
+                .with("elapsed_ms", elapsed.as_millis() as i64)
+                .with(
+                    "verdict",
+                    if completed == spec.trials {
+                        "completed"
+                    } else if aborted {
+                        "aborted-mem"
+                    } else {
+                        "incomplete"
+                    },
+                ),
+        );
     }
     UnitOut {
         rows,

@@ -8,7 +8,8 @@
 //! the test exercise the routing at toy sizes.
 
 use sg_scenario::{
-    run_batch, BatchOptions, EnumerateSpec, ExecSpec, Scenario, SearchSpec, Task, WeightScheme,
+    run_batch, BatchOptions, EnumerateSpec, ExecSpec, RandomizedSpec, Scenario, SearchSpec, Task,
+    WeightScheme,
 };
 use systolic_gossip::sg_protocol::mode::Mode;
 use systolic_gossip::{Network, Value};
@@ -27,6 +28,7 @@ fn simulate_scenario(net: Network) -> Scenario {
         search: SearchSpec::default(),
         exec: ExecSpec::default(),
         enumerate: EnumerateSpec::default(),
+        randomized: RandomizedSpec::default(),
     }
 }
 

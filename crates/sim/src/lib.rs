@@ -14,7 +14,9 @@
 //! spawning with a persistent work-stealing worker pool, and [`sparse`]
 //! drops the O(n²)-bit table entirely — rows become sorted item runs
 //! with exact delta propagation, which is what makes n = 10⁶ instances
-//! simulable. All engines are bit-identical to the retained naive
+//! simulable. [`random`] adds the oblivious randomized baselines
+//! (push/pull/exchange over the sparse rows, counter-seeded trials
+//! batched across threads). All engines are bit-identical to the retained naive
 //! oracle in [`mod@reference`], which the differential conformance
 //! suite (`tests/conformance.rs`) and the property tests enforce. The
 //! [`greedy`] module generates executable upper-bound protocols for
@@ -28,6 +30,7 @@ pub mod frontier;
 pub mod greedy;
 pub mod parallel;
 pub mod pool;
+pub mod random;
 pub mod reference;
 pub mod schedule;
 pub mod sparse;
@@ -45,6 +48,10 @@ pub use parallel::{
     apply_round_parallel, apply_round_parallel_with, systolic_gossip_time_parallel, ParallelCtx,
 };
 pub use pool::{run_systolic_pool, systolic_gossip_time_pool, PoolEngine};
+pub use random::{
+    run_randomized, run_trial, summarize, ActivationModel, RandomizedConfig, RandomizedSummary,
+    TrialResult,
+};
 pub use reference::{
     apply_round_reference, run_protocol_reference, run_systolic_reference,
     systolic_gossip_time_reference,
@@ -52,6 +59,6 @@ pub use reference::{
 pub use schedule::CompiledSchedule;
 pub use sparse::{
     run_systolic_sparse, run_systolic_sparse_with_limit, systolic_gossip_time_sparse, SparseEngine,
-    SparseOutcome,
+    SparseKnowledge, SparseOutcome,
 };
 pub use trace::{knowledge_curve, knowledge_curve_parallel, knowledge_curve_pool, RoundStats};

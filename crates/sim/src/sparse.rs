@@ -415,6 +415,223 @@ impl SparseState {
     }
 }
 
+/// Expands a sparse table into a dense [`Knowledge`] (tests and small-n
+/// diagnostics only — this is the allocation the sparse engines exist to
+/// avoid).
+fn state_to_dense(state: &SparseState) -> Knowledge {
+    let n = state.n;
+    let words = state.words;
+    let mut k = Knowledge::initial(n);
+    let tail_mask = if n.is_multiple_of(64) {
+        !0u64
+    } else {
+        (1u64 << (n % 64)) - 1
+    };
+    let bits = k.bits_mut();
+    for v in 0..n {
+        let row = &mut bits[v * words..(v + 1) * words];
+        match &state.rows[v] {
+            RowRep::Runs(r) => {
+                row.fill(0);
+                dense_set_runs(row, r);
+            }
+            RowRep::Dense(d) => row.copy_from_slice(d),
+            RowRep::Full => {
+                row.fill(!0);
+                row[words - 1] = tail_mask;
+            }
+        }
+    }
+    k
+}
+
+/// The sparse knowledge table without a schedule: for engines whose arc
+/// sets are generated on the fly — randomized gossip draws a fresh arc
+/// set every round, so there is no compiled period to key frontier
+/// versions on. [`Self::apply_round`] executes one *synchronous* round
+/// over an arbitrary arc list under strict beginning-of-round semantics
+/// (Definition 3.1): every new row is computed from the old table before
+/// any row is installed, so a vertex that both sends and receives in the
+/// same round transfers exactly its start-of-round knowledge, whatever
+/// the arc order. Rows use the same run/dense/full shapes as
+/// [`SparseEngine`] — interval runs while knowledge is structured, a
+/// one-time spill to `⌈n/64⌉` words when it scatters (which randomized
+/// gossip does), and zero-byte retirement for completed rows.
+#[derive(Debug)]
+pub struct SparseKnowledge {
+    state: SparseState,
+    /// Per-round `(target, source)` pairs, sorted so each target's
+    /// sources are contiguous.
+    grouped: Vec<(u32, u32)>,
+    /// Computed new rows, installed only after every read is done.
+    updates: Vec<(u32, RowRep, u32)>,
+    /// Run-algebra double buffer for the per-target union fold.
+    acc: Vec<(u32, u32)>,
+    acc_next: Vec<(u32, u32)>,
+}
+
+impl SparseKnowledge {
+    /// The initial state: every processor knows exactly its own item.
+    pub fn new(n: usize) -> Self {
+        Self {
+            state: SparseState::new(n),
+            grouped: Vec::new(),
+            updates: Vec::new(),
+            acc: Vec::new(),
+            acc_next: Vec::new(),
+        }
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.state.n
+    }
+
+    /// `true` when every processor knows every item (O(1)).
+    pub fn all_complete(&self) -> bool {
+        self.state.incomplete == 0
+    }
+
+    /// Number of items processor `v` knows.
+    pub fn count(&self, v: usize) -> usize {
+        self.state.counts[v] as usize
+    }
+
+    /// Minimum knowledge count over processors.
+    pub fn min_count(&self) -> usize {
+        self.state
+            .counts
+            .iter()
+            .map(|&c| c as usize)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Does processor `v` know item `item`?
+    pub fn knows(&self, v: usize, item: usize) -> bool {
+        match &self.state.rows[v] {
+            RowRep::Full => true,
+            RowRep::Runs(r) => r
+                .binary_search_by(|&(s, e)| {
+                    if (item as u32) < s {
+                        std::cmp::Ordering::Greater
+                    } else if (item as u32) >= e {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Equal
+                    }
+                })
+                .is_ok(),
+            RowRep::Dense(d) => d[item / 64] >> (item % 64) & 1 == 1,
+        }
+    }
+
+    /// Approximate heap footprint of the row representations.
+    pub fn state_bytes(&self) -> usize {
+        self.state.bytes
+    }
+
+    /// Expands into a dense [`Knowledge`] (tests and small n only).
+    pub fn to_dense(&self) -> Knowledge {
+        state_to_dense(&self.state)
+    }
+
+    /// Applies one synchronous round of `(from, to)` transfers. Targets
+    /// read beginning-of-round source state only; duplicate arcs and
+    /// self-loops are ignored. Returns `true` if anything changed.
+    pub fn apply_round(&mut self, arcs: &[(u32, u32)]) -> bool {
+        let n = self.state.n;
+        self.grouped.clear();
+        for &(from, to) in arcs {
+            if from != to && (self.state.counts[to as usize] as usize) < n {
+                self.grouped.push((to, from));
+            }
+        }
+        self.grouped.sort_unstable();
+        self.grouped.dedup();
+        // Phase 1: compute every changed target's new row off the old
+        // table. Nothing is installed yet, so a row that is both source
+        // and target this round contributes its start-of-round content.
+        self.updates.clear();
+        let mut i = 0;
+        while i < self.grouped.len() {
+            let t = self.grouped[i].0;
+            let mut j = i;
+            while j < self.grouped.len() && self.grouped[j].0 == t {
+                j += 1;
+            }
+            let sources = &self.grouped[i..j];
+            i = j;
+            let ti = t as usize;
+            let c0 = self.state.counts[ti] as usize;
+            // Any full source completes the target outright.
+            if sources
+                .iter()
+                .any(|&(_, f)| matches!(self.state.rows[f as usize], RowRep::Full))
+            {
+                self.updates.push((t, RowRep::Full, n as u32));
+                continue;
+            }
+            let dense_involved = matches!(self.state.rows[ti], RowRep::Dense(_))
+                || sources
+                    .iter()
+                    .any(|&(_, f)| matches!(self.state.rows[f as usize], RowRep::Dense(_)));
+            if dense_involved {
+                // Word-block path: clone the target's row and OR every
+                // source in, counting added bits as we go.
+                let mut w = match &self.state.rows[ti] {
+                    RowRep::Dense(d) => d.clone(),
+                    RowRep::Runs(r) => runs_to_dense(self.state.words, r),
+                    RowRep::Full => unreachable!("count < n"),
+                };
+                let mut added = 0usize;
+                for &(_, f) in sources {
+                    added += match &self.state.rows[f as usize] {
+                        RowRep::Dense(d) => or_count(&mut w, d),
+                        RowRep::Runs(r) => dense_set_runs(&mut w, r),
+                        RowRep::Full => unreachable!("full sources handled above"),
+                    };
+                }
+                if added > 0 {
+                    self.updates
+                        .push((t, RowRep::Dense(w), (c0 + added) as u32));
+                }
+                continue;
+            }
+            // All-runs path: fold the sources into the target's run list.
+            self.acc.clear();
+            if let RowRep::Runs(r) = &self.state.rows[ti] {
+                self.acc.extend_from_slice(r);
+            }
+            for &(_, f) in sources {
+                let RowRep::Runs(src) = &self.state.rows[f as usize] else {
+                    unreachable!("non-runs sources handled above");
+                };
+                run_union(&self.acc, src, &mut self.acc_next);
+                std::mem::swap(&mut self.acc, &mut self.acc_next);
+            }
+            let count = run_len(&self.acc);
+            if count > c0 {
+                let rep = if self.acc.len() > self.state.spill {
+                    RowRep::Dense(runs_to_dense(self.state.words, &self.acc))
+                } else {
+                    RowRep::Runs(self.acc.clone())
+                };
+                self.updates.push((t, rep, count as u32));
+            }
+        }
+        // Phase 2: install. `take`/`install` keep the byte and
+        // completion accounting exact and retire full rows to zero bytes.
+        let changed = !self.updates.is_empty();
+        for (t, rep, count) in self.updates.drain(..) {
+            let ti = t as usize;
+            let _ = self.state.take(ti);
+            self.state.install(ti, rep, count as usize);
+        }
+        changed
+    }
+}
+
 /// The sparse engine: a compiled schedule, the sparse table, and the
 /// frontier staleness state (versions, per-arc/per-pair seen marks,
 /// per-row last-bump deltas). Owns its knowledge state — build one per
@@ -528,30 +745,7 @@ impl SparseEngine {
     /// small-n diagnostics only — this is the allocation the engine
     /// exists to avoid).
     pub fn to_dense(&self) -> Knowledge {
-        let n = self.state.n;
-        let words = self.state.words;
-        let mut k = Knowledge::initial(n);
-        let tail_mask = if n.is_multiple_of(64) {
-            !0u64
-        } else {
-            (1u64 << (n % 64)) - 1
-        };
-        let bits = k.bits_mut();
-        for v in 0..n {
-            let row = &mut bits[v * words..(v + 1) * words];
-            match &self.state.rows[v] {
-                RowRep::Runs(r) => {
-                    row.fill(0);
-                    dense_set_runs(row, r);
-                }
-                RowRep::Dense(d) => row.copy_from_slice(d),
-                RowRep::Full => {
-                    row.fill(!0);
-                    row[words - 1] = tail_mask;
-                }
-            }
-        }
-        k
+        state_to_dense(&self.state)
     }
 
     /// Applies the round at `time` (cyclically). Bit-identical to the

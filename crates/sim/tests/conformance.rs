@@ -58,7 +58,7 @@ fn run_systolic_parallel(
 #[test]
 fn all_registry_protocols_agree_across_engines() {
     let reg = registry();
-    assert_eq!(reg.len(), 36, "registry size drifted; update this suite");
+    assert_eq!(reg.len(), 40, "registry size drifted; update this suite");
 
     let mut pairs_checked = 0usize;
     let mut scenarios_with_protocols = 0usize;

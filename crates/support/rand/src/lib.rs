@@ -231,6 +231,38 @@ mod tests {
         v.shuffle(&mut r);
     }
 
+    /// Pearson χ² goodness-of-fit smoke test on `gen_range`: the
+    /// randomized-gossip engine draws every neighbor choice through it,
+    /// so gross bucket bias (a broken modulus, a stuck bit) would skew
+    /// all the measured stopping distributions. Deterministic at the
+    /// fixed seeds: the asserted threshold is the 99.9 % quantile of
+    /// the χ² distribution, far above any healthy sample's statistic.
+    #[test]
+    fn gen_range_buckets_pass_a_chi_square_smoke_test() {
+        // (buckets, χ²₀.₉₉₉ for df = buckets − 1)
+        for (seed, k, threshold) in [(1997u64, 16usize, 37.70), (42, 10, 27.88)] {
+            let mut r = StdRng::seed_from_u64(seed);
+            let draws = 10_000usize;
+            let mut counts = vec![0usize; k];
+            for _ in 0..draws {
+                counts[r.gen_range(0..k)] += 1;
+            }
+            let expected = draws as f64 / k as f64;
+            let chi2: f64 = counts
+                .iter()
+                .map(|&c| {
+                    let d = c as f64 - expected;
+                    d * d / expected
+                })
+                .sum();
+            assert!(
+                chi2 < threshold,
+                "seed {seed}, {k} buckets: χ² = {chi2:.2} ≥ {threshold} — \
+                 gen_range is grossly non-uniform ({counts:?})"
+            );
+        }
+    }
+
     #[test]
     fn choose_none_on_empty() {
         let mut r = StdRng::seed_from_u64(11);
